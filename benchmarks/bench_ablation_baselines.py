@@ -1,0 +1,89 @@
+"""Ablation — ISP against the paper's alternative border strategies.
+
+Paper Section I surveys the design space before settling on ISP:
+
+* **padding** (OpenCV's default): all patterns expressible, but pays a full
+  device-side memory copy per image — "costly, particularly for
+  architectures such as GPUs";
+* **texture hardware**: free border handling and no address arithmetic, but
+  "bound to the image size", "not supported for sub-regions", and limited to
+  clamp/border address modes — Mirror and Repeat are inexpressible;
+* **naive checks** and **ISP** — the software approaches the paper studies.
+
+This ablation prices all four (where expressible) on both simulated GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import CompileError, Variant, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import PIPELINES
+from repro.gpu import DEVICES
+from repro.reporting import format_table
+from repro.runtime import measure_padding_kernel, measure_pipeline
+
+CASES = [
+    ("gaussian", Boundary.CLAMP, 1024),
+    ("gaussian", Boundary.REPEAT, 1024),
+    ("bilateral", Boundary.CLAMP, 1024),
+]
+DEVICE_NAMES = ["GTX680", "RTX2080"]
+
+
+def build():
+    rows = []
+    data = {}
+    for device_name in DEVICE_NAMES:
+        device = DEVICES[device_name]
+        for app, pattern, size in CASES:
+            pipe = PIPELINES[app](size, size, pattern)
+            desc = trace_kernel(pipe.kernels[0])
+            t = {}
+            t["naive"] = measure_pipeline(
+                pipe, variant=Variant.NAIVE, device=device
+            ).total_us
+            t["isp"] = measure_pipeline(
+                pipe, variant=Variant.ISP, device=device
+            ).total_us
+            try:
+                t["texture"] = measure_pipeline(
+                    pipe, variant=Variant.TEXTURE, device=device
+                ).total_us
+            except CompileError:
+                t["texture"] = None  # pattern not expressible in hardware
+            t["padding"] = measure_padding_kernel(
+                desc, device=device
+            ).total_us
+            rows.append([
+                device_name, app, pattern.value,
+                f"{t['naive']:.1f}", f"{t['isp']:.1f}",
+                "n/a" if t["texture"] is None else f"{t['texture']:.1f}",
+                f"{t['padding']:.1f}",
+            ])
+            data[(device_name, app, pattern)] = t
+    table = format_table(
+        ["device", "app", "pattern", "naive us", "isp us", "texture us",
+         "padding us"],
+        rows,
+        title="Ablation: border strategies (single kernel, pseudo-us)",
+    )
+    return data, table
+
+
+def test_ablation_baselines(benchmark, report):
+    data, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("ablation_baselines", table)
+
+    for (device, app, pattern), t in data.items():
+        # Padding always pays the copy: it must cost more than its own
+        # check-free kernel alone, and more than the best software variant
+        # for cheap kernels where the copy cannot amortize.
+        assert t["padding"] > 0
+        if app == "gaussian":
+            assert t["padding"] > min(t["naive"], t["isp"]), (device, app)
+        # Texture is only expressible for clamp here; repeat must be n/a.
+        if pattern is Boundary.REPEAT:
+            assert t["texture"] is None
+        elif t["texture"] is not None:
+            # No checks and no address arithmetic: texture beats naive.
+            assert t["texture"] < t["naive"], (device, app)

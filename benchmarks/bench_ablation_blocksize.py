@@ -1,0 +1,62 @@
+"""Ablation — block-size sensitivity of ISP.
+
+DESIGN.md calls out the block size as a first-class input of the analytic
+model (paper Eq. 2/8: the bounds and body fraction depend on ``tx x ty``).
+This ablation sweeps block shapes at a fixed image size and reports the
+body-block fraction, the model gain G, and the simulated speedup.
+
+Expected: wide/large blocks shrink the body fraction (paper Fig. 3's second
+configuration), reducing — and eventually erasing — ISP's advantage.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import RegionGeometry, Variant, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import gaussian
+from repro.gpu import GTX680
+from repro.model import predict_kernel
+from repro.reporting import format_table
+from repro.runtime import measure_pipeline
+
+SIZE = 512
+BLOCKS = [(32, 4), (64, 4), (128, 2), (256, 2), (128, 8)]
+BOUNDARY = Boundary.REPEAT
+
+
+def build():
+    rows = []
+    data = []
+    for block in BLOCKS:
+        pipe = gaussian.build_pipeline(SIZE, SIZE, BOUNDARY)
+        desc = trace_kernel(pipe.kernels[0])
+        hx, hy = desc.extent
+        geom = RegionGeometry.compute(SIZE, SIZE, hx, hy, block)
+        body = geom.body_fraction()
+        p = predict_kernel(desc, block=block, device=GTX680)
+        mn = measure_pipeline(pipe, variant=Variant.NAIVE, block=block,
+                              device=GTX680)
+        mi = measure_pipeline(pipe, variant=Variant.ISP, block=block,
+                              device=GTX680)
+        speed = mn.total_us / mi.total_us
+        rows.append([f"{block[0]}x{block[1]}", f"{100 * body:.1f}%",
+                     p.gain, speed])
+        data.append((block, body, p.gain, speed))
+    table = format_table(
+        ["block", "body blocks", "model G", "measured speedup"],
+        rows,
+        title=f"Ablation: block size vs ISP benefit (gaussian/{BOUNDARY.value}, "
+              f"{SIZE}x{SIZE}, GTX680)",
+    )
+    return data, table
+
+
+def test_ablation_blocksize(benchmark, report):
+    data, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("ablation_blocksize", table)
+
+    by_block = {block: (body, gain, speed) for block, body, gain, speed in data}
+    # Body fraction shrinks as blocks grow in either dimension.
+    assert by_block[(32, 4)][0] > by_block[(128, 8)][0]
+    # And the measured ISP speedup shrinks with it.
+    assert by_block[(32, 4)][2] > by_block[(128, 8)][2]

@@ -1,0 +1,87 @@
+"""Ablation — offset-sign filtering of border checks.
+
+The paper's Listing 1 applies the full border handling to every read in the
+window. A compiler can additionally prove that a tap with ``dx >= 0`` can
+never cross the left border and elide that check (`sign_filter=True` in our
+compiler). This ablation measures how much of ISP's advantage that static
+optimization already captures — i.e. how much headroom ISP has left when the
+baseline is smarter.
+
+Expected: sign filtering cuts the naive variant's check cost roughly in half
+(each tap checks ~2 of 4 sides), so the ISP-over-naive gain shrinks — and
+for a cheap 3x3 clamp kernel at a small size it can flip below 1.0: the
+dispatch chain then costs more than the remaining checks. This reinforces
+the paper's central caveat that "it is not always beneficial to partition
+the iteration space", and shows the result is sensitive to how smart the
+baseline compiler already is.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import Variant, compile_kernel, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import gaussian
+from repro.gpu import GTX680, GlobalMemory, Profiler, cost_table_for, launch
+from repro.reporting import format_table
+
+SIZE = 256
+BLOCK = (32, 4)
+BOUNDARY = Boundary.CLAMP
+
+
+def dynamic_instructions(desc, variant, sign_filter):
+    ck = compile_kernel(desc, variant=variant, block=BLOCK, device=GTX680,
+                        sign_filter=sign_filter)
+    mem = GlobalMemory(1 << 22)
+    bases = {}
+    for acc in desc.accessors:
+        if acc.image.name not in bases:
+            bases[acc.image.name] = mem.alloc(SIZE * SIZE * 4)
+    bases[desc.output_name] = mem.alloc(SIZE * SIZE * 4)
+    prof = Profiler(cost_table_for(GTX680))
+    launch(ck.func, ck.launch_config, mem, ck.param_values(bases), prof)
+    return prof.warp_instructions
+
+
+def build():
+    pipe = gaussian.build_pipeline(SIZE, SIZE, BOUNDARY)
+    desc = trace_kernel(pipe.kernels[0])
+    counts = {}
+    for sign_filter in (False, True):
+        for variant in (Variant.NAIVE, Variant.ISP):
+            counts[(sign_filter, variant)] = dynamic_instructions(
+                desc, variant, sign_filter
+            )
+    rows = []
+    for sign_filter in (False, True):
+        n = counts[(sign_filter, Variant.NAIVE)]
+        i = counts[(sign_filter, Variant.ISP)]
+        rows.append([
+            "listing-1 (all checks)" if not sign_filter else "sign-filtered",
+            n, i, n / i,
+        ])
+    table = format_table(
+        ["baseline", "naive instrs", "isp instrs", "reduction"],
+        rows,
+        title=f"Ablation: check sign-filtering (gaussian/{BOUNDARY.value}, "
+              f"{SIZE}x{SIZE}, full-grid dynamic warp instructions)",
+    )
+    return counts, table
+
+
+def test_ablation_sign_filter(benchmark, report):
+    counts, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("ablation_sign_filter", table)
+
+    # Sign filtering helps the naive baseline substantially...
+    assert counts[(True, Variant.NAIVE)] < counts[(False, Variant.NAIVE)]
+    # ...and shrinks (but does not erase) ISP's instruction reduction.
+    red_plain = counts[(False, Variant.NAIVE)] / counts[(False, Variant.ISP)]
+    red_filtered = counts[(True, Variant.NAIVE)] / counts[(True, Variant.ISP)]
+    assert red_filtered < red_plain
+    # Against the Listing-1 baseline, ISP reduces instructions; against the
+    # sign-filtered baseline the residual may flip slightly below 1.0 (the
+    # dispatch chain costs more than the few remaining clamp checks) but the
+    # regression stays bounded by that overhead.
+    assert red_plain > 1.0
+    assert red_filtered > 0.85

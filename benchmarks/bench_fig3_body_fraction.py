@@ -1,0 +1,47 @@
+"""Figure 3 — percentage of blocks executing the Body region vs image size.
+
+Paper Section IV-A.3: for a 5x5 local operator and two block-size
+configurations, plot the Body-block percentage over the image size. Smaller
+images and larger blocks leave fewer blocks in the check-free Body region,
+which is why ISP can lose on small images.
+"""
+
+from __future__ import annotations
+
+from repro.model import body_fraction_series
+from repro.reporting import format_table
+
+SIZES = [128, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096]
+CONFIG_A = (32, 4)   # narrow blocks
+CONFIG_B = (128, 2)  # wide blocks ("large block size")
+WINDOW = (5, 5)
+
+
+def build():
+    a = dict(body_fraction_series(SIZES, *WINDOW, *CONFIG_A))
+    b = dict(body_fraction_series(SIZES, *WINDOW, *CONFIG_B))
+    rows = [[s, f"{a[s]:.2f}%", f"{b[s]:.2f}%"] for s in SIZES]
+    return a, b, format_table(
+        ["image size", f"block {CONFIG_A[0]}x{CONFIG_A[1]}",
+         f"block {CONFIG_B[0]}x{CONFIG_B[1]}"],
+        rows,
+        title="Figure 3 (reproduced): % of blocks executing the Body region "
+              "(5x5 operator)",
+    )
+
+
+def test_fig3(benchmark, report):
+    a, b, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("fig3_body_fraction", table)
+
+    values_a = [a[s] for s in SIZES]
+    values_b = [b[s] for s in SIZES]
+    # Monotone growth with image size for both configs.
+    assert all(y >= x for x, y in zip(values_a, values_a[1:]))
+    assert all(y >= x for x, y in zip(values_b, values_b[1:]))
+    # Larger blocks -> lower body percentage at every size.
+    assert all(b[s] <= a[s] for s in SIZES)
+    # Asymptotics: big images approach 100%.
+    assert values_a[-1] > 97.0
+    # Small image with large blocks: clearly reduced body share.
+    assert b[128] < 60.0

@@ -1,0 +1,79 @@
+"""Figure 6 — speedups of isp and isp+m over naive for the full grid.
+
+Paper Section VI: five applications x four border patterns x four image
+sizes x two GPUs; for each configuration, the speedup of the always-ISP
+policy and of the model-guided isp+m policy over the naive baseline.
+
+Expected shape (paper's discussion):
+  * isp wins in most configurations, more at large image sizes;
+  * Repeat gains the most of the four patterns;
+  * where isp dips below 1.0 (bilateral on Kepler), isp+m recovers most of
+    the loss by falling back to naive;
+  * RTX2080 gains are at least as large as GTX680's for the expensive
+    kernels (no occupancy penalty on Turing).
+"""
+
+from __future__ import annotations
+
+from repro.dsl import Boundary
+from repro.reporting import format_table, geometric_mean
+
+from harness import APPS, PATTERNS, SIZES, Config, speedup_over_naive
+
+DEVICES = ["GTX680", "RTX2080"]
+
+
+def build():
+    results: dict[tuple, dict[str, float]] = {}
+    for device in DEVICES:
+        for app in APPS:
+            for pattern in PATTERNS:
+                for size in SIZES:
+                    cfg = Config(app, pattern, size, device)
+                    results[(device, app, pattern, size)] = {
+                        "isp": speedup_over_naive(cfg, "isp"),
+                        "isp+m": speedup_over_naive(cfg, "isp+m"),
+                    }
+
+    tables = []
+    for device in DEVICES:
+        rows = []
+        for app in APPS:
+            for pattern in PATTERNS:
+                row = [app, pattern.value]
+                for size in SIZES:
+                    r = results[(device, app, pattern, size)]
+                    row.append(f"{r['isp']:.3f}/{r['isp+m']:.3f}")
+                rows.append(row)
+        tables.append(format_table(
+            ["app", "pattern"] + [str(s) for s in SIZES],
+            rows,
+            title=f"Figure 6 (reproduced): isp/isp+m speedup over naive — {device}",
+        ))
+    return results, "\n\n".join(tables)
+
+
+def test_fig6(benchmark, report):
+    results, table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("fig6_all_apps", table)
+
+    # isp+m never loses badly: it may mispredict near the crossover, but must
+    # stay within a few percent of max(naive, isp) everywhere.
+    for key, r in results.items():
+        assert r["isp+m"] >= min(1.0, r["isp"]) - 1e-9, key
+        assert r["isp+m"] >= 0.93, key
+
+    # Repeat gains most, per device/app/size (paper Section VI-A.1).
+    for device in DEVICES:
+        for app in APPS:
+            for size in SIZES:
+                rep = results[(device, app, Boundary.REPEAT, size)]["isp"]
+                clamp = results[(device, app, Boundary.CLAMP, size)]["isp"]
+                assert rep >= clamp - 1e-9, (device, app, size)
+
+    # Overall: isp+m is a net win on both devices.
+    for device in DEVICES:
+        overall = geometric_mean(
+            [r["isp+m"] for k, r in results.items() if k[0] == device]
+        )
+        assert overall > 1.0, device

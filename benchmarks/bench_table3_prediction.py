@@ -1,0 +1,93 @@
+"""Table III — measured-best implementation vs model prediction + Pearson r.
+
+Paper Section IV-B.2: for the bilateral filter on the GTX680, over a sweep
+of image sizes and all four border patterns, compare
+
+* the *measured* best implementation (simulated naive vs ISP time), and
+* the *model-predicted* best (G from Eq. 10, > 1 -> ISP),
+
+marking agreements/disagreements, plus the Pearson correlation between the
+model's G and the measured speedup per pattern. The paper reports "only a
+few mispredictions around the switching point"; the same is expected here —
+the simulator knows about wave tails, coalescing and divergence, while the
+model only knows instruction counts and occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.dsl import Boundary
+from repro.reporting import format_table, pearson
+
+from harness import Config, measured_time_us, model_gain
+
+SIZES = list(range(512, 4097, 512))
+PATTERNS = [Boundary.CLAMP, Boundary.CONSTANT, Boundary.MIRROR, Boundary.REPEAT]
+DEVICE = "GTX680"
+
+
+def build():
+    rows = []
+    gains: dict[Boundary, list[float]] = {p: [] for p in PATTERNS}
+    speeds: dict[Boundary, list[float]] = {p: [] for p in PATTERNS}
+    agreements = 0
+    cells_total = 0
+    for size in SIZES:
+        row = [size]
+        for pattern in PATTERNS:
+            cfg = Config("bilateral", pattern, size, DEVICE)
+            t_naive = measured_time_us(cfg, "naive")
+            t_isp = measured_time_us(cfg, "isp")
+            speedup = t_naive / t_isp
+            g = model_gain(cfg)
+            measured_best = "isp" if speedup > 1.0 else "naive"
+            predicted_best = "isp" if g > 1.0 else "naive"
+            ok = measured_best == predicted_best
+            agreements += ok
+            cells_total += 1
+            gains[pattern].append(g)
+            speeds[pattern].append(speedup)
+            row.append(f"{measured_best}/{predicted_best}{'' if ok else ' *'}")
+        rows.append(row)
+
+    corr_row = ["Pearson r"]
+    for pattern in PATTERNS:
+        try:
+            corr_row.append(f"{pearson(gains[pattern], speeds[pattern]):.3f}")
+        except ValueError:
+            corr_row.append("n/a")
+    rows.append(corr_row)
+
+    # Pooled correlation across all cells: within one pattern our simulated
+    # speedups vary only a few percent over sizes (the real hardware's
+    # size-dependence comes from cache effects outside the simulator — see
+    # EXPERIMENTS.md), so the per-pattern r is dominated by that residual;
+    # the model's predictive power shows in the pooled statistic.
+    all_g = [g for p in PATTERNS for g in gains[p]]
+    all_s = [s for p in PATTERNS for s in speeds[p]]
+    pooled = pearson(all_g, all_s)
+
+    table = format_table(
+        ["size"] + [p.value for p in PATTERNS],
+        rows,
+        title=(
+            "Table III (reproduced): Bilateral on GTX680 — measured-best/"
+            "model-predicted per cell ('*' marks a misprediction)"
+        ),
+    )
+    table += f"\n\nagreement: {agreements}/{cells_total} cells"
+    table += f"\npooled Pearson r (all patterns x sizes): {pooled:.3f}"
+    return table, agreements, cells_total, gains, speeds, pooled
+
+
+def test_table3(benchmark, report):
+    table, agreements, total, gains, speeds, pooled = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    report("table3_prediction", table)
+
+    # The model must be usefully predictive (paper: mostly green cells)...
+    assert agreements >= 0.6 * total
+    assert pooled > 0.8
+    # ...and Repeat must be a unanimous ISP win for both model & measurement.
+    assert all(g > 1 for g in gains[Boundary.REPEAT])
+    assert all(s > 1 for s in speeds[Boundary.REPEAT])

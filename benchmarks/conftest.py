@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark/table-regeneration harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md). Rendered tables are printed to stdout
+and saved under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Save + print a named report artifact (text + JSON record)."""
+    from repro.reporting import export_json
+
+    def _report(name: str, text: str, data=None) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        export_json(results_dir, name, {"text": text, "data": data})
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report

@@ -1,0 +1,100 @@
+"""Shared measurement harness for the table/figure benchmarks.
+
+Centralizes the paper's evaluation grid (Section VI): five applications,
+four border patterns, four image sizes, two GPUs — and the three measured
+policies: ``naive``, ``isp`` (always partition) and ``isp+m`` (partition only
+where the analytic model predicts a gain).
+
+Measurements are memoized in-process; the underlying representative-block
+profiles are additionally cached across image sizes by the runtime, so the
+full grid is tractable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.compiler import Variant, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import PIPELINES
+from repro.gpu import DEVICES, DeviceSpec
+from repro.runtime import measure_pipeline, select_variants
+
+#: The paper's evaluation grid (Section VI).
+APPS = ["gaussian", "laplace", "bilateral", "sobel", "night"]
+PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
+SIZES = [512, 1024, 2048, 4096]
+DEVICE_NAMES = ["GTX680", "RTX2080"]
+BLOCK = (32, 4)
+
+
+@dataclasses.dataclass(frozen=True)
+class Config:
+    app: str
+    boundary: Boundary
+    size: int
+    device: str
+
+    def pipeline(self):
+        return PIPELINES[self.app](self.size, self.size, self.boundary)
+
+    @property
+    def dev(self) -> DeviceSpec:
+        return DEVICES[self.device]
+
+
+_TIME_CACHE: dict[tuple, float] = {}
+_CHOICE_CACHE: dict[tuple, dict[str, Variant]] = {}
+
+
+def measured_time_us(cfg: Config, policy: str, block=BLOCK) -> float:
+    """Simulated execution time of one configuration under one policy.
+
+    ``policy`` is ``"naive"``, ``"isp"`` or ``"isp+m"``.
+    """
+    key = (cfg, policy, block)
+    if key in _TIME_CACHE:
+        return _TIME_CACHE[key]
+    pipe = cfg.pipeline()
+    if policy == "naive":
+        m = measure_pipeline(pipe, variant=Variant.NAIVE, block=block, device=cfg.dev)
+    elif policy == "isp":
+        m = measure_pipeline(pipe, variant=Variant.ISP, block=block, device=cfg.dev)
+    elif policy == "isp+m":
+        choices = model_choices(cfg, block)
+        m = measure_pipeline(pipe, variant=Variant.ISP_MODEL, block=block,
+                             device=cfg.dev, per_kernel_variants=choices)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    _TIME_CACHE[key] = m.total_us
+    return m.total_us
+
+
+def model_choices(cfg: Config, block=BLOCK) -> dict[str, Variant]:
+    key = (cfg, block)
+    if key not in _CHOICE_CACHE:
+        _CHOICE_CACHE[key] = select_variants(cfg.pipeline(), block=block,
+                                             device=cfg.dev)
+    return _CHOICE_CACHE[key]
+
+
+def speedup_over_naive(cfg: Config, policy: str, block=BLOCK) -> float:
+    return measured_time_us(cfg, "naive", block) / measured_time_us(
+        cfg, policy, block
+    )
+
+
+def model_gain(cfg: Config, block=BLOCK) -> float:
+    """The paper's G (Eq. 10) for the pipeline's dominant bordered kernel —
+    the geometric mean over bordered kernels for multi-kernel pipelines."""
+    from repro.model import predict_kernel
+    from repro.reporting import geometric_mean
+
+    gains = []
+    for kernel in cfg.pipeline():
+        desc = trace_kernel(kernel)
+        if not desc.needs_border_handling:
+            continue
+        gains.append(predict_kernel(desc, block=block, device=cfg.dev).gain)
+    return geometric_mean(gains) if gains else 1.0

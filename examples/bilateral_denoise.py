@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bilateral denoising — the paper's motivating application (Section IV-A.1).
+
+Builds a noisy synthetic image, denoises it with the 13x13 bilateral filter
+on the simulated GPU, verifies edge preservation, and then walks through the
+paper's full decision pipeline for this kernel on both GPUs:
+
+* profile naive vs ISP (representative blocks, paper Eq. 8 scaling),
+* estimate times and speedups on the GTX680 and the RTX2080,
+* compare with the analytic model's verdict G (paper Eq. 10) — on Kepler,
+  clamp-pattern bilateral is the case where the model correctly says
+  "stay naive".
+
+Run:  python examples/bilateral_denoise.py
+"""
+
+import numpy as np
+
+from repro import Boundary, GTX680, RTX2080, Variant, predict_kernel
+from repro.compiler import trace_kernel
+from repro.filters import bilateral
+from repro.filters.reference import bilateral_reference
+from repro.runtime import measure_pipeline, run_pipeline_simt
+
+
+def synthetic_edges(size: int, noise: float, rng) -> np.ndarray:
+    """A step-edge test card with additive Gaussian noise."""
+    img = np.zeros((size, size), dtype=np.float32)
+    img[:, size // 2:] = 1.0           # vertical edge
+    img[size // 3:, :] += 0.4          # horizontal step
+    img = np.clip(img, 0.0, 1.0)
+    return np.clip(img + rng.normal(0, noise, img.shape), 0, 1).astype(np.float32)
+
+
+def main():
+    rng = np.random.default_rng(2021)
+    size = 64  # functional simulation size; timing uses the paper's sizes
+    noisy = synthetic_edges(size, noise=0.05, rng=rng)
+
+    # --- denoise on the simulated GPU (functional check) --------------------
+    pipe = bilateral.build_pipeline(size, size, Boundary.CLAMP, radius=4)
+    result = run_pipeline_simt(pipe, variant=Variant.ISP, block=(16, 4),
+                               inputs={"inp": noisy})
+    ref = bilateral_reference(noisy, Boundary.CLAMP, radius=4)
+    err = np.abs(result.output - ref).max()
+    print(f"simulated bilateral vs NumPy reference: max |err| = {err:.2e}")
+
+    clean = synthetic_edges(size, noise=0.0, rng=rng)
+    before = float(np.mean((noisy - clean) ** 2))
+    after = float(np.mean((result.output - clean) ** 2))
+    print(f"MSE vs clean image: {before:.5f} -> {after:.5f} "
+          f"({before / after:.1f}x better)")
+    # The edge must survive (bilateral's whole selling point):
+    edge_contrast = float(result.output[:, size // 2 + 4].mean()
+                          - result.output[:, size // 2 - 4].mean())
+    print(f"edge contrast after filtering: {edge_contrast:.2f} (ideal 1.0)\n")
+
+    # --- the paper's performance story for this kernel ----------------------
+    print("=== naive vs ISP for bilateral 13x13 (paper's Table II/III setup) ===")
+    for device in (GTX680, RTX2080):
+        for pattern in (Boundary.CLAMP, Boundary.REPEAT):
+            perf_pipe = bilateral.build_pipeline(1024, 1024, pattern)
+            t_naive = measure_pipeline(perf_pipe, variant=Variant.NAIVE,
+                                       device=device).total_us
+            t_isp = measure_pipeline(perf_pipe, variant=Variant.ISP,
+                                     device=device).total_us
+            desc = trace_kernel(perf_pipe.kernels[0])
+            g = predict_kernel(desc, device=device).gain
+            verdict = "isp" if g > 1 else "naive"
+            print(f"{device.name:8s} {pattern.value:7s}: "
+                  f"measured speedup {t_naive / t_isp:.3f}, "
+                  f"model G={g:.3f} -> {verdict}")
+    print("\nOn the GTX680 with Clamp, ISP loses (occupancy drop, paper Fig. 4)"
+          "\nand the model's G < 1 correctly falls back to naive — that fallback"
+          "\nis the isp+m policy evaluated throughout the paper's Figure 6.")
+
+
+if __name__ == "__main__":
+    main()

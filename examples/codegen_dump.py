@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Dump the compiler's generated code — CUDA C and virtual PTX.
+
+Shows exactly what the source-to-source compiler produces for one kernel:
+
+* the naive variant (paper Listing 1's checks applied everywhere),
+* the block-grained ISP fat kernel (paper Listing 3's goto chain),
+* the warp-grained refinement (paper Listing 5),
+* and the annotated virtual-PTX of the ISP variant, with each instruction's
+  region/role tags (the accounting behind Table I).
+
+Run:  python examples/codegen_dump.py [pattern]
+      pattern in {clamp, mirror, repeat, constant}; default clamp
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Boundary, Variant
+from repro.compiler import compile_kernel, emit_cuda, trace_kernel
+from repro.dsl import (
+    Accessor,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+)
+from repro.ir import print_function
+
+
+class Blur3(Kernel):
+    def __init__(self, it, acc, mask):
+        super().__init__(it)
+        self.acc = self.add_accessor(acc)
+        self.mask = mask
+
+    @property
+    def name(self):
+        return "blur3"
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+def main():
+    pattern = Boundary(sys.argv[1]) if len(sys.argv) > 1 else Boundary.CLAMP
+
+    inp = Image(512, 512, "inp")
+    out = Image(512, 512, "out")
+    mask = Mask(np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], np.float32) / 16)
+    kernel = Blur3(IterationSpace(out),
+                   Accessor(BoundaryCondition(inp, pattern, 0.0)), mask)
+    desc = trace_kernel(kernel)
+
+    bar = "=" * 78
+    print(bar)
+    print(f"// NAIVE variant — {pattern.value} checks on every access (Listing 1)")
+    print(bar)
+    print(emit_cuda(desc, Variant.NAIVE, (32, 4)))
+
+    print()
+    print(bar)
+    print("// ISP variant — block-grained region dispatch (Listing 3)")
+    print(bar)
+    print(emit_cuda(desc, Variant.ISP, (32, 4)))
+
+    print()
+    print(bar)
+    print("// warp-grained ISP — 128x1 blocks (Listing 5)")
+    print(bar)
+    print(emit_cuda(desc, Variant.ISP_WARP, (128, 1)))
+
+    print()
+    print(bar)
+    print("// virtual PTX of the ISP variant (annotated; first 80 lines)")
+    print(bar)
+    ck = compile_kernel(desc, variant=Variant.ISP, block=(32, 4))
+    ptx = print_function(ck.func, annotate=True).splitlines()
+    print("\n".join(ptx[:80]))
+    print(f"... ({len(ptx)} lines total, "
+          f"{ck.func.static_size()} instructions, "
+          f"~{ck.registers.allocated} regs/thread)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Night filter — the paper's five-kernel pipeline (Section VI).
+
+Four a-trous (with holes) smoothing stages with window sizes 3x3, 5x5, 9x9
+and 17x17 — each only 9 real taps, but with a border extent that grows with
+the dilation — followed by Reinhard tone mapping (a point operator).
+
+The interesting ISP angle: the later a-trous stages have *wide* border
+regions (hx = hy = 8 blocks of margin for the 17x17 stage), so the border/
+body trade-off shifts stage by stage. This example prints the per-stage
+geometry, validates the pipeline functionally, and reports per-stage
+speedups.
+
+Run:  python examples/night_pipeline.py
+"""
+
+import numpy as np
+
+from repro import Boundary, GTX680, Variant
+from repro.compiler import RegionGeometry, trace_kernel
+from repro.filters import night
+from repro.filters.reference import night_reference
+from repro.runtime import measure_pipeline, run_pipeline_simt
+
+
+def low_light_scene(size: int, rng) -> np.ndarray:
+    """Dim gradient + bright spots + heavy shot noise."""
+    y, x = np.mgrid[0:size, 0:size].astype(np.float32)
+    base = 0.08 + 0.05 * (x / size)
+    for cx, cy in [(size // 4, size // 3), (3 * size // 4, 2 * size // 3)]:
+        base += 0.5 * np.exp(-(((x - cx) ** 2 + (y - cy) ** 2)
+                               / (2 * (size / 12) ** 2))).astype(np.float32)
+    noisy = base + rng.normal(0, 0.03, base.shape)
+    return np.clip(noisy, 0, 1).astype(np.float32)
+
+
+def main():
+    rng = np.random.default_rng(7)
+    size = 64
+    src = low_light_scene(size, rng)
+
+    pipe = night.build_pipeline(size, size, Boundary.MIRROR)
+    result = run_pipeline_simt(pipe, variant=Variant.ISP, block=(16, 4),
+                               inputs={"inp": src})
+    ref = night_reference(src, Boundary.MIRROR)
+    print(f"pipeline output vs reference: max |err| = "
+          f"{np.abs(result.output - ref).max():.2e}")
+    print(f"dynamic range after tone mapping: "
+          f"[{result.output.min():.3f}, {result.output.max():.3f}]\n")
+
+    # --- per-stage geometry: border width grows with the dilation ----------
+    perf_size = 1024
+    perf_pipe = night.build_pipeline(perf_size, perf_size, Boundary.MIRROR)
+    print(f"per-stage ISP geometry at {perf_size}x{perf_size}, block 32x4:")
+    for kernel in perf_pipe:
+        desc = trace_kernel(kernel)
+        hx, hy = desc.extent
+        if desc.is_point_operator:
+            print(f"  {desc.name:10s}: point operator — no border handling")
+            continue
+        geom = RegionGeometry.compute(perf_size, perf_size, hx, hy, (32, 4))
+        print(f"  {desc.name:10s}: window {desc.window_size[0]}x"
+              f"{desc.window_size[1]}, {len(desc.accesses[next(iter(desc.accesses))])}"
+              f" taps, body blocks {100 * geom.body_fraction():.1f}%")
+
+    # --- per-stage timing ----------------------------------------------------
+    print("\nper-kernel speedups (GTX680, Mirror):")
+    mn = measure_pipeline(perf_pipe, variant=Variant.NAIVE, device=GTX680)
+    mi = measure_pipeline(perf_pipe, variant=Variant.ISP, device=GTX680)
+    for kn, ki in zip(mn.kernels, mi.kernels):
+        print(f"  {kn.name:10s}: naive {kn.timing.time_us:9.1f} "
+              f"-> isp {ki.timing.time_us:9.1f} pseudo-us  "
+              f"({kn.timing.time_us / ki.timing.time_us:.3f}x)")
+    print(f"  {'TOTAL':10s}: {mn.total_us:9.1f} -> {mi.total_us:9.1f} "
+          f"({mn.total_us / mi.total_us:.3f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Sparse (irregular) stencils — the paper's future-work direction.
+
+Paper Section VII: "we plan to explore the ISP optimization on irregular
+stencil kernels beyond image processing, such as using a sparse stencil mask
+that is only applied to a few neighbors."
+
+Our Domain/Mask machinery already supports this (it is what the Night
+filter's à-trous masks use): a mask with mostly zero coefficients iterates
+only its real taps, while the border geometry still covers its full extent.
+This example builds a 5-point "plus" stencil and a diagonal-cross stencil at
+a large dilation, shows the tap-count vs window-extent split, and measures
+how ISP behaves when the window is large but the work per pixel is tiny —
+the regime where border checks dominate hardest.
+
+Run:  python examples/sparse_stencil.py
+"""
+
+import numpy as np
+
+from repro import Boundary, GTX680, Variant
+from repro.compiler import RegionGeometry, trace_kernel
+from repro.dsl import (
+    Accessor,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+)
+from repro.filters.reference import correlate
+from repro.model import predict_kernel
+from repro.runtime import measure_pipeline, run_pipeline_simt
+
+
+def plus_stencil(radius: int) -> np.ndarray:
+    """5-point Laplacian 'plus' at distance `radius` (4 neighbors + center)."""
+    size = 2 * radius + 1
+    m = np.zeros((size, size), dtype=np.float32)
+    m[radius, radius] = -4.0
+    m[0, radius] = m[-1, radius] = m[radius, 0] = m[radius, -1] = 1.0
+    return m
+
+
+def diagonal_cross(radius: int) -> np.ndarray:
+    """4 diagonal taps + center — an X-shaped irregular stencil."""
+    size = 2 * radius + 1
+    m = np.zeros((size, size), dtype=np.float32)
+    m[radius, radius] = 0.5
+    for s in (0, size - 1):
+        for t in (0, size - 1):
+            m[s, t] = 0.125
+    return m
+
+
+class SparseKernel(Kernel):
+    def __init__(self, it, acc, mask, name):
+        super().__init__(it)
+        self.acc = self.add_accessor(acc)
+        self.mask = mask
+        self._name = name
+
+    @property
+    def name(self):
+        return self._name
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+def main():
+    rng = np.random.default_rng(11)
+    size = 64
+    src = rng.random((size, size)).astype(np.float32)
+
+    for label, coeffs in [("plus r=8", plus_stencil(8)),
+                          ("diag-X r=8", diagonal_cross(8))]:
+        mask = Mask(coeffs)
+        dom = mask.domain()
+        inp = Image.from_array(src, "inp")
+        out = Image(size, size, "out")
+        k = SparseKernel(IterationSpace(out),
+                         Accessor(BoundaryCondition(inp, Boundary.REPEAT)),
+                         mask, "sparse")
+        desc = trace_kernel(k)
+        res = run_pipeline_simt(Pipeline("sparse", [k]), variant=Variant.ISP,
+                                block=(16, 4), inputs={"inp": src})
+        ref = correlate(src, coeffs, Boundary.REPEAT)
+        err = np.abs(res.output - ref).max()
+        print(f"{label}: {len(dom)} taps over a "
+              f"{desc.window_size[0]}x{desc.window_size[1]} window, "
+              f"max|err| = {err:.2e}")
+
+    # The sparse regime: huge window (wide border bands), almost no math.
+    print("\nISP economics for a sparse 5-tap stencil with a 17x17 extent")
+    print("(vs a dense 17x17 stencil with 289 taps), 1024x1024, GTX680:\n")
+    perf_size = 1024
+    for label, coeffs in [("sparse plus r=8", plus_stencil(8)),
+                          ("dense 17x17", np.ones((17, 17), np.float32) / 289)]:
+        inp = Image(perf_size, perf_size, "inp")
+        out = Image(perf_size, perf_size, "out")
+        k = SparseKernel(IterationSpace(out),
+                         Accessor(BoundaryCondition(inp, Boundary.REPEAT)),
+                         Mask(coeffs), "sparse")
+        pipe = Pipeline("sparse", [k])
+        desc = trace_kernel(k)
+        geom = RegionGeometry.compute(perf_size, perf_size, *desc.extent, (32, 4))
+        mn = measure_pipeline(pipe, variant=Variant.NAIVE, device=GTX680)
+        mi = measure_pipeline(pipe, variant=Variant.ISP, device=GTX680)
+        g = predict_kernel(desc, device=GTX680).gain
+        print(f"  {label:16s}: body blocks {100 * geom.body_fraction():5.1f}%  "
+              f"model G={g:5.3f}  measured ISP speedup {mn.total_us / mi.total_us:5.3f}")
+    print("\nBorder checks scale with the *tap count*, so the check share of "
+          "each tap is\nwhat ISP removes: the sparse stencil benefits almost "
+          "as much as the dense one\n(its per-block dispatch overhead "
+          "amortizes over less work, hence the slightly\nlower numbers). ISP "
+          "transfers directly to irregular stencils — the machinery\nthe "
+          "paper's Section VII asks for already falls out of Domain-based "
+          "iteration.")
+
+
+if __name__ == "__main__":
+    main()

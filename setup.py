@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works in offline
+environments without the `wheel` package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — reproduction of "An Efficient Approach for Image Border Handling
+on GPUs via Iteration Space Partitioning" (Qiao, Teich, Hannig; IPPS 2021).
+
+Public API tour
+---------------
+
+* :mod:`repro.dsl` — the Hipacc-like embedded DSL (images, masks, boundary
+  conditions, kernels).
+* :mod:`repro.compiler` — the source-to-source compiler producing naive /
+  ISP / warp-ISP kernel variants in a PTX-like virtual ISA.
+* :mod:`repro.gpu` — the SIMT GPU simulator (GTX680 / RTX2080 device models,
+  occupancy, profiling, timing).
+* :mod:`repro.model` — the paper's analytic performance model (Eqs. 1-10).
+* :mod:`repro.filters` — the five evaluated applications.
+* :mod:`repro.runtime` — functional simulation, representative-block
+  profiling, and the vectorized host executor.
+* :mod:`repro.reporting` — stats/tables used by the benchmark harness.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import Boundary, Variant, filters, run_pipeline_simt
+>>> pipe = filters.gaussian.build_pipeline(64, 64, Boundary.CLAMP)
+>>> pipe.inputs[0].bind(np.random.default_rng(0).random((64, 64)))  # doctest: +ELLIPSIS
+Image(...)
+>>> result = run_pipeline_simt(pipe, variant=Variant.ISP)
+>>> result.output.shape
+(64, 64)
+"""
+
+from . import compiler, dsl, filters, gpu, model, reporting, runtime
+from .compiler import CompiledKernel, Region, RegionGeometry, Variant, compile_kernel
+from .dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Domain,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+)
+from .gpu import DEVICES, GTX680, RTX2080, DeviceSpec
+from .model import predict_kernel
+from .runtime import (
+    measure_pipeline,
+    run_pipeline_simt,
+    run_pipeline_vectorized,
+    select_variants,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accessor",
+    "Boundary",
+    "BoundaryCondition",
+    "CompiledKernel",
+    "DEVICES",
+    "DeviceSpec",
+    "Domain",
+    "GTX680",
+    "Image",
+    "IterationSpace",
+    "Kernel",
+    "Mask",
+    "Pipeline",
+    "RTX2080",
+    "Region",
+    "RegionGeometry",
+    "Variant",
+    "compile_kernel",
+    "compiler",
+    "dsl",
+    "filters",
+    "gpu",
+    "measure_pipeline",
+    "model",
+    "predict_kernel",
+    "reporting",
+    "run_pipeline_simt",
+    "run_pipeline_vectorized",
+    "runtime",
+    "select_variants",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands
+-----------
+
+* ``run``      — functionally simulate a filter on the GPU model and verify
+                 it against the NumPy reference.
+* ``measure``  — estimate naive/isp/isp+m (and optionally every variant)
+                 times for a configuration and print the speedups.
+* ``predict``  — evaluate the analytic model (paper Eqs. 1-10) for a kernel.
+* ``codegen``  — dump the generated CUDA C for a variant.
+* ``regions``  — print the ISP region map and index bounds for a geometry.
+* ``devices``  — list the simulated GPUs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(p: argparse.ArgumentParser, *, size_default: int = 512) -> None:
+    p.add_argument("--app", default="gaussian",
+                   choices=["gaussian", "laplace", "bilateral", "sobel", "night"])
+    p.add_argument("--pattern", default="clamp",
+                   choices=["clamp", "mirror", "repeat", "constant"])
+    p.add_argument("--size", type=int, default=size_default)
+    p.add_argument("--block", default="32x4",
+                   help="threadblock shape, e.g. 32x4 or 128x1")
+    p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
+    p.add_argument("--constant", type=float, default=0.0,
+                   help="border value for the constant pattern")
+
+
+def _parse_block(text: str) -> tuple[int, int]:
+    try:
+        tx, ty = (int(v) for v in text.lower().split("x"))
+        return tx, ty
+    except Exception:
+        raise SystemExit(f"invalid --block {text!r}; expected e.g. 32x4")
+
+
+def _boundary(name: str):
+    from repro.dsl import Boundary
+
+    return Boundary(name)
+
+
+def cmd_run(args) -> int:
+    from repro.filters import PIPELINES, REFERENCES
+    from repro.gpu import get_device
+    from repro.runtime import run_pipeline_simt
+    from repro.compiler import Variant
+
+    if args.size > 128:
+        print(f"note: functional simulation of {args.size}^2 is slow; "
+              "consider --size 64", file=sys.stderr)
+    rng = np.random.default_rng(args.seed)
+    src = rng.random((args.size, args.size)).astype(np.float32)
+    pipe = PIPELINES[args.app](args.size, args.size, _boundary(args.pattern),
+                               args.constant)
+    result = run_pipeline_simt(
+        pipe, variant=Variant(args.variant), block=_parse_block(args.block),
+        device=get_device(args.device), inputs={"inp": src},
+    )
+    ref = REFERENCES[args.app](src, _boundary(args.pattern), args.constant)
+    err = float(np.abs(result.output - ref).max())
+    total_warp = sum(p.warp_instructions for p in result.profilers)
+    print(f"{args.app}/{args.pattern}/{args.variant} {args.size}x{args.size}: "
+          f"max|err| vs reference = {err:.2e}, "
+          f"{total_warp} warp instructions executed")
+    return 0 if err < 1e-3 else 1
+
+
+def cmd_measure(args) -> int:
+    from repro.compiler import CompileError, Variant
+    from repro.filters import PIPELINES
+    from repro.gpu import get_device
+    from repro.runtime import measure_pipeline, select_variants
+
+    device = get_device(args.device)
+    block = _parse_block(args.block)
+    boundary = _boundary(args.pattern)
+    pipe_for = lambda: PIPELINES[args.app](args.size, args.size, boundary,
+                                           args.constant)
+    variants = [Variant.NAIVE, Variant.ISP]
+    if args.all_variants:
+        variants += [Variant.ISP_WARP, Variant.TEXTURE, Variant.SHARED,
+                     Variant.SHARED_ISP]
+    times = {}
+    for v in variants:
+        try:
+            times[v] = measure_pipeline(pipe_for(), variant=v, block=block,
+                                        device=device).total_us
+        except CompileError as e:
+            times[v] = None
+            print(f"  {v.value:10s}: unsupported ({e})", file=sys.stderr)
+    choices = select_variants(pipe_for(), block=block, device=device)
+    times[Variant.ISP_MODEL] = measure_pipeline(
+        pipe_for(), variant=Variant.ISP_MODEL, block=block, device=device,
+        per_kernel_variants=choices,
+    ).total_us
+
+    base = times[Variant.NAIVE]
+    print(f"{args.app}/{args.pattern} {args.size}x{args.size} on {device.name} "
+          f"(block {block[0]}x{block[1]}):")
+    for v, t in times.items():
+        if t is None:
+            continue
+        print(f"  {v.value:10s}: {t:10.1f} pseudo-us   "
+              f"speedup {base / t:5.3f}x")
+    picks = ", ".join(f"{k}->{v.value}" for k, v in choices.items())
+    print(f"  isp+m choices: {picks}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.compiler import trace_kernel
+    from repro.filters import PIPELINES
+    from repro.gpu import get_device
+    from repro.model import predict_kernel
+
+    device = get_device(args.device)
+    block = _parse_block(args.block)
+    pipe = PIPELINES[args.app](args.size, args.size, _boundary(args.pattern),
+                               args.constant)
+    print(f"analytic model (paper Eqs. 1-10) on {device.name}:")
+    for kernel in pipe:
+        desc = trace_kernel(kernel)
+        p = predict_kernel(desc, block=block, device=device)
+        print(f"  {desc.name:12s}: R={p.r_reduced:6.3f}  "
+              f"occ {p.occupancy_naive:.0%}->{p.occupancy_isp:.0%}  "
+              f"G={p.gain:6.3f}  -> {p.choice.value}")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from repro.compiler import Variant, emit_cuda, trace_kernel
+    from repro.filters import PIPELINES
+
+    pipe = PIPELINES[args.app](args.size, args.size, _boundary(args.pattern),
+                               args.constant)
+    desc = trace_kernel(pipe.kernels[args.kernel_index])
+    print(emit_cuda(desc, Variant(args.variant), _parse_block(args.block)))
+    return 0
+
+
+def cmd_regions(args) -> int:
+    from repro.compiler import RegionGeometry, trace_kernel
+    from repro.filters import PIPELINES
+
+    pipe = PIPELINES[args.app](args.size, args.size, _boundary(args.pattern),
+                               args.constant)
+    desc = trace_kernel(pipe.kernels[0])
+    hx, hy = desc.extent
+    geom = RegionGeometry.compute(args.size, args.size, hx, hy,
+                                  _parse_block(args.block))
+    print(f"window {desc.window_size[0]}x{desc.window_size[1]}  "
+          f"grid {geom.grid[0]}x{geom.grid[1]}  "
+          f"BH_L={geom.bh_l} BH_R={geom.bh_r} BH_T={geom.bh_t} BH_B={geom.bh_b}")
+    if geom.degenerate:
+        print("geometry is DEGENERATE: ISP falls back to naive")
+        return 0
+    for region, count in geom.block_counts().items():
+        print(f"  {region.value:5s}: {count:8d} blocks")
+    print(f"  body fraction: {100 * geom.body_fraction():.2f}%")
+    return 0
+
+
+def cmd_devices(args) -> int:
+    from repro.gpu import DEVICES
+
+    for dev in DEVICES.values():
+        print(f"{dev.name}: {dev.arch} CC{dev.compute_capability[0]}."
+              f"{dev.compute_capability[1]}, {dev.sm_count} SMs, "
+              f"{dev.max_warps_per_sm} warps/SM, "
+              f"{dev.registers_per_sm} regs/SM "
+              f"(cap {dev.max_registers_per_thread}/thread), "
+              f"{dev.mem_bandwidth_gbs} GB/s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ISP border-handling reproduction (IPPS 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate a filter and verify vs NumPy")
+    _add_common(p, size_default=64)
+    p.add_argument("--variant", default="isp",
+                   choices=["naive", "isp", "isp_warp", "texture", "shared",
+                            "shared_isp"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("measure", help="estimate variant times/speedups")
+    _add_common(p)
+    p.add_argument("--all-variants", action="store_true")
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("predict", help="evaluate the analytic model")
+    _add_common(p)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("codegen", help="dump generated CUDA C")
+    _add_common(p)
+    p.add_argument("--variant", default="isp",
+                   choices=["naive", "isp", "isp_warp", "texture"])
+    p.add_argument("--kernel-index", type=int, default=0)
+    p.set_defaults(func=cmd_codegen)
+
+    p = sub.add_parser("regions", help="print the ISP region decomposition")
+    _add_common(p)
+    p.set_defaults(func=cmd_regions)
+
+    p = sub.add_parser("devices", help="list simulated GPUs")
+    p.set_defaults(func=cmd_devices)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

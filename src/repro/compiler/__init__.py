@@ -1,0 +1,52 @@
+"""Source-to-source compiler: DSL kernels -> naive / ISP / warp-ISP variants.
+
+The Python analogue of the Hipacc compiler pipeline (paper Section V):
+``frontend`` traces the kernel, ``regions`` derives the partitioning
+geometry (Eq. 2), ``border``/``lowering``/``isp`` generate the variants
+(Listings 1, 3, 5), ``passes`` optimizes, ``registers`` estimates pressure,
+and ``driver`` orchestrates.
+"""
+
+from .border import instructions_per_side
+from .codegen_cuda import emit_cuda
+from .driver import DEFAULT_BLOCK, CompiledKernel, compile_kernel
+from .frontend import FrontendError, KernelDescription, trace_kernel
+from .isp import CompileError, Variant, generate_isp, generate_naive, generate_texture
+from .passes import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+    propagate_copies,
+)
+from .regions import REGION_CHECKS, SWITCH_ORDER, Region, RegionGeometry
+from .shared import generate_shared, shared_tile_bytes
+from .registers import RegisterEstimate, estimate_registers, max_live_registers
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "REGION_CHECKS",
+    "SWITCH_ORDER",
+    "CompileError",
+    "CompiledKernel",
+    "FrontendError",
+    "KernelDescription",
+    "Region",
+    "RegionGeometry",
+    "RegisterEstimate",
+    "Variant",
+    "compile_kernel",
+    "emit_cuda",
+    "eliminate_dead_code",
+    "estimate_registers",
+    "fold_constants",
+    "generate_isp",
+    "generate_naive",
+    "generate_shared",
+    "generate_texture",
+    "shared_tile_bytes",
+    "instructions_per_side",
+    "max_live_registers",
+    "optimize",
+    "propagate_copies",
+    "trace_kernel",
+]

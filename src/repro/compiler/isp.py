@@ -1,0 +1,407 @@
+"""Kernel variant generation: naive, block-grained ISP, warp-grained ISP.
+
+* **Naive** (the paper's baseline): one code path; every pixel access carries
+  every border check its offsets could violate (paper Listing 1 applied to
+  the whole iteration space).
+* **ISP** (paper Listing 3): one "fat kernel" whose entry block dispatches on
+  ``blockIdx`` against the precomputed bounds ``BH_L/R/T/B``; each of the
+  nine regions is a specialized clone of the kernel body carrying only its
+  required checks; the Body clone carries none.
+* **Warp-grained ISP** (paper Listing 5): the dispatch additionally inspects
+  the warp's x-position within the block (``tid.x >> 5``) and re-routes
+  interior warps of L/R/corner blocks to the cheaper T/B/Body clones.
+
+The switch comparisons are tagged ``role="switch"`` and each clone's
+instructions ``region=<name>``, so profiled dynamic counts decompose exactly
+as the paper's Table I does.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from ..ir.builder import IRBuilder
+from ..ir.function import KernelFunction, Param
+from ..ir.instructions import CmpOp, Register, SpecialReg
+from ..ir.types import DataType
+from .frontend import KernelDescription
+from .lowering import (
+    KernelParams,
+    RegionLowering,
+    emit_bounds_guard,
+    emit_coordinates,
+    grid_for,
+    needs_bounds_guard,
+)
+from .regions import REGION_CHECKS, SWITCH_ORDER, Region, RegionGeometry
+
+
+class Variant(enum.Enum):
+    """Implementation variants benchmarked by the paper."""
+
+    NAIVE = "naive"
+    ISP = "isp"
+    ISP_WARP = "isp_warp"
+    #: model-guided choice between NAIVE and ISP — the paper's "isp+m"
+    ISP_MODEL = "isp+m"
+    #: hardware texture-unit border handling (paper Section I's alternative):
+    #: no checks in the kernel, but only CLAMP/CONSTANT are expressible and
+    #: "the access is bound to the image size" — sub-region reads and the
+    #: other patterns are unsupported, which is exactly its limitation.
+    TEXTURE = "texture"
+    #: shared-memory tile staging with full checks during the load
+    SHARED = "shared"
+    #: tile staging whose staging loop is ISP-specialized per region
+    SHARED_ISP = "shared_isp"
+
+
+class CompileError(Exception):
+    pass
+
+
+def _declare_params(desc: KernelDescription) -> list[Param]:
+    params: list[Param] = []
+    seen: set[str] = set()
+    for acc in desc.accessors:
+        img = acc.image
+        if img.name in seen:
+            continue
+        seen.add(img.name)
+        params.append(Param(f"{img.name}_ptr", DataType.U32, is_pointer=True,
+                            elem_dtype=DataType.F32))
+        params.append(Param(f"{img.name}_w", DataType.S32))
+        params.append(Param(f"{img.name}_h", DataType.S32))
+    params.append(Param("out_ptr", DataType.U32, is_pointer=True,
+                        elem_dtype=DataType.F32))
+    params.append(Param("out_w", DataType.S32))
+    params.append(Param("out_h", DataType.S32))
+    return params
+
+
+def _load_params(b: IRBuilder, desc: KernelDescription) -> KernelParams:
+    bases: dict[str, Register] = {}
+    widths: dict[str, Register] = {}
+    heights: dict[str, Register] = {}
+    with b.role("addr"):
+        for acc in desc.accessors:
+            img = acc.image
+            if img.name in bases:
+                continue
+            bases[img.name] = b.ld_param(f"{img.name}_ptr")
+            widths[img.name] = b.ld_param(f"{img.name}_w")
+            heights[img.name] = b.ld_param(f"{img.name}_h")
+        out_base = b.ld_param("out_ptr")
+        out_w = b.ld_param("out_w")
+        out_h = b.ld_param("out_h")
+    return KernelParams(bases, widths, heights, out_base, out_w, out_h)
+
+
+def _emit_region_body(
+    b: IRBuilder,
+    desc: KernelDescription,
+    params: KernelParams,
+    x: Register,
+    y: Register,
+    checks: frozenset[str],
+    region_tag: str,
+    exit_label: str,
+    *,
+    sign_filter: bool = False,
+) -> None:
+    with b.region(region_tag):
+        lowering = RegionLowering(b, desc, params, x, y, checks,
+                                  sign_filter=sign_filter)
+        value = lowering.lower(desc.expr)
+        lowering.store_output(value)
+        b.br(exit_label)
+
+
+def _entry(
+    b: IRBuilder, desc: KernelDescription, block: tuple[int, int]
+) -> tuple[KernelParams, Register, Register, str]:
+    """Common prologue: params, coordinates, optional bounds guard.
+
+    Returns (params, x, y, exit_label); the builder is left in the block
+    where region dispatch / the kernel body should continue.
+    """
+    b.new_block("entry")
+    params = _load_params(b, desc)
+    x, y = emit_coordinates(b)
+    exit_label = "kernel_exit"
+    if needs_bounds_guard(desc.width, desc.height, block):
+        cont = b.fresh_label("in_bounds")
+        emit_bounds_guard(b, x, y, params.out_width, params.out_height,
+                          exit_label, cont)
+        b.new_block(cont)
+    return params, x, y, exit_label
+
+
+def _finish(b: IRBuilder, exit_label: str) -> KernelFunction:
+    b.new_block(exit_label)
+    b.exit()
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Naive variant
+# ---------------------------------------------------------------------------
+
+
+def generate_naive(
+    desc: KernelDescription, block: tuple[int, int], *, sign_filter: bool = False
+) -> KernelFunction:
+    """Single-path kernel with full border handling everywhere."""
+    b = IRBuilder(f"{desc.name}_naive", _declare_params(desc))
+    params, x, y, exit_label = _entry(b, desc, block)
+    hx, hy = desc.extent
+    checks = set()
+    if hx > 0:
+        checks |= {"left", "right"}
+    if hy > 0:
+        checks |= {"top", "bottom"}
+    _emit_region_body(b, desc, params, x, y, frozenset(checks), "naive",
+                      exit_label, sign_filter=sign_filter)
+    func = _finish(b, exit_label)
+    func.metadata.update(variant=Variant.NAIVE, block=block, sign_filter=sign_filter,
+                         grid=grid_for(desc.width, desc.height, block))
+    return func
+
+
+# ---------------------------------------------------------------------------
+# Texture variant
+# ---------------------------------------------------------------------------
+
+#: boundary pattern -> CUDA unnormalized-coordinate texture address mode
+_TEX_MODES = {
+    "clamp": "clamp",      # cudaAddressModeClamp
+    "constant": "border",  # cudaAddressModeBorder
+}
+
+
+def generate_texture(
+    desc: KernelDescription, block: tuple[int, int]
+) -> KernelFunction:
+    """Single-path kernel whose reads go through the texture unit.
+
+    The TMU performs the border handling in hardware, so no checks are
+    emitted at all — but only the Clamp and Constant patterns map onto the
+    address modes CUDA offers for unnormalized coordinates (the paper's
+    "less flexible compared to other software-based approaches").
+    """
+    for acc in desc.accessors:
+        if acc.boundary.needs_checks and acc.boundary.value not in _TEX_MODES:
+            raise CompileError(
+                f"{desc.name}: texture hardware cannot express the "
+                f"{acc.boundary.value!r} border pattern (only clamp/constant)"
+            )
+    b = IRBuilder(f"{desc.name}_texture", _declare_params(desc))
+    params, x, y, exit_label = _entry(b, desc, block)
+    with b.region("naive"):
+        lowering = RegionLowering(b, desc, params, x, y, frozenset(),
+                                  use_texture=True)
+        value = lowering.lower(desc.expr)
+        lowering.store_output(value)
+        b.br(exit_label)
+    func = _finish(b, exit_label)
+    func.metadata.update(variant=Variant.TEXTURE, block=block,
+                         grid=grid_for(desc.width, desc.height, block))
+    return func
+
+
+# ---------------------------------------------------------------------------
+# ISP variants
+# ---------------------------------------------------------------------------
+
+
+def _warp_bounds(
+    geom: RegionGeometry, block: tuple[int, int]
+) -> tuple[int, int, int]:
+    """(warps_per_row, W_L, W_R) for warp-grained dispatch.
+
+    ``W_L`` is the largest warp-x index (within a block row) that still needs
+    left checks in a leftmost block; ``W_R`` the smallest warp-x index that
+    needs right checks in a rightmost block (paper Listing 5 notation).
+    """
+    tx, _ = block
+    warps_per_row = tx // 32
+    w_l = math.ceil(geom.hx / 32) - 1
+    # Right side: lanes with x-position >= tx - hx within the block need
+    # right checks; their warp index is (tx - hx) // 32 and larger.
+    w_r = (tx - geom.hx) // 32
+    return warps_per_row, w_l, w_r
+
+
+def generate_isp(
+    desc: KernelDescription,
+    block: tuple[int, int],
+    *,
+    warp_grained: bool = False,
+    sign_filter: bool = False,
+) -> KernelFunction:
+    """Fat kernel with block-grained (Listing 3) or warp-grained (Listing 5)
+    region dispatch."""
+    hx, hy = desc.extent
+    geom = RegionGeometry.compute(desc.width, desc.height, hx, hy, block)
+    if geom.degenerate:
+        raise CompileError(
+            f"{desc.name}: image {desc.width}x{desc.height} too small for "
+            f"window extent {desc.extent} with block {block}; ISP regions "
+            "would overlap — use the naive variant"
+        )
+    suffix = "isp_warp" if warp_grained else "isp"
+    b = IRBuilder(f"{desc.name}_{suffix}", _declare_params(desc))
+    params, x, y, exit_label = _entry(b, desc, block)
+
+    feasible = geom.feasible_regions()
+
+    tx, _ = block
+    # Warp-grained dispatch is only meaningful (and only derived correctly)
+    # when block rows span multiple warps, the image tiles exactly in x, and
+    # the border block columns are single (hx <= tx, always true for the
+    # paper's window/block combinations).
+    use_warp = (
+        warp_grained
+        and tx % 32 == 0
+        and tx > 32
+        and hx > 0
+        and desc.width % tx == 0
+        and geom.bh_l <= 1
+        and geom.bh_r >= geom.grid[0] - 1
+    )
+    if warp_grained and not use_warp:
+        # Warp-grained dispatch degenerates to block-grained when each block
+        # row is a single warp (e.g. 32x4 blocks) — the warp index carries no
+        # extra information. Record the fallback in metadata.
+        pass
+
+    # The Body clone is always emitted: it is the dispatch chain's final
+    # fallthrough even when the grid has no interior blocks (narrow grids).
+    # Warp-grained dispatch additionally re-routes into T/B clones, which
+    # must then exist even if no *block* is classified T/B.
+    emit_set = set(feasible) | {Region.BODY}
+    if use_warp:
+        for src, (_, _, target) in _WARP_REROUTE_TARGETS.items():
+            if src in emit_set:
+                emit_set.add(target)
+    emit_regions = [r for r in SWITCH_ORDER if r in emit_set]
+    region_labels = {r: f"region_{r.value.lower()}" for r in emit_regions}
+
+    with b.role("switch"):
+        ctaid_x = b.special(SpecialReg.CTAID_X)
+        ctaid_y = b.special(SpecialReg.CTAID_Y)
+        warp_x: Register | None = None
+        if use_warp:
+            tid_x = b.special(SpecialReg.TID_X)
+            warp_x = b.shr(tid_x, 5)
+        _emit_switch_chain(b, geom, region_labels, set(feasible), ctaid_x,
+                           ctaid_y, warp_x if use_warp else None, block)
+
+    for region in emit_regions:
+        b.new_block(region_labels[region])
+        sides = set(REGION_CHECKS[region])
+        if hx == 0:
+            sides -= {"left", "right"}
+        if hy == 0:
+            sides -= {"top", "bottom"}
+        _emit_region_body(b, desc, params, x, y, frozenset(sides),
+                          region.value, exit_label, sign_filter=sign_filter)
+
+    func = _finish(b, exit_label)
+    func.metadata.update(
+        variant=Variant.ISP_WARP if warp_grained else Variant.ISP,
+        block=block,
+        sign_filter=sign_filter,
+        grid=geom.grid,
+        geometry=geom,
+        warp_grained_effective=use_warp,
+    )
+    return func
+
+
+#: Warp-grained re-routes (paper Listing 5): interior warps of a matched
+#: block go to the cheaper region instead. (cmp, bound source, target).
+_WARP_REROUTE_TARGETS: dict[Region, tuple[CmpOp, str, Region]] = {
+    Region.TL: (CmpOp.GT, "w_l", Region.T),
+    Region.TR: (CmpOp.LT, "w_r", Region.T),
+    Region.BL: (CmpOp.GT, "w_l", Region.B),
+    Region.BR: (CmpOp.LT, "w_r", Region.B),
+    Region.L: (CmpOp.GT, "w_l", Region.BODY),
+    Region.R: (CmpOp.LT, "w_r", Region.BODY),
+}
+
+
+def _emit_switch_chain(
+    b: IRBuilder,
+    geom: RegionGeometry,
+    labels: dict[Region, str],
+    feasible: set[Region],
+    ctaid_x: Register,
+    ctaid_y: Register,
+    warp_x: Register | None,
+    block: tuple[int, int],
+) -> None:
+    """The Listing 3 / Listing 5 dispatch chain over feasible regions.
+
+    Each test either jumps to its region (possibly refined by the warp index)
+    or falls through to the next test; the final fallthrough is Body.
+    """
+
+    def tests():
+        # (region, [(reg, cmp, bound), ...]) in Listing 3 order.
+        yield Region.TL, [(ctaid_x, CmpOp.LT, geom.bh_l), (ctaid_y, CmpOp.LT, geom.bh_t)]
+        yield Region.TR, [(ctaid_x, CmpOp.GE, geom.bh_r), (ctaid_y, CmpOp.LT, geom.bh_t)]
+        yield Region.T, [(ctaid_y, CmpOp.LT, geom.bh_t)]
+        yield Region.BL, [(ctaid_y, CmpOp.GE, geom.bh_b), (ctaid_x, CmpOp.LT, geom.bh_l)]
+        yield Region.BR, [(ctaid_y, CmpOp.GE, geom.bh_b), (ctaid_x, CmpOp.GE, geom.bh_r)]
+        yield Region.B, [(ctaid_y, CmpOp.GE, geom.bh_b)]
+        yield Region.R, [(ctaid_x, CmpOp.GE, geom.bh_r)]
+        yield Region.L, [(ctaid_x, CmpOp.LT, geom.bh_l)]
+
+    warps_per_row, w_l, w_r = _warp_bounds(geom, block)
+    #: warp-refined targets: inner warps of these regions re-route to cheaper
+    #: regions, exactly as paper Listing 5 (TL->T, TR->T, BL->B, BR->B,
+    #: L->Body, R->Body).
+    warp_reroute = {
+        Region.TL: (CmpOp.GT, w_l, Region.T),
+        Region.TR: (CmpOp.LT, w_r, Region.T),
+        Region.BL: (CmpOp.GT, w_l, Region.B),
+        Region.BR: (CmpOp.LT, w_r, Region.B),
+        Region.L: (CmpOp.GT, w_l, Region.BODY),
+        Region.R: (CmpOp.LT, w_r, Region.BODY),
+    }
+
+    for region, conds in tests():
+        if region not in feasible:
+            continue
+        target = labels[region]
+        reroute = warp_reroute.get(region) if warp_x is not None else None
+        if reroute is not None and labels.get(reroute[2]) is not None:
+            cmp, bound, cheaper_region = reroute
+            # Matched blocks take a refinement block that inspects the warp's
+            # x-position and re-routes interior warps to the cheaper region
+            # (paper Listing 5's nested `if (warpID.x ...) goto ...;`).
+            refine = b.fresh_label(f"warp_{region.value.lower()}")
+            refine_blk = b.function.new_block(refine)
+            _emit_region_test(b, conds, refine)
+            cont = b.block  # next test continues in the fallthrough block
+            b.set_block(refine_blk)
+            q = b.setp(cmp, warp_x, bound)
+            b.cbr(q, labels[cheaper_region], target)
+            b.set_block(cont)
+        else:
+            _emit_region_test(b, conds, target)
+    b.br(labels[Region.BODY])
+
+
+def _emit_region_test(b: IRBuilder, conds, target: str) -> None:
+    """Emit `if (all conds) goto target;` falling through to a fresh block
+    where the next test continues."""
+    preds = [b.setp(cmp, reg, bound) for reg, cmp, bound in conds]
+    p = preds[0]
+    if len(preds) == 2:
+        # NVCC emits `a && b` as two setp plus one and.pred for cheap operands.
+        p = b.and_(preds[0], preds[1], DataType.PRED)
+    nxt = b.fresh_label("switch")
+    b.cbr(p, target, nxt)
+    b.new_block(nxt)

@@ -1,0 +1,294 @@
+"""Lowering: DSL expression AST -> virtual-ISA instructions.
+
+One :class:`RegionLowering` instance lowers the kernel body for a single ISP
+region (or for the whole image, in the naive variant), emitting only the
+border checks that region requires. Expression nodes are memoized by object
+identity, so user-shared subexpressions lower once (CSE); pixel accesses are
+memoized by (accessor, dx, dy), so the same tap read through the same
+accessor never loads twice.
+
+Address math follows the standard row-major scheme the paper's Listing 1
+implies: ``addr = base + 4 * (yy * width + xx)``, with the border mapping
+applied to ``xx``/``yy`` first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from ..dsl.boundary import Boundary
+from ..dsl.expr import BinOp, Const, Expr, PixelAccess, UnOp
+from ..ir.builder import IRBuilder
+from ..ir.instructions import CmpOp, Register
+from ..ir.types import DataType
+from .border import combine_valid, emit_axis_checks
+from .frontend import KernelDescription
+
+#: log2(e) — NVCC lowers expf(x) to ex2(x * LOG2E).
+_LOG2E = 1.4426950408889634
+#: ln(2) — logf(x) = lg2(x) * LN2.
+_LN2 = 0.6931471805599453
+
+
+class LoweringError(Exception):
+    pass
+
+
+@dataclasses.dataclass
+class KernelParams:
+    """Registers holding the kernel parameters inside the function body."""
+
+    bases: dict[str, Register]  # image name -> base pointer (u32, bytes)
+    widths: dict[str, Register]  # image name -> width (s32)
+    heights: dict[str, Register]  # image name -> height (s32)
+    out_base: Register
+    out_width: Register
+    out_height: Register
+
+
+class RegionLowering:
+    """Lowers one kernel body under a fixed set of border-check sides."""
+
+    def __init__(
+        self,
+        b: IRBuilder,
+        desc: KernelDescription,
+        params: KernelParams,
+        x: Register,
+        y: Register,
+        checks: frozenset[str],
+        *,
+        sign_filter: bool = False,
+        use_texture: bool = False,
+    ):
+        self.b = b
+        self.desc = desc
+        self.params = params
+        self.x = x
+        self.y = y
+        self.checks = checks
+        #: paper-faithful default (False): every access in a checked region
+        #: carries all of the region's checks, exactly as Listing 1 applies
+        #: the full border handling to every read in the window. With True,
+        #: checks are elided for taps whose static offset sign proves them
+        #: unnecessary (e.g. a dx >= 0 tap can never cross the left border) —
+        #: an additional optimization measured by the ablation benchmark.
+        self.sign_filter = sign_filter
+        #: route pixel reads through the texture unit (hardware border
+        #: handling; only clamp/constant — enforced by generate_texture)
+        self.use_texture = use_texture
+        self._expr_memo: dict[int, Register] = {}
+        self._access_memo: dict[tuple[int, int, int], Register] = {}
+        # per-region cache of size-derived check invariants (NVCC-style CSE)
+        self._check_consts: dict = {}
+
+    # ------------------------------------------------------------ expressions
+
+    def lower(self, root: Expr) -> Register:
+        """Lower the whole tree in *creation order* (user program order).
+
+        Creation order is a topological order by construction (operands are
+        created before the node combining them), and it matches the
+        accumulation-loop order of the user's ``kernel()`` body — shared
+        subexpressions die at their last textual use instead of living
+        across entire reduction chains, keeping register pressure realistic
+        (see :class:`repro.dsl.expr.Expr`).
+        """
+        from ..dsl.expr import walk
+
+        nodes = sorted(walk(root), key=lambda n: n.seq)
+        for node in nodes:
+            if id(node) not in self._expr_memo:
+                self._expr_memo[id(node)] = self._lower_node(node)
+        return self._expr_memo[id(root)]
+
+    def _lower_memoized(self, expr: Expr) -> Register:
+        memo = self._expr_memo.get(id(expr))
+        if memo is not None:
+            return memo
+        reg = self._lower_node(expr)
+        self._expr_memo[id(expr)] = reg
+        return reg
+
+    def _lower_node(self, expr: Expr) -> Register:
+        b = self.b
+        if isinstance(expr, Const):
+            with b.role("kernel"):
+                return b.mov(b.imm(expr.value, expr.dtype), expr.dtype)
+        if isinstance(expr, PixelAccess):
+            return self._lower_access(expr)
+        if isinstance(expr, BinOp):
+            lhs = self._lower_memoized(expr.lhs)
+            rhs = self._lower_memoized(expr.rhs)
+            with b.role("kernel"):
+                op = expr.op
+                if op == "add":
+                    return b.add(lhs, rhs)
+                if op == "sub":
+                    return b.sub(lhs, rhs)
+                if op == "mul":
+                    return b.mul(lhs, rhs)
+                if op == "div":
+                    return b.div(lhs, rhs)
+                if op == "min":
+                    return b.min(lhs, rhs)
+                if op == "max":
+                    return b.max(lhs, rhs)
+            raise LoweringError(f"unknown binary op {expr.op!r}")
+        if isinstance(expr, UnOp):
+            src = self._lower_memoized(expr.operand)
+            with b.role("kernel"):
+                op = expr.op
+                if op == "neg":
+                    return b.neg(src)
+                if op == "abs":
+                    return b.abs(src)
+                if op == "sqrt":
+                    return b.sqrt(src)
+                if op == "rsqrt":
+                    return b.rsqrt(src)
+                if op == "rcp":
+                    return b.rcp(src)
+                if op == "exp":
+                    scaled = b.mul(src, b.imm(_LOG2E, DataType.F32))
+                    return b.ex2(scaled)
+                if op == "exp2":
+                    return b.ex2(src)
+                if op == "log":
+                    lg = b.lg2(src)
+                    return b.mul(lg, b.imm(_LN2, DataType.F32))
+                if op == "log2":
+                    return b.lg2(src)
+                if op == "sin":
+                    return b.sin(src)
+                if op == "cos":
+                    return b.cos(src)
+            raise LoweringError(f"unknown unary op {expr.op!r}")
+        raise LoweringError(f"cannot lower expression node {expr!r}")
+
+    # ----------------------------------------------------------- pixel access
+
+    def _lower_access(self, access: PixelAccess) -> Register:
+        key = (id(access.accessor), access.dx, access.dy)
+        memo = self._access_memo.get(key)
+        if memo is not None:
+            return memo
+
+        b = self.b
+        acc = access.accessor
+        img = acc.image
+        boundary = acc.boundary
+
+        with b.role("addr"):
+            xx = b.add(self.x, access.dx) if access.dx else self.x
+            yy = b.add(self.y, access.dy) if access.dy else self.y
+
+        if self.use_texture:
+            from ..dsl.boundary import Boundary as _B
+
+            mode = "border" if boundary is _B.CONSTANT else "clamp"
+            with b.role("kernel"):
+                value = b.tex(img.name, xx, yy, mode=mode,
+                              border_value=acc.constant)
+            self._access_memo[key] = value
+            return value
+
+        # Which sides does this access check? All of the region's sides by
+        # default (paper Listing 1); with sign filtering, only the sides the
+        # tap's static offset can actually violate (output coordinates are
+        # in-image, so x+dx < 0 requires dx < 0, etc.). The border mappings
+        # are identity for in-bounds coordinates, so both modes agree.
+        if self.sign_filter:
+            check_left = "left" in self.checks and access.dx < 0
+            check_right = "right" in self.checks and access.dx > 0
+            check_top = "top" in self.checks and access.dy < 0
+            check_bottom = "bottom" in self.checks and access.dy > 0
+        else:
+            check_left = "left" in self.checks
+            check_right = "right" in self.checks
+            check_top = "top" in self.checks
+            check_bottom = "bottom" in self.checks
+
+        bx = emit_axis_checks(
+            b, xx, self.params.widths[img.name], boundary,
+            check_low=check_left, check_high=check_right,
+            consts=self._check_consts,
+        )
+        by = emit_axis_checks(
+            b, yy, self.params.heights[img.name], boundary,
+            check_low=check_top, check_high=check_bottom,
+            consts=self._check_consts,
+        )
+        valid = combine_valid(b, bx.valid, by.valid)
+
+        with b.role("addr"):
+            idx = b.mad(by.coord, self.params.widths[img.name], bx.coord)
+            byte_off = b.shl(idx, 2)
+            addr = b.add(
+                self.params.bases[img.name], b.cvt(byte_off, DataType.U32), DataType.U32
+            )
+        with b.role("kernel"):
+            value = b.ld(addr, DataType.F32)
+            if valid is not None:
+                value = b.selp(valid, value, b.imm(acc.constant, DataType.F32))
+
+        self._access_memo[key] = value
+        return value
+
+    # ----------------------------------------------------------------- output
+
+    def store_output(self, value: Register) -> None:
+        b = self.b
+        with b.role("addr"):
+            idx = b.mad(self.y, self.params.out_width, self.x)
+            byte_off = b.shl(idx, 2)
+            addr = b.add(
+                self.params.out_base, b.cvt(byte_off, DataType.U32), DataType.U32
+            )
+        with b.role("kernel"):
+            b.st(addr, value, DataType.F32)
+
+
+def emit_coordinates(b: IRBuilder) -> tuple[Register, Register]:
+    """x = ctaid.x * ntid.x + tid.x; y = ctaid.y * ntid.y + tid.y."""
+    from ..ir.instructions import SpecialReg
+
+    with b.role("addr"):
+        tid_x = b.special(SpecialReg.TID_X)
+        tid_y = b.special(SpecialReg.TID_Y)
+        ctaid_x = b.special(SpecialReg.CTAID_X)
+        ctaid_y = b.special(SpecialReg.CTAID_Y)
+        ntid_x = b.special(SpecialReg.NTID_X)
+        ntid_y = b.special(SpecialReg.NTID_Y)
+        x = b.mad(ctaid_x, ntid_x, tid_x)
+        y = b.mad(ctaid_y, ntid_y, tid_y)
+    return x, y
+
+
+def emit_bounds_guard(
+    b: IRBuilder,
+    x: Register,
+    y: Register,
+    out_w: Register,
+    out_h: Register,
+    exit_label: str,
+    continue_label: str,
+) -> None:
+    """Early-exit threads whose output pixel is outside the image (only
+    emitted when the grid over-covers the image)."""
+    with b.role("addr"):
+        px = b.setp(CmpOp.GE, x, out_w)
+        py = b.setp(CmpOp.GE, y, out_h)
+        p = b.or_(px, py, DataType.PRED)
+        b.cbr(p, exit_label, continue_label)
+
+
+def needs_bounds_guard(width: int, height: int, block: tuple[int, int]) -> bool:
+    tx, ty = block
+    return (width % tx != 0) or (height % ty != 0)
+
+
+def grid_for(width: int, height: int, block: tuple[int, int]) -> tuple[int, int]:
+    return math.ceil(width / block[0]), math.ceil(height / block[1])

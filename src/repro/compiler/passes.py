@@ -1,0 +1,189 @@
+"""Post-codegen IR optimization passes.
+
+The paper observes (Section IV-A.1) that NVCC removes much of the apparent
+border-check redundancy of the naive source via common-subexpression
+elimination — "many of them share common sub-expressions that can be
+optimized by the NVCC compiler". Our lowering memoizes shared DSL nodes
+(structural CSE at codegen time); the passes here clean up what codegen
+cannot see:
+
+* **constant folding** — arithmetic on immediates (mask coefficients,
+  compile-time bounds) collapses to ``mov`` of a folded immediate, then
+  copy-propagates away;
+* **copy propagation** — ``mov r2, r1`` forwards ``r1`` to users of ``r2``
+  (single-definition destinations only, so loop-carried registers of the
+  Repeat pattern are untouched);
+* **dead code elimination** — instructions whose results are never used are
+  dropped (e.g. a region clone's unused parameter loads).
+
+Each pass is idempotent and the pipeline iterates to a fixed point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..ir.function import KernelFunction
+from ..ir.instructions import Immediate, Instruction, Opcode, Register
+from ..ir.types import DataType
+
+
+def optimize(func: KernelFunction, *, max_rounds: int = 8) -> KernelFunction:
+    """Run the pass pipeline to a fixed point (in place) and return ``func``."""
+    for _ in range(max_rounds):
+        changed = False
+        changed |= fold_constants(func)
+        changed |= propagate_copies(func)
+        changed |= eliminate_dead_code(func)
+        if not changed:
+            break
+    return func
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+_FOLDABLE = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.SHR: lambda a, b: a >> b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+}
+
+
+def fold_constants(func: KernelFunction) -> bool:
+    """Replace all-immediate arithmetic with a ``mov`` of the folded value."""
+    changed = False
+    for block in func.blocks:
+        for i, instr in enumerate(block.instructions):
+            if instr.dst is None or instr.op not in _FOLDABLE:
+                continue
+            if not all(isinstance(s, Immediate) for s in instr.srcs):
+                continue
+            dtype = instr.dtype
+            vals = [s.value for s in instr.srcs]
+            if dtype is DataType.F32:
+                if instr.op in (Opcode.SHL, Opcode.SHR, Opcode.AND, Opcode.OR,
+                                Opcode.XOR):
+                    continue
+                folded = float(np.float32(_FOLDABLE[instr.op](
+                    np.float32(vals[0]), np.float32(vals[1]))))
+            elif dtype.is_integer:
+                folded = _FOLDABLE[instr.op](int(vals[0]), int(vals[1]))
+            else:
+                continue
+            block.instructions[i] = Instruction(
+                Opcode.MOV, dtype, instr.dst, [Immediate(folded, dtype)],
+                region=instr.region, role=instr.role,
+            )
+            changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Copy propagation
+# ---------------------------------------------------------------------------
+
+
+def _definition_counts(func: KernelFunction) -> Counter:
+    counts: Counter = Counter()
+    for instr in func.instructions():
+        if instr.dst is not None:
+            counts[instr.dst.name] += 1
+    return counts
+
+
+def propagate_copies(func: KernelFunction) -> bool:
+    """Forward `mov dst, src` (register or immediate source) to users of
+    ``dst`` when ``dst`` has exactly one definition in the function.
+
+    Single-definition is a conservative dominance proxy: our codegen emits
+    straight-line region bodies where every fresh register has one def; the
+    only multiply-defined registers are Repeat's loop-carried coordinates,
+    which must not be propagated.
+    """
+    defs = _definition_counts(func)
+    replace: dict[str, object] = {}
+    for instr in func.instructions():
+        if (
+            instr.op is Opcode.MOV
+            and instr.special is None
+            and instr.dst is not None
+            and defs[instr.dst.name] == 1
+            and len(instr.srcs) == 1
+        ):
+            src = instr.srcs[0]
+            if isinstance(src, Register):
+                if defs[src.name] == 1 and src.dtype is instr.dst.dtype:
+                    replace[instr.dst.name] = src
+            elif isinstance(src, Immediate) and src.dtype is instr.dst.dtype:
+                replace[instr.dst.name] = src
+
+    if not replace:
+        return False
+
+    def resolve(op):
+        seen = set()
+        while isinstance(op, Register) and op.name in replace:
+            if op.name in seen:  # defensive: no cycles expected
+                break
+            seen.add(op.name)
+            op = replace[op.name]
+        return op
+
+    changed = False
+    for block in func.blocks:
+        for instr in block:
+            new_srcs = tuple(resolve(s) for s in instr.srcs)
+            if new_srcs != tuple(instr.srcs):
+                instr.srcs = new_srcs
+                changed = True
+            if instr.pred is not None:
+                new_pred = resolve(instr.pred)
+                if isinstance(new_pred, Register) and new_pred is not instr.pred:
+                    instr.pred = new_pred
+                    changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_code(func: KernelFunction) -> bool:
+    """Drop instructions whose destination is never read.
+
+    Stores, branches and ``exit`` are always live. Name-based use counting is
+    sound for multiply-defined registers (any read keeps every definition).
+    Iterates within itself until no instruction dies.
+    """
+    changed = False
+    while True:
+        used: set[str] = set()
+        for instr in func.instructions():
+            for reg in instr.used_registers():
+                used.add(reg.name)
+        removed = False
+        for block in func.blocks:
+            kept = []
+            for instr in block.instructions:
+                side_effect = instr.op in (Opcode.ST, Opcode.BRA, Opcode.EXIT)
+                if side_effect or instr.dst is None or instr.dst.name in used:
+                    kept.append(instr)
+                else:
+                    removed = True
+            block.instructions = kept
+        if not removed:
+            break
+        changed = True
+    return changed

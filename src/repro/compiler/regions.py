@@ -1,0 +1,230 @@
+"""Region geometry for iteration space partitioning.
+
+Implements Section III-C of the paper: given image size ``sx x sy``, window
+half-extents ``(hx, hy)`` and block size ``tx x ty``, derive the block-index
+bounds ``BH_L, BH_R, BH_T, BH_B`` (paper Eq. 2) that split the grid into the
+nine regions of paper Figure 1::
+
+        TL |  T  | TR
+        ---+-----+---
+        L  | Body|  R
+        ---+-----+---
+        BL |  B  | BR
+
+A block needs *left* checks iff some thread in it can read ``x < 0``, i.e.
+its leftmost output column is ``< hx``; analogously for the other sides. The
+bounds below are exact (property-tested against a brute-force per-block
+window analysis), which makes the representative-block profiling sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+
+class Region(enum.Enum):
+    """The nine regions, in the switch order of paper Listing 3."""
+
+    TL = "TL"
+    TR = "TR"
+    T = "T"
+    BL = "BL"
+    BR = "BR"
+    B = "B"
+    R = "R"
+    L = "L"
+    BODY = "Body"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Which border sides each region checks (subset of {"left","right","top","bottom"}).
+REGION_CHECKS: dict[Region, frozenset[str]] = {
+    Region.TL: frozenset({"left", "top"}),
+    Region.T: frozenset({"top"}),
+    Region.TR: frozenset({"right", "top"}),
+    Region.L: frozenset({"left"}),
+    Region.BODY: frozenset(),
+    Region.R: frozenset({"right"}),
+    Region.BL: frozenset({"left", "bottom"}),
+    Region.B: frozenset({"bottom"}),
+    Region.BR: frozenset({"right", "bottom"}),
+}
+
+#: Listing 3 evaluates region tests in this order; the position determines
+#: how many switch comparisons a block executes before dispatch.
+SWITCH_ORDER = [
+    Region.TL,
+    Region.TR,
+    Region.T,
+    Region.BL,
+    Region.BR,
+    Region.B,
+    Region.R,
+    Region.L,
+    Region.BODY,
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionGeometry:
+    """Partitioning of a grid into the nine ISP regions."""
+
+    width: int
+    height: int
+    hx: int
+    hy: int
+    block: tuple[int, int]
+    grid: tuple[int, int]
+    bh_l: int  # block columns [0, bh_l) need left checks
+    bh_r: int  # block columns [bh_r, gx) need right checks
+    bh_t: int  # block rows [0, bh_t) need top checks
+    bh_b: int  # block rows [bh_b, gy) need bottom checks
+
+    @classmethod
+    def compute(
+        cls, width: int, height: int, hx: int, hy: int, block: tuple[int, int]
+    ) -> "RegionGeometry":
+        tx, ty = block
+        if min(width, height, tx, ty) <= 0 or hx < 0 or hy < 0:
+            raise ValueError("invalid geometry parameters")
+        gx = math.ceil(width / tx)
+        gy = math.ceil(height / ty)
+        # Left: block column i covers output x >= i*tx; needs left checks iff
+        # i*tx - hx < 0.
+        bh_l = min(gx, math.ceil(hx / tx)) if hx > 0 else 0
+        # Top analogously.
+        bh_t = min(gy, math.ceil(hy / ty)) if hy > 0 else 0
+        # Right: block column i's largest in-image output x is
+        # min((i+1)*tx, width) - 1; needs right checks iff that + hx >= width.
+        if hx > 0:
+            bh_r = next(
+                (
+                    i
+                    for i in range(gx)
+                    if min((i + 1) * tx, width) - 1 + hx >= width
+                ),
+                gx,
+            )
+        else:
+            bh_r = gx
+        if hy > 0:
+            bh_b = next(
+                (
+                    j
+                    for j in range(gy)
+                    if min((j + 1) * ty, height) - 1 + hy >= height
+                ),
+                gy,
+            )
+        else:
+            bh_b = gy
+        return cls(width, height, hx, hy, (tx, ty), (gx, gy), bh_l, bh_r, bh_t, bh_b)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def degenerate(self) -> bool:
+        """True when some block needs checks on both opposite sides of an
+        axis (image too small for the window/block combination) — the nine-
+        region scheme cannot express that block, so ISP must fall back."""
+        overlap_x = self.hx > 0 and self.bh_l > self.bh_r
+        overlap_y = self.hy > 0 and self.bh_t > self.bh_b
+        return overlap_x or overlap_y
+
+    def classify(self, bx: int, by: int) -> Region:
+        """Region of block (bx, by) — the runtime switch of Listing 3."""
+        gx, gy = self.grid
+        if not (0 <= bx < gx and 0 <= by < gy):
+            raise ValueError(f"block ({bx}, {by}) outside grid {self.grid}")
+        left = bx < self.bh_l
+        right = bx >= self.bh_r
+        top = by < self.bh_t
+        bottom = by >= self.bh_b
+        if left and top:
+            return Region.TL
+        if right and top:
+            return Region.TR
+        if top:
+            return Region.T
+        if left and bottom:
+            return Region.BL
+        if right and bottom:
+            return Region.BR
+        if bottom:
+            return Region.B
+        if right:
+            return Region.R
+        if left:
+            return Region.L
+        return Region.BODY
+
+    def block_counts(self) -> dict[Region, int]:
+        """Exact number of blocks per region (paper Eq. 8)."""
+        gx, gy = self.grid
+        nxl = self.bh_l
+        nxr = gx - self.bh_r
+        nxm = gx - nxl - nxr
+        nyt = self.bh_t
+        nyb = gy - self.bh_b
+        nym = gy - nyt - nyb
+        counts = {
+            Region.TL: nxl * nyt,
+            Region.T: nxm * nyt,
+            Region.TR: nxr * nyt,
+            Region.L: nxl * nym,
+            Region.BODY: nxm * nym,
+            Region.R: nxr * nym,
+            Region.BL: nxl * nyb,
+            Region.B: nxm * nyb,
+            Region.BR: nxr * nyb,
+        }
+        assert sum(counts.values()) == gx * gy
+        return counts
+
+    def body_fraction(self) -> float:
+        """Fraction of blocks executing the Body region (paper Figure 3)."""
+        counts = self.block_counts()
+        return counts[Region.BODY] / max(1, self.grid[0] * self.grid[1])
+
+    def representative(self, region: Region) -> tuple[int, int] | None:
+        """A block index belonging to ``region``, or None if the region is
+        empty. Used for representative-block profiling."""
+        gx, gy = self.grid
+        if self.degenerate:
+            raise ValueError("degenerate geometry has no 9-region decomposition")
+        x_for = {
+            "left": 0 if self.bh_l > 0 else None,
+            "mid": self.bh_l if self.bh_l < self.bh_r else None,
+            "right": self.bh_r if self.bh_r < gx else None,
+        }
+        y_for = {
+            "top": 0 if self.bh_t > 0 else None,
+            "mid": self.bh_t if self.bh_t < self.bh_b else None,
+            "bottom": self.bh_b if self.bh_b < gy else None,
+        }
+        picks = {
+            Region.TL: ("left", "top"),
+            Region.T: ("mid", "top"),
+            Region.TR: ("right", "top"),
+            Region.L: ("left", "mid"),
+            Region.BODY: ("mid", "mid"),
+            Region.R: ("right", "mid"),
+            Region.BL: ("left", "bottom"),
+            Region.B: ("mid", "bottom"),
+            Region.BR: ("right", "bottom"),
+        }
+        xk, yk = picks[region]
+        x, y = x_for[xk], y_for[yk]
+        if x is None or y is None:
+            return None
+        assert self.classify(x, y) is region
+        return (x, y)
+
+    def feasible_regions(self) -> list[Region]:
+        """Regions with at least one block, in switch order."""
+        counts = self.block_counts()
+        return [r for r in SWITCH_ORDER if counts[r] > 0]

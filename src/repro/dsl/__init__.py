@@ -1,0 +1,71 @@
+"""Hipacc-like image processing DSL, embedded in Python.
+
+Mirrors the programming model of paper Listing 4: images, masks/domains,
+boundary conditions, accessors, iteration spaces, and user kernels with
+``iterate``/``convolve``.
+"""
+
+from .accessor import Accessor
+from .boundary import Boundary, BoundaryCondition, reference_index
+from .expr import (
+    BinOp,
+    Const,
+    Expr,
+    PixelAccess,
+    UnOp,
+    cosf,
+    exp2f,
+    expf,
+    fabsf,
+    fmaxf,
+    fminf,
+    log2f,
+    logf,
+    pixel_accesses,
+    powf,
+    rcpf,
+    rsqrtf,
+    sinf,
+    sqrtf,
+    walk,
+    wrap,
+)
+from .image import Image
+from .iterationspace import IterationSpace
+from .kernel import Kernel
+from .mask import Domain, Mask
+from .pipeline import Pipeline
+
+__all__ = [
+    "Accessor",
+    "BinOp",
+    "Boundary",
+    "BoundaryCondition",
+    "Const",
+    "Domain",
+    "Expr",
+    "Image",
+    "IterationSpace",
+    "Kernel",
+    "Mask",
+    "Pipeline",
+    "PixelAccess",
+    "UnOp",
+    "cosf",
+    "exp2f",
+    "expf",
+    "fabsf",
+    "fmaxf",
+    "fminf",
+    "log2f",
+    "logf",
+    "pixel_accesses",
+    "powf",
+    "rcpf",
+    "reference_index",
+    "rsqrtf",
+    "sinf",
+    "sqrtf",
+    "walk",
+    "wrap",
+]

@@ -1,0 +1,49 @@
+"""Accessors: how kernels read images.
+
+An :class:`Accessor` pairs an image with a boundary condition (paper Listing
+4: ``Accessor<float> acc(bound)``). Inside ``Kernel.kernel()``, calling the
+accessor with a static window offset — ``self.input(dx, dy)`` — produces a
+:class:`~repro.dsl.expr.PixelAccess` AST node.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .boundary import Boundary, BoundaryCondition
+from .expr import PixelAccess
+from .image import Image
+
+
+class Accessor:
+    """Read handle on an image, carrying the border pattern."""
+
+    def __init__(self, source: Union[Image, BoundaryCondition]):
+        if isinstance(source, Image):
+            source = BoundaryCondition(source, Boundary.UNDEFINED)
+        if not isinstance(source, BoundaryCondition):
+            raise TypeError("Accessor takes an Image or a BoundaryCondition")
+        self.condition = source
+
+    @property
+    def image(self) -> Image:
+        return self.condition.image
+
+    @property
+    def boundary(self) -> Boundary:
+        return self.condition.boundary
+
+    @property
+    def constant(self) -> float:
+        return self.condition.constant
+
+    def __call__(self, dx: int = 0, dy: int = 0) -> PixelAccess:
+        """Read the pixel at window offset (dx, dy) from the output pixel."""
+        return PixelAccess(self, dx, dy)
+
+    def at(self, dx: int = 0, dy: int = 0) -> PixelAccess:
+        """Alias of :meth:`__call__` for readability in long kernels."""
+        return PixelAccess(self, dx, dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Accessor({self.image.name}, {self.boundary.value})"

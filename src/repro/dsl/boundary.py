@@ -1,0 +1,84 @@
+"""Border handling patterns and boundary conditions.
+
+The four patterns of the paper's Figure 2 / Listing 1:
+
+* ``CLAMP``  — return the nearest valid pixel (a.k.a. duplicate),
+* ``MIRROR`` — reflect at the border (symmetric; the edge pixel repeats),
+* ``REPEAT`` — tile the image periodically,
+* ``CONSTANT`` — a user-defined value for every out-of-bounds pixel,
+
+plus ``UNDEFINED`` for accessors that are statically known to stay in bounds
+(point operators), which compile with no checks at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from .image import Image
+
+
+class Boundary(enum.Enum):
+    CLAMP = "clamp"
+    MIRROR = "mirror"
+    REPEAT = "repeat"
+    CONSTANT = "constant"
+    UNDEFINED = "undefined"
+
+    @property
+    def needs_checks(self) -> bool:
+        return self is not Boundary.UNDEFINED
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryCondition:
+    """Binds a border pattern (and optional constant) to an image read.
+
+    Matches Hipacc's ``BoundaryCondition<float> bound(in, mask, Boundary::
+    CLAMP)`` from paper Listing 4. The window extent itself comes from the
+    kernel's Domain/Mask at compile time.
+    """
+
+    image: Image
+    boundary: Boundary
+    constant: float = 0.0
+
+    def __post_init__(self):
+        if self.boundary is Boundary.CONSTANT and self.constant is None:
+            raise ValueError("CONSTANT boundary requires a constant value")
+
+
+def reference_index(coord: int, size: int, boundary: Boundary) -> Optional[int]:
+    """Scalar golden model of the index mapping for one axis.
+
+    Returns the in-bounds source index, or ``None`` for CONSTANT when the
+    coordinate falls outside (the caller substitutes the constant). This tiny
+    function anchors the whole reproduction: the compiler's generated checks,
+    the vectorized executor, and the NumPy references are all tested against
+    it (and against each other).
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if 0 <= coord < size:
+        return coord
+    if boundary is Boundary.UNDEFINED:
+        raise IndexError(
+            f"out-of-bounds access {coord} with UNDEFINED boundary (size {size})"
+        )
+    if boundary is Boundary.CLAMP:
+        return min(max(coord, 0), size - 1)
+    if boundary is Boundary.MIRROR:
+        # Symmetric reflection (edge pixel duplicated): ... 2 1 0 | 0 1 2 ...
+        # i.e. Listing 1's `if (x < 0) x = -x - 1`, == np.pad mode="symmetric".
+        period = 2 * size
+        c = coord % period
+        if c < 0:
+            c += period
+        return c if c < size else period - 1 - c
+    if boundary is Boundary.REPEAT:
+        return coord % size
+    if boundary is Boundary.CONSTANT:
+        return None
+    raise AssertionError(f"unhandled boundary {boundary}")

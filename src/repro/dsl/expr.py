@@ -1,0 +1,250 @@
+"""Expression AST of the embedded DSL.
+
+Users write filter math with ordinary Python operators; each operation builds
+a node of this AST instead of computing a value (the Hipacc front end does the
+equivalent with Clang ASTs). The compiler lowers the AST to virtual-ISA
+instructions, memoizing by node identity so a subexpression that the user
+binds to a variable and reuses (e.g. the bilateral weight used in both the
+numerator and the normalizer) is computed once — mirroring NVCC's CSE, which
+the paper notes is why naive border checks share common sub-expressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Union
+
+from ..ir.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .accessor import Accessor
+
+
+_SEQ_COUNTER = 0
+
+
+def _next_seq() -> int:
+    global _SEQ_COUNTER
+    _SEQ_COUNTER += 1
+    return _SEQ_COUNTER
+
+
+class Expr:
+    """Base class for DSL expressions; carries operator overloads.
+
+    Every node records a creation sequence number (``seq``). The compiler
+    lowers nodes in creation order — the order the user's ``kernel()`` body
+    executed — which keeps register liveness close to the source program's
+    (an accumulator loop interleaves weight computation and both uses, so the
+    weight dies immediately). Lowering depth-first from the root instead
+    would keep every shared subexpression alive across whole reduction
+    chains and blow up register pressure far beyond what NVCC produces.
+    """
+
+    dtype: DataType = DataType.F32
+    seq: int = 0
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other) -> "BinOp":
+        return BinOp("add", self, wrap(other))
+
+    def __radd__(self, other) -> "BinOp":
+        return BinOp("add", wrap(other), self)
+
+    def __sub__(self, other) -> "BinOp":
+        return BinOp("sub", self, wrap(other))
+
+    def __rsub__(self, other) -> "BinOp":
+        return BinOp("sub", wrap(other), self)
+
+    def __mul__(self, other) -> "BinOp":
+        return BinOp("mul", self, wrap(other))
+
+    def __rmul__(self, other) -> "BinOp":
+        return BinOp("mul", wrap(other), self)
+
+    def __truediv__(self, other) -> "BinOp":
+        return BinOp("div", self, wrap(other))
+
+    def __rtruediv__(self, other) -> "BinOp":
+        return BinOp("div", wrap(other), self)
+
+    def __neg__(self) -> "UnOp":
+        return UnOp("neg", self)
+
+    def __pos__(self) -> "Expr":
+        return self
+
+
+ExprLike = Union[Expr, int, float]
+
+
+def wrap(value: ExprLike) -> Expr:
+    """Promote Python literals to :class:`Const` nodes."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("boolean literals are not DSL values")
+    if isinstance(value, int):
+        return Const(float(value), DataType.F32)
+    if isinstance(value, float):
+        return Const(value, DataType.F32)
+    raise TypeError(f"cannot use {type(value).__name__} as a DSL expression")
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Const(Expr):
+    value: float
+    dtype_: DataType = DataType.F32
+
+    def __post_init__(self):
+        object.__setattr__(self, "seq", _next_seq())
+
+    @property
+    def dtype(self) -> DataType:  # type: ignore[override]
+        return self.dtype_
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+@dataclasses.dataclass(eq=False)
+class BinOp(Expr):
+    """Binary arithmetic: add/sub/mul/div/min/max."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self):
+        self.seq = _next_seq()
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op}, {self.lhs!r}, {self.rhs!r})"
+
+
+@dataclasses.dataclass(eq=False)
+class UnOp(Expr):
+    """Unary math: neg/abs/sqrt/rsqrt/exp/log2/exp2/rcp/sin/cos."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        self.seq = _next_seq()
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op}, {self.operand!r})"
+
+
+@dataclasses.dataclass(eq=False)
+class PixelAccess(Expr):
+    """Read of ``accessor`` at static window offset ``(dx, dy)``.
+
+    This is the node border handling applies to: the compiler turns it into
+    address arithmetic plus the pattern- and region-dependent index checks
+    (paper Listing 1).
+    """
+
+    accessor: "Accessor"
+    dx: int
+    dy: int
+
+    def __post_init__(self):
+        if not isinstance(self.dx, int) or not isinstance(self.dy, int):
+            raise TypeError("pixel access offsets must be static Python ints")
+        self.seq = _next_seq()
+
+    def __repr__(self) -> str:
+        return f"PixelAccess({self.accessor.image.name}, {self.dx:+d}, {self.dy:+d})"
+
+
+# ---------------------------------------------------------------------------
+# Math intrinsics (CUDA-flavoured names, as in Hipacc kernels)
+# ---------------------------------------------------------------------------
+
+
+def expf(x: ExprLike) -> Expr:
+    """e**x — lowered to ``ex2`` (SFU) with a log2(e) pre-scale, as NVCC does."""
+    return UnOp("exp", wrap(x))
+
+
+def exp2f(x: ExprLike) -> Expr:
+    return UnOp("exp2", wrap(x))
+
+
+def logf(x: ExprLike) -> Expr:
+    return UnOp("log", wrap(x))
+
+
+def log2f(x: ExprLike) -> Expr:
+    return UnOp("log2", wrap(x))
+
+
+def sqrtf(x: ExprLike) -> Expr:
+    return UnOp("sqrt", wrap(x))
+
+
+def rsqrtf(x: ExprLike) -> Expr:
+    return UnOp("rsqrt", wrap(x))
+
+
+def fabsf(x: ExprLike) -> Expr:
+    return UnOp("abs", wrap(x))
+
+
+def rcpf(x: ExprLike) -> Expr:
+    return UnOp("rcp", wrap(x))
+
+
+def sinf(x: ExprLike) -> Expr:
+    return UnOp("sin", wrap(x))
+
+
+def cosf(x: ExprLike) -> Expr:
+    return UnOp("cos", wrap(x))
+
+
+def fminf(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("min", wrap(a), wrap(b))
+
+
+def fmaxf(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("max", wrap(a), wrap(b))
+
+
+def powf(x: ExprLike, y: ExprLike) -> Expr:
+    """x**y for x > 0, lowered as exp2(y * log2(x))."""
+    return exp2f(wrap(y) * log2f(x))
+
+
+#: Ops a :class:`UnOp` may carry (checked by the lowering pass).
+UNARY_OPS = frozenset(
+    {"neg", "abs", "sqrt", "rsqrt", "exp", "exp2", "log", "log2", "rcp", "sin", "cos"}
+)
+
+#: Ops a :class:`BinOp` may carry.
+BINARY_OPS = frozenset({"add", "sub", "mul", "div", "min", "max"})
+
+
+def walk(expr: Expr):
+    """Yield every node of the tree (pre-order, shared nodes once)."""
+    seen: set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        if isinstance(node, BinOp):
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+        elif isinstance(node, UnOp):
+            stack.append(node.operand)
+
+
+def pixel_accesses(expr: Expr) -> list[PixelAccess]:
+    """All pixel-access nodes in the tree (shared nodes reported once)."""
+    return [n for n in walk(expr) if isinstance(n, PixelAccess)]

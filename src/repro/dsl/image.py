@@ -1,0 +1,67 @@
+"""DSL image handles.
+
+An :class:`Image` is a named 2-D single-channel float32 buffer, the DSL-level
+analogue of Hipacc's ``Image<float>``. Host data is attached with
+:meth:`Image.bind`; the runtime copies it into simulated device memory at
+launch time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Image:
+    """A width x height single-channel float32 image."""
+
+    _counter = 0
+
+    def __init__(self, width: int, height: int, name: Optional[str] = None):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"image dimensions must be positive, got {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        if name is None:
+            Image._counter += 1
+            name = f"img{Image._counter}"
+        self.name = name
+        self._host: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """NumPy-style (height, width)."""
+        return (self.height, self.width)
+
+    def bind(self, data: np.ndarray) -> "Image":
+        """Attach host pixel data (converted to float32, copied)."""
+        arr = np.asarray(data, dtype=np.float32)
+        if arr.shape != self.shape:
+            raise ValueError(
+                f"data shape {arr.shape} does not match image {self.shape}"
+            )
+        self._host = arr.copy()
+        return self
+
+    @property
+    def host(self) -> np.ndarray:
+        if self._host is None:
+            raise ValueError(f"image {self.name!r} has no bound host data")
+        return self._host
+
+    @property
+    def is_bound(self) -> bool:
+        return self._host is not None
+
+    @classmethod
+    def from_array(cls, data: np.ndarray, name: Optional[str] = None) -> "Image":
+        arr = np.asarray(data, dtype=np.float32)
+        if arr.ndim != 2:
+            raise ValueError("images are 2-D single-channel")
+        img = cls(arr.shape[1], arr.shape[0], name)
+        return img.bind(arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bound = "bound" if self.is_bound else "unbound"
+        return f"Image({self.name!r}, {self.width}x{self.height}, {bound})"

@@ -1,0 +1,30 @@
+"""Iteration spaces: the set of output pixels a kernel writes.
+
+Matches Hipacc's ``IterationSpace<float> iter(out)`` (paper Listing 4). The
+iteration space of every evaluated kernel is the full output image — border
+handling exists precisely so input and output stay consistently sized
+(paper Section I: discarding the border "produces inconsistently sized
+images ... unfavorable within a multi-kernel pipeline").
+"""
+
+from __future__ import annotations
+
+from .image import Image
+
+
+class IterationSpace:
+    """Full-image iteration space over an output image."""
+
+    def __init__(self, output: Image):
+        self.output = output
+
+    @property
+    def width(self) -> int:
+        return self.output.width
+
+    @property
+    def height(self) -> int:
+        return self.output.height
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IterationSpace({self.output.name}, {self.width}x{self.height})"

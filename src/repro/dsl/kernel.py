@@ -1,0 +1,83 @@
+"""Kernel base class and the ``iterate``/``convolve`` primitives.
+
+Users subclass :class:`Kernel` and implement :meth:`Kernel.kernel`, returning
+the expression for the output pixel — the Python analogue of paper Listing 4's
+
+.. code-block:: c++
+
+    void kernel() {
+        float d = 0.f, p = 0.f;
+        iterate(dom, [&] () { ... });
+        output() = d / p;
+    }
+
+Because window offsets are static, ``iterate`` simply unrolls the domain at
+trace time, exactly like Hipacc's compiler unrolls ``iterate`` over ``dom``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .accessor import Accessor
+from .expr import Expr, ExprLike, wrap
+from .iterationspace import IterationSpace
+from .mask import Domain, Mask
+
+
+class Kernel:
+    """Base class for user-defined local and point operators."""
+
+    def __init__(self, iter_space: IterationSpace):
+        self.iter_space = iter_space
+        self.accessors: list[Accessor] = []
+
+    def add_accessor(self, acc: Accessor) -> Accessor:
+        """Register an input accessor (Hipacc's constructor ``add_accessor``)."""
+        if acc not in self.accessors:
+            self.accessors.append(acc)
+        return acc
+
+    # ------------------------------------------------------------------ hooks
+
+    def kernel(self) -> ExprLike:
+        """Return the output-pixel expression. Subclasses must implement."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    # ------------------------------------------------------------- primitives
+
+    @staticmethod
+    def iterate(
+        dom: Domain,
+        body: Callable[[int, int], ExprLike],
+        *,
+        init: ExprLike = 0.0,
+        combine: Callable[[Expr, Expr], Expr] = lambda a, b: a + b,
+    ) -> Expr:
+        """Fold ``body(dx, dy)`` over the domain's offsets.
+
+        The default combine is summation (Hipacc's ``iterate`` with ``+=``).
+        """
+        acc = wrap(init)
+        for dx, dy in dom:
+            acc = combine(acc, wrap(body(dx, dy)))
+        return acc
+
+    @staticmethod
+    def convolve(
+        mask: Mask,
+        acc: Accessor,
+        *,
+        domain: Optional[Domain] = None,
+    ) -> Expr:
+        """Weighted-sum convolution: sum(mask[dy,dx] * acc(dx,dy)).
+
+        Zero coefficients are skipped (sparse/dilated masks), while the
+        border-handling extent remains the full mask window.
+        """
+        dom = domain if domain is not None else mask.domain()
+        return Kernel.iterate(dom, lambda dx, dy: mask.coeff(dx, dy) * acc(dx, dy))

@@ -1,0 +1,154 @@
+"""Masks (coefficient windows) and Domains (iteration windows).
+
+Mirrors Hipacc's ``Mask``/``Domain`` pair (paper Listing 4): a Mask carries
+compile-time filter coefficients; a Domain is the set of window offsets a
+kernel iterates over. Domains may be *sparse* — the Night filter's à-trous
+kernels iterate a 5x5 coefficient pattern dilated over a 17x17 window, so the
+domain has 25 entries but the border-handling extent is the full window
+(paper Section VI: Atrous with sizes 3x3, 5x5, 9x9, 17x17).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class Domain:
+    """An ordered set of (dx, dy) window offsets.
+
+    Offsets are relative to the output pixel; ``extent`` is the half-width
+    pair (hx, hy) used to derive border-region geometry.
+    """
+
+    def __init__(
+        self,
+        offsets: list[tuple[int, int]],
+        extent: Optional[tuple[int, int]] = None,
+    ):
+        if not offsets:
+            raise ValueError("domain must contain at least one offset")
+        seen = set()
+        for off in offsets:
+            if off in seen:
+                raise ValueError(f"duplicate domain offset {off}")
+            seen.add(off)
+        self.offsets = list(offsets)
+        if extent is not None:
+            hx, hy = self._tap_extent()
+            if extent[0] < hx or extent[1] < hy:
+                raise ValueError(
+                    f"forced extent {extent} smaller than tap extent {(hx, hy)}"
+                )
+        self._extent = extent
+
+    def _tap_extent(self) -> tuple[int, int]:
+        hx = max(abs(dx) for dx, _ in self.offsets)
+        hy = max(abs(dy) for _, dy in self.offsets)
+        return hx, hy
+
+    @classmethod
+    def rectangle(cls, size_x: int, size_y: int) -> "Domain":
+        """Dense odd-sized window centered on the output pixel."""
+        _check_odd(size_x, size_y)
+        hx, hy = size_x // 2, size_y // 2
+        return cls([(dx, dy) for dy in range(-hy, hy + 1) for dx in range(-hx, hx + 1)])
+
+    @property
+    def extent(self) -> tuple[int, int]:
+        """(hx, hy): border-handling half-extent per axis.
+
+        For sparse (dilated) domains this can exceed the maximum tap offset —
+        it is whatever the creating :class:`Mask` declares.
+        """
+        if self._extent is not None:
+            return self._extent
+        return self._tap_extent()
+
+    @property
+    def window_size(self) -> tuple[int, int]:
+        """(m, n): the paper's window dimensions — full extent, both sides."""
+        hx, hy = self.extent
+        return 2 * hx + 1, 2 * hy + 1
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.offsets)
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, n = self.window_size
+        return f"Domain({len(self.offsets)} offsets, window {m}x{n})"
+
+
+class Mask:
+    """Compile-time filter coefficients over an odd-sized window.
+
+    Coefficients are folded into the generated kernel as float immediates
+    (Hipacc places them in constant memory; for instruction accounting both
+    appear as one operand of the multiply, so the substitution is neutral).
+    Zero coefficients are skipped when iterating — that is what makes the
+    dilated à-trous masks cheap despite their large border extent.
+    """
+
+    def __init__(self, coefficients: np.ndarray):
+        coeff = np.asarray(coefficients, dtype=np.float32)
+        if coeff.ndim != 2:
+            raise ValueError("mask coefficients must be 2-D")
+        _check_odd(coeff.shape[1], coeff.shape[0])
+        self.coefficients = coeff
+
+    @property
+    def size(self) -> tuple[int, int]:
+        """(m, n) = (width, height)."""
+        return self.coefficients.shape[1], self.coefficients.shape[0]
+
+    @property
+    def extent(self) -> tuple[int, int]:
+        m, n = self.size
+        return m // 2, n // 2
+
+    def coeff(self, dx: int, dy: int) -> float:
+        hx, hy = self.extent
+        if not (-hx <= dx <= hx and -hy <= dy <= hy):
+            raise IndexError(f"offset ({dx}, {dy}) outside mask extent ({hx}, {hy})")
+        return float(self.coefficients[dy + hy, dx + hx])
+
+    def domain(self, *, skip_zeros: bool = True) -> Domain:
+        """Domain of this mask's offsets (optionally only nonzero coeffs),
+        ordered row-major like Hipacc's iterate."""
+        hx, hy = self.extent
+        offsets = []
+        for dy in range(-hy, hy + 1):
+            for dx in range(-hx, hx + 1):
+                if skip_zeros and self.coefficients[dy + hy, dx + hx] == 0.0:
+                    continue
+                offsets.append((dx, dy))
+        # Border geometry must cover the full mask window even if the corner
+        # coefficients are zero (dilated masks), so the extent is forced.
+        return Domain(offsets, extent=self.extent)
+
+    @classmethod
+    def dilated(cls, base: np.ndarray, dilation: int) -> "Mask":
+        """À-trous dilation: insert ``dilation - 1`` zero rows/cols between
+        the base coefficients (paper's Atrous algorithm kernels)."""
+        base = np.asarray(base, dtype=np.float32)
+        if dilation < 1:
+            raise ValueError("dilation must be >= 1")
+        bh, bw = base.shape
+        out = np.zeros(((bh - 1) * dilation + 1, (bw - 1) * dilation + 1), np.float32)
+        out[::dilation, ::dilation] = base
+        return cls(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m, n = self.size
+        return f"Mask({m}x{n})"
+
+
+def _check_odd(size_x: int, size_y: int) -> None:
+    if size_x < 1 or size_y < 1 or size_x % 2 == 0 or size_y % 2 == 0:
+        raise ValueError(
+            f"window sizes must be odd and positive, got {size_x}x{size_y}"
+        )

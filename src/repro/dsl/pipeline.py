@@ -1,0 +1,68 @@
+"""Multi-kernel pipelines.
+
+The paper's Sobel filter is three kernels (x-derivative, y-derivative,
+magnitude) and the Night filter is five (four à-trous stages plus tone
+mapping). A :class:`Pipeline` is an ordered list of kernels whose images
+chain producer -> consumer; the runtime executes the stages in order and the
+benchmark harness sums per-kernel times, as NVProf does for the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .image import Image
+from .kernel import Kernel
+
+
+class Pipeline:
+    """An ordered multi-kernel image pipeline."""
+
+    def __init__(self, name: str, kernels: list[Kernel]):
+        if not kernels:
+            raise ValueError("pipeline needs at least one kernel")
+        self.name = name
+        self.kernels = list(kernels)
+        self._validate_chaining()
+
+    def _validate_chaining(self) -> None:
+        """Every accessor image must be produced earlier or be an external
+        input; every output must be unique."""
+        produced: set[str] = set()
+        for k in self.kernels:
+            out = k.iter_space.output
+            if out.name in produced:
+                raise ValueError(
+                    f"pipeline {self.name!r}: image {out.name!r} written twice"
+                )
+            for acc in k.accessors:
+                if acc.image.name == out.name:
+                    raise ValueError(
+                        f"pipeline {self.name!r}: kernel {k.name!r} reads its own output"
+                    )
+            produced.add(out.name)
+
+    @property
+    def inputs(self) -> list[Image]:
+        """External input images (read but never produced by the pipeline)."""
+        produced = {k.iter_space.output.name for k in self.kernels}
+        seen: dict[str, Image] = {}
+        for k in self.kernels:
+            for acc in k.accessors:
+                img = acc.image
+                if img.name not in produced and img.name not in seen:
+                    seen[img.name] = img
+        return list(seen.values())
+
+    @property
+    def output(self) -> Image:
+        return self.kernels[-1].iter_space.output
+
+    def __iter__(self) -> Iterator[Kernel]:
+        return iter(self.kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pipeline({self.name!r}, {len(self.kernels)} kernels)"

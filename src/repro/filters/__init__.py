@@ -1,0 +1,54 @@
+"""The five evaluated image filters (paper Section VI) and their references.
+
+Each module exposes ``build_pipeline(width, height, boundary, constant=0.0,
+input_image=None) -> Pipeline``; :mod:`repro.filters.reference` holds the
+vectorized NumPy golden implementations.
+"""
+
+from . import bilateral, gaussian, laplace, night, sobel
+from .reference import (
+    bilateral_reference,
+    correlate,
+    gaussian_reference,
+    laplace_reference,
+    night_reference,
+    pad_image,
+    sobel_reference,
+)
+
+#: Registry used by the benchmark harness: app name -> pipeline builder.
+PIPELINES = {
+    "gaussian": gaussian.build_pipeline,
+    "laplace": laplace.build_pipeline,
+    "bilateral": bilateral.build_pipeline,
+    "sobel": sobel.build_pipeline,
+    "night": night.build_pipeline,
+}
+
+#: App name -> reference function returning the final output image.
+REFERENCES = {
+    "gaussian": gaussian_reference,
+    "laplace": laplace_reference,
+    "bilateral": bilateral_reference,
+    "sobel": lambda src, boundary, constant=0.0: sobel_reference(
+        src, boundary, constant
+    )["mag"],
+    "night": night_reference,
+}
+
+__all__ = [
+    "PIPELINES",
+    "REFERENCES",
+    "bilateral",
+    "bilateral_reference",
+    "correlate",
+    "gaussian",
+    "gaussian_reference",
+    "laplace",
+    "laplace_reference",
+    "night",
+    "night_reference",
+    "pad_image",
+    "sobel",
+    "sobel_reference",
+]

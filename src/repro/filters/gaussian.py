@@ -1,0 +1,60 @@
+"""Gaussian blur — 3x3 single-kernel filter (paper Section VI).
+
+The classic binomial approximation of a Gaussian; the cheapest kernel in the
+evaluation, and therefore (per the paper's model, Section IV-A.3) among the
+biggest beneficiaries of ISP: its address-calculation cost is large relative
+to the filter math.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+)
+
+#: 3x3 binomial mask (sums to 1).
+GAUSSIAN_MASK = np.array(
+    [[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32
+) / 16.0
+
+
+class GaussianKernel(Kernel):
+    """out(x, y) = sum_w mask(w) * in(x + wx, y + wy)  (paper Listing 4 shape)."""
+
+    def __init__(self, iter_space: IterationSpace, acc: Accessor, mask: Mask):
+        super().__init__(iter_space)
+        self.acc = self.add_accessor(acc)
+        self.mask = mask
+
+    @property
+    def name(self) -> str:
+        return "gaussian"
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+def build_pipeline(
+    width: int,
+    height: int,
+    boundary: Boundary,
+    constant: float = 0.0,
+    input_image: Optional[Image] = None,
+) -> Pipeline:
+    """Single-kernel Gaussian pipeline over a width x height image."""
+    inp = input_image or Image(width, height, "inp")
+    out = Image(width, height, "out")
+    acc = Accessor(BoundaryCondition(inp, boundary, constant))
+    kernel = GaussianKernel(IterationSpace(out), acc, Mask(GAUSSIAN_MASK))
+    return Pipeline("gaussian", [kernel])

@@ -1,0 +1,58 @@
+"""Laplacian edge detector — 5x5 single-kernel filter (paper Section VI)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+)
+
+#: 5x5 Laplacian (discrete LoG approximation, sums to 0).
+LAPLACE_MASK = np.array(
+    [
+        [-1, -1, -1, -1, -1],
+        [-1, -1, -1, -1, -1],
+        [-1, -1, 24, -1, -1],
+        [-1, -1, -1, -1, -1],
+        [-1, -1, -1, -1, -1],
+    ],
+    dtype=np.float32,
+)
+
+
+class LaplaceKernel(Kernel):
+    def __init__(self, iter_space: IterationSpace, acc: Accessor, mask: Mask):
+        super().__init__(iter_space)
+        self.acc = self.add_accessor(acc)
+        self.mask = mask
+
+    @property
+    def name(self) -> str:
+        return "laplace"
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+def build_pipeline(
+    width: int,
+    height: int,
+    boundary: Boundary,
+    constant: float = 0.0,
+    input_image: Optional[Image] = None,
+) -> Pipeline:
+    inp = input_image or Image(width, height, "inp")
+    out = Image(width, height, "out")
+    acc = Accessor(BoundaryCondition(inp, boundary, constant))
+    kernel = LaplaceKernel(IterationSpace(out), acc, Mask(LAPLACE_MASK))
+    return Pipeline("laplace", [kernel])

@@ -1,0 +1,118 @@
+"""Night filter — 5-kernel pipeline (paper Section VI).
+
+"The night filter consists of five kernels that first iteratively apply the
+Atrous (with holes) algorithm with different sizes (3x3, 5x5, 9x9, 17x17),
+before performing the actual tone mapping."
+
+The a-trous ("with holes") stages dilate a 3x3 binomial mask by 1, 2, 4 and
+8, giving window sizes 3, 5, 9 and 17 while keeping 9 taps per stage — the
+classic multiresolution smoothing used in low-light denoising. Despite the
+few taps, the *border extent* of the later stages is large (hx = hy = 8 for
+the final stage), so the border regions of the iteration space are wide.
+The final stage is Reinhard-style tone mapping, a point operator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+)
+
+#: Base 3x3 binomial smoothing mask.
+ATROUS_BASE = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.float32) / 16.0
+
+#: Dilations of the four a-trous stages -> windows 3x3, 5x5, 9x9, 17x17.
+ATROUS_DILATIONS = (1, 2, 4, 8)
+
+#: Reinhard tone-mapping white point.
+TONEMAP_WHITE = 1.0
+
+
+def atrous_mask(dilation: int) -> np.ndarray:
+    """The base mask dilated a-trous style (zeros in the holes)."""
+    return Mask.dilated(ATROUS_BASE, dilation).coefficients
+
+
+class AtrousKernel(Kernel):
+    """One a-trous stage: 9 taps spread over a (2*dilation+1)^2 window."""
+
+    def __init__(
+        self, iter_space: IterationSpace, acc: Accessor, dilation: int
+    ):
+        super().__init__(iter_space)
+        self.acc = self.add_accessor(acc)
+        self.dilation = dilation
+        self.mask = Mask.dilated(ATROUS_BASE, dilation)
+
+    @property
+    def name(self) -> str:
+        return f"atrous_d{self.dilation}"
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+class TonemapKernel(Kernel):
+    """Reinhard tone mapping: out = x * (1 + x/white^2) / (1 + x).
+
+    A point operator — reads only (0, 0), compiles without border handling.
+    """
+
+    def __init__(self, iter_space: IterationSpace, acc: Accessor,
+                 white: float = TONEMAP_WHITE):
+        super().__init__(iter_space)
+        self.acc = self.add_accessor(acc)
+        self.white = white
+
+    @property
+    def name(self) -> str:
+        return "tonemap"
+
+    def kernel(self):
+        x = self.acc(0, 0)
+        w2 = self.white * self.white
+        return x * (1.0 + x * (1.0 / w2)) / (1.0 + x)
+
+
+def tonemap_reference(src: np.ndarray, white: float = TONEMAP_WHITE) -> np.ndarray:
+    src = np.asarray(src, dtype=np.float32)
+    w2 = np.float32(white * white)
+    one = np.float32(1.0)
+    return (src * (one + src * (one / w2)) / (one + src)).astype(np.float32)
+
+
+def build_pipeline(
+    width: int,
+    height: int,
+    boundary: Boundary,
+    constant: float = 0.0,
+    input_image: Optional[Image] = None,
+) -> Pipeline:
+    inp = input_image or Image(width, height, "inp")
+    kernels: list[Kernel] = []
+    current = inp
+    for i, dilation in enumerate(ATROUS_DILATIONS):
+        name = "out" if False else f"atrous{i}"
+        stage_out = Image(width, height, name)
+        kernels.append(
+            AtrousKernel(
+                IterationSpace(stage_out),
+                Accessor(BoundaryCondition(current, boundary, constant)),
+                dilation,
+            )
+        )
+        current = stage_out
+    out = Image(width, height, "out")
+    kernels.append(TonemapKernel(IterationSpace(out), Accessor(current)))
+    return Pipeline("night", kernels)

@@ -1,0 +1,150 @@
+"""Golden NumPy reference implementations.
+
+Every filter and border pattern has a vectorized NumPy reference here, built
+on :func:`pad_image`. These are the ground truth the SIMT simulation and the
+vectorized host executor are tested against (DESIGN.md key decision 1).
+
+Pattern -> ``np.pad`` mode mapping (verified against
+:func:`repro.dsl.boundary.reference_index` in the tests):
+
+* CLAMP    -> ``edge``
+* MIRROR   -> ``symmetric``  (Listing 1's ``x = -x - 1`` reflection)
+* REPEAT   -> ``wrap``
+* CONSTANT -> ``constant``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsl.boundary import Boundary
+
+_PAD_MODES = {
+    Boundary.CLAMP: "edge",
+    Boundary.MIRROR: "symmetric",
+    Boundary.REPEAT: "wrap",
+}
+
+
+def pad_image(
+    src: np.ndarray, hx: int, hy: int, boundary: Boundary, constant: float = 0.0
+) -> np.ndarray:
+    """Pad ``src`` by (hy, hx) on each side according to the border pattern."""
+    src = np.asarray(src, dtype=np.float32)
+    if hx == 0 and hy == 0:
+        return src.copy()
+    widths = ((hy, hy), (hx, hx))
+    if boundary is Boundary.CONSTANT:
+        return np.pad(src, widths, mode="constant",
+                      constant_values=np.float32(constant))
+    if boundary is Boundary.UNDEFINED:
+        raise ValueError("cannot pad with UNDEFINED boundary")
+    mode = _PAD_MODES[boundary]
+    if boundary is Boundary.REPEAT or boundary is Boundary.MIRROR:
+        # np.pad supports arbitrary pad widths for wrap/symmetric only in
+        # recent NumPy; both patterns are periodic with period 2n (mirror)
+        # or n (repeat), and our windows never exceed the image in tests.
+        pass
+    return np.pad(src, widths, mode=mode)
+
+
+def correlate(
+    src: np.ndarray,
+    mask: np.ndarray,
+    boundary: Boundary,
+    constant: float = 0.0,
+) -> np.ndarray:
+    """Dense 2-D correlation with border handling (float32 accumulation).
+
+    Matches the DSL's ``convolve``: taps with zero coefficients contribute
+    nothing, and accumulation order is row-major over the mask — float32
+    summation order matters for bit-exact comparison with the simulator.
+    """
+    src = np.asarray(src, dtype=np.float32)
+    mask = np.asarray(mask, dtype=np.float32)
+    mh, mw = mask.shape
+    hy, hx = mh // 2, mw // 2
+    padded = pad_image(src, hx, hy, boundary, constant)
+    h, w = src.shape
+    out = np.zeros((h, w), dtype=np.float32)
+    for dy in range(mh):
+        for dx in range(mw):
+            c = np.float32(mask[dy, dx])
+            if c == 0.0:
+                continue
+            out += c * padded[dy : dy + h, dx : dx + w]
+    return out
+
+
+def gaussian_reference(
+    src: np.ndarray, boundary: Boundary, constant: float = 0.0
+) -> np.ndarray:
+    from .gaussian import GAUSSIAN_MASK
+
+    return correlate(src, GAUSSIAN_MASK, boundary, constant)
+
+
+def laplace_reference(
+    src: np.ndarray, boundary: Boundary, constant: float = 0.0
+) -> np.ndarray:
+    from .laplace import LAPLACE_MASK
+
+    return correlate(src, LAPLACE_MASK, boundary, constant)
+
+
+def bilateral_reference(
+    src: np.ndarray,
+    boundary: Boundary,
+    constant: float = 0.0,
+    *,
+    sigma_d: float = 3.0,
+    sigma_r: float = 0.1,
+    radius: int = 6,
+) -> np.ndarray:
+    """Bilateral filter: joint spatial/intensity weighting (paper IV-A.1).
+
+    Accumulation follows the DSL kernel exactly: both sums iterate the window
+    row-major in float32; weights use float32 exp.
+    """
+    src = np.asarray(src, dtype=np.float32)
+    h, w = src.shape
+    padded = pad_image(src, radius, radius, boundary, constant)
+    d = np.zeros((h, w), dtype=np.float32)
+    p = np.zeros((h, w), dtype=np.float32)
+    center = src
+    inv2sd = np.float32(1.0 / (2.0 * sigma_d * sigma_d))
+    inv2sr = np.float32(1.0 / (2.0 * sigma_r * sigma_r))
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            tap = padded[dy + radius : dy + radius + h, dx + radius : dx + radius + w]
+            ws = np.float32(np.exp(np.float32(-(dx * dx + dy * dy) * inv2sd)))
+            diff = tap - center
+            wr = np.exp((-(diff * diff) * inv2sr).astype(np.float32)).astype(np.float32)
+            weight = (ws * wr).astype(np.float32)
+            d += weight * tap
+            p += weight
+    return d / p
+
+
+def sobel_reference(
+    src: np.ndarray, boundary: Boundary, constant: float = 0.0
+) -> dict[str, np.ndarray]:
+    """Sobel pipeline: x/y derivatives + magnitude (3 kernels, paper VI)."""
+    from .sobel import SOBEL_X_MASK, SOBEL_Y_MASK
+
+    dx = correlate(src, SOBEL_X_MASK, boundary, constant)
+    dy = correlate(src, SOBEL_Y_MASK, boundary, constant)
+    mag = np.sqrt(dx * dx + dy * dy, dtype=np.float32)
+    return {"dx": dx, "dy": dy, "mag": mag}
+
+
+def night_reference(
+    src: np.ndarray, boundary: Boundary, constant: float = 0.0
+) -> np.ndarray:
+    """Night filter: 4 chained a-trous stages + Reinhard tone mapping."""
+    from .night import ATROUS_DILATIONS, atrous_mask, tonemap_reference
+
+    cur = np.asarray(src, dtype=np.float32)
+    for dilation in ATROUS_DILATIONS:
+        cur = correlate(cur, atrous_mask(dilation), boundary, constant)
+    return tonemap_reference(cur)

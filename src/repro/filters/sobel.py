@@ -1,0 +1,100 @@
+"""Sobel edge detector — 3-kernel pipeline (paper Section VI).
+
+"The Sobel filter consists of 3 kernels to compute x-, y-derivatives, and
+the magnitude, among which the first two are local operators." The magnitude
+kernel is a point operator: it reads only (0, 0) from the two derivative
+images, so it needs no border handling at all — the compiler emits the naive
+shape for it under every variant. Many cheap kernels is the configuration
+where the paper reports the largest speedups ("more than 4.0 ... on the
+RTX2080").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+    sqrtf,
+)
+
+SOBEL_X_MASK = np.array(
+    [[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float32
+)
+SOBEL_Y_MASK = SOBEL_X_MASK.T.copy()
+
+
+class SobelDerivativeKernel(Kernel):
+    """3x3 derivative (x or y) — a local operator with border handling."""
+
+    def __init__(
+        self, iter_space: IterationSpace, acc: Accessor, mask: Mask, axis: str
+    ):
+        super().__init__(iter_space)
+        self.acc = self.add_accessor(acc)
+        self.mask = mask
+        self.axis = axis
+
+    @property
+    def name(self) -> str:
+        return f"sobel_d{self.axis}"
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+class SobelMagnitudeKernel(Kernel):
+    """mag = sqrt(dx^2 + dy^2) — a point operator (no window, no border)."""
+
+    def __init__(self, iter_space: IterationSpace, acc_dx: Accessor, acc_dy: Accessor):
+        super().__init__(iter_space)
+        self.acc_dx = self.add_accessor(acc_dx)
+        self.acc_dy = self.add_accessor(acc_dy)
+
+    @property
+    def name(self) -> str:
+        return "sobel_mag"
+
+    def kernel(self):
+        gx = self.acc_dx(0, 0)
+        gy = self.acc_dy(0, 0)
+        return sqrtf(gx * gx + gy * gy)
+
+
+def build_pipeline(
+    width: int,
+    height: int,
+    boundary: Boundary,
+    constant: float = 0.0,
+    input_image: Optional[Image] = None,
+) -> Pipeline:
+    inp = input_image or Image(width, height, "inp")
+    img_dx = Image(width, height, "dx")
+    img_dy = Image(width, height, "dy")
+    out = Image(width, height, "out")
+
+    kx = SobelDerivativeKernel(
+        IterationSpace(img_dx),
+        Accessor(BoundaryCondition(inp, boundary, constant)),
+        Mask(SOBEL_X_MASK),
+        "x",
+    )
+    ky = SobelDerivativeKernel(
+        IterationSpace(img_dy),
+        Accessor(BoundaryCondition(inp, boundary, constant)),
+        Mask(SOBEL_Y_MASK),
+        "y",
+    )
+    mag = SobelMagnitudeKernel(
+        IterationSpace(out), Accessor(img_dx), Accessor(img_dy)
+    )
+    return Pipeline("sobel", [kx, ky, mag])

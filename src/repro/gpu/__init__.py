@@ -1,0 +1,44 @@
+"""SIMT GPU simulator: devices, occupancy, memory, warp execution, timing.
+
+This package stands in for the paper's GTX680/RTX2080 testbed. See DESIGN.md
+("Substitutions") for the fidelity argument: the simulator models exactly the
+mechanisms the paper's analysis depends on — dynamic instruction counts per
+region, register-limited occupancy, and wave scheduling.
+"""
+
+from .cost import CostTable, cost_table_for
+from .device import DEVICES, GTX680, RTX2080, WARP_SIZE, DeviceSpec, get_device
+from .launch import LaunchConfig, execute_block, launch
+from .memory import GlobalMemory, MemoryError_, transactions_for
+from .occupancy import OccupancyResult, compute_occupancy, registers_per_block
+from .profiler import BlockProfile, Profiler
+from .simt import SimtError, WarpContext, WarpExecutor
+from .timing import LAUNCH_OVERHEAD_US, TimingEstimate, estimate_time
+
+__all__ = [
+    "DEVICES",
+    "GTX680",
+    "RTX2080",
+    "WARP_SIZE",
+    "LAUNCH_OVERHEAD_US",
+    "BlockProfile",
+    "CostTable",
+    "DeviceSpec",
+    "GlobalMemory",
+    "LaunchConfig",
+    "MemoryError_",
+    "OccupancyResult",
+    "Profiler",
+    "SimtError",
+    "TimingEstimate",
+    "WarpContext",
+    "WarpExecutor",
+    "compute_occupancy",
+    "cost_table_for",
+    "estimate_time",
+    "execute_block",
+    "get_device",
+    "launch",
+    "registers_per_block",
+    "transactions_for",
+]

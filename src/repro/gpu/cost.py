@@ -1,0 +1,114 @@
+"""Per-architecture instruction cost tables.
+
+The timing model bills each executed warp-instruction a number of *issue
+cycles*. The values are relative throughput costs in the spirit of the CUDA
+programming guide's arithmetic-throughput tables (instructions per clock per
+SM, inverted and normalised to a simple integer scale):
+
+* simple ALU / compare / select / convert: 1 cycle,
+* integer multiply/mad: full-rate on Kepler GK104, slightly slower on Turing's
+  INT32 path for ``mad`` chains: kept at 1 for both (address arithmetic is
+  issue-bound, not latency-bound),
+* integer divide / remainder: expanded to many instructions by real compilers,
+  billed as a fixed multi-cycle cost here,
+* SFU ops (``ex2``, ``rcp``, ``sqrt`` ...): quarter rate,
+* memory ops: an issue slot plus a per-transaction cost that scales with the
+  number of 128-byte segments the warp touches (coalescing model).
+
+Absolute times produced from these tables are *pseudo-seconds*; every result
+we report is a ratio (speedup), which is what the paper reports too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ir.instructions import Instruction, Opcode, SFU_OPS
+from .device import DeviceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTable:
+    """Issue-cycle costs for one architecture."""
+
+    alu: float = 1.0
+    imul: float = 1.0
+    idiv: float = 12.0
+    sfu: float = 4.0
+    mem_issue: float = 2.0
+    mem_transaction: float = 4.0
+    #: textured loads: TMU issue cost; transactions are billed like global
+    #: memory (the texture cache helps latency, not bandwidth, for streaming
+    #: stencils)
+    tex_issue: float = 2.0
+    #: shared-memory accesses: on-chip, no DRAM transactions (bank conflicts
+    #: are not modelled — our staging layout is conflict-light)
+    shared_issue: float = 1.0
+    #: bar.sync: pipeline drain per barrier
+    barrier: float = 8.0
+    #: branches cost more than ALU ops: they occupy the branch unit, flush
+    #: the dual-issue pair, and inhibit scheduling across them — this is why
+    #: Repeat's while-loops make it the costliest pattern (paper Fig. 6).
+    branch: float = 2.0
+    #: extra cycles billed when a warp diverges at a branch (both paths run)
+    divergence_penalty: float = 4.0
+
+    def rate(self, category: str) -> float:
+        """Issue cycles per warp instruction of a cost category."""
+        return {
+            "alu": self.alu,
+            "imul": self.imul,
+            "idiv": self.idiv,
+            "sfu": self.sfu,
+            "mem": self.mem_issue,
+            "tex": self.tex_issue,
+            "shared": self.shared_issue,
+            "barrier": self.barrier,
+            "branch": self.branch,
+        }[category]
+
+    def issue_cost(self, instr: Instruction) -> float:
+        """Issue cycles for one warp execution of ``instr`` (memory
+        transaction costs are added separately by the profiler)."""
+        return self.rate(category_of(instr))
+
+
+def category_of(instr: Instruction) -> str:
+    """Device-independent cost category of an instruction.
+
+    Profiles store per-category counts so one profiling run can be priced on
+    any device's cost table.
+    """
+    op = instr.op
+    if op is Opcode.TEX:
+        return "tex"
+    if op in (Opcode.LDS, Opcode.STS):
+        return "shared"
+    if op is Opcode.BAR:
+        return "barrier"
+    if op in (Opcode.LD, Opcode.ST):
+        return "mem"
+    if op is Opcode.BRA or op is Opcode.EXIT:
+        return "branch"
+    if op in SFU_OPS:
+        return "sfu"
+    if op in (Opcode.DIV, Opcode.REM) and instr.dtype.is_integer:
+        return "idiv"
+    if op in (Opcode.MUL, Opcode.MAD) and instr.dtype.is_integer:
+        return "imul"
+    if op is Opcode.DIV:  # f32 division -> rcp+mul style cost
+        return "sfu"
+    return "alu"
+
+
+_KEPLER = CostTable(imul=1.0, idiv=14.0, sfu=6.0, mem_issue=2.0,
+                    mem_transaction=4.0, branch=2.5, divergence_penalty=5.0)
+_TURING = CostTable(imul=1.0, idiv=10.0, sfu=4.0, mem_issue=1.0,
+                    mem_transaction=3.0, branch=2.0, divergence_penalty=4.0)
+
+_BY_ARCH = {"Kepler": _KEPLER, "Turing": _TURING}
+
+
+def cost_table_for(device: DeviceSpec) -> CostTable:
+    """Cost table for a device (defaults to Turing-like for unknown arch)."""
+    return _BY_ARCH.get(device.arch, _TURING)

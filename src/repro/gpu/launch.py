@@ -1,0 +1,178 @@
+"""Kernel launch: grid/block decomposition and parameter binding.
+
+Mirrors the CUDA execution model pieces the paper's analysis relies on: the
+image is divided into threadblocks of a user-defined size (paper Section
+III-C), blocks are identified by ``blockIdx`` and decompose into warps of 32
+threads linearized x-major (so a 32x4 block holds 4 warps of one row each —
+the layout warp-grained ISP exploits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..ir.cfg import immediate_postdominators
+from ..ir.function import KernelFunction
+from ..ir.verifier import verify
+from .memory import GlobalMemory
+from .profiler import Profiler
+from .simt import WARP_SIZE, WarpContext, WarpExecutor
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry for one kernel launch."""
+
+    grid: tuple[int, int]  # blocks in (x, y)
+    block: tuple[int, int]  # threads per block in (x, y)
+
+    def __post_init__(self):
+        gx, gy = self.grid
+        bx, by = self.block
+        if min(gx, gy, bx, by) <= 0:
+            raise ValueError("grid/block dimensions must be positive")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block[0] * self.block[1]
+
+    @property
+    def warps_per_block(self) -> int:
+        return math.ceil(self.threads_per_block / WARP_SIZE)
+
+    @property
+    def total_blocks(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @staticmethod
+    def for_image(
+        width: int, height: int, block: tuple[int, int]
+    ) -> "LaunchConfig":
+        """Grid that covers a width x height iteration space."""
+        bx, by = block
+        return LaunchConfig(
+            grid=(math.ceil(width / bx), math.ceil(height / by)), block=block
+        )
+
+
+def _warp_contexts(cfg: LaunchConfig, bx_idx: int, by_idx: int) -> Iterable[WarpContext]:
+    """Yield the warp contexts of one block (x-major thread linearization)."""
+    bx, by = cfg.block
+    nthreads = bx * by
+    gx, gy = cfg.grid
+    linear = np.arange(WARP_SIZE, dtype=np.int64)
+    n_warps = math.ceil(nthreads / WARP_SIZE)
+    for w in range(n_warps):
+        lin = w * WARP_SIZE + linear
+        lane_mask = lin < nthreads
+        lin_clipped = np.minimum(lin, nthreads - 1)
+        yield WarpContext(
+            tid_x=(lin_clipped % bx).astype(np.int32),
+            tid_y=(lin_clipped // bx).astype(np.int32),
+            ctaid_x=bx_idx,
+            ctaid_y=by_idx,
+            ntid_x=bx,
+            ntid_y=by,
+            nctaid_x=gx,
+            nctaid_y=gy,
+            warp_id=w,
+            lane_mask=lane_mask,
+        )
+
+
+def execute_block(
+    func: KernelFunction,
+    cfg: LaunchConfig,
+    block_idx: tuple[int, int],
+    memory: GlobalMemory,
+    params: dict,
+    profiler: Optional[Profiler] = None,
+    ipdoms: Optional[dict] = None,
+    block_class: Optional[str] = None,
+) -> None:
+    """Run every warp of one threadblock to completion.
+
+    Kernels whose metadata declares ``shared_bytes`` get a per-block shared
+    scratchpad (its base injected as the ``smem_base`` parameter) and their
+    warps advance in barrier-synchronized phases: every live warp must reach
+    each ``bar.sync`` before any proceeds — the ``__syncthreads`` contract.
+    """
+    if ipdoms is None:
+        ipdoms = immediate_postdominators(func)
+    if profiler is not None:
+        profiler.begin_block(block_idx, block_class)
+
+    shared_bytes = int(func.metadata.get("shared_bytes", 0))
+    shared = None
+    if shared_bytes > 0:
+        size = 1 << max(10, (shared_bytes + 256).bit_length())
+        shared = GlobalMemory(size)
+        params = dict(params)
+        params["smem_base"] = shared.alloc(shared_bytes)
+
+    contexts = list(_warp_contexts(cfg, *block_idx))
+    executors = [
+        WarpExecutor(func, memory, params, profiler, ipdoms, shared=shared)
+        for _ in contexts
+    ]
+    if shared is None:
+        for ex, ctx in zip(executors, contexts):
+            ex.run(ctx)
+    else:
+        generators = [ex.run_phases(ctx) for ex, ctx in zip(executors, contexts)]
+        alive = list(generators)
+        while alive:
+            arrived = []
+            for gen in alive:
+                try:
+                    next(gen)
+                    arrived.append(gen)
+                except StopIteration:
+                    pass  # warp ran to completion (exited before/after bars)
+            alive = arrived
+
+    if profiler is not None:
+        profiler.end_block()
+
+
+def launch(
+    func: KernelFunction,
+    cfg: LaunchConfig,
+    memory: GlobalMemory,
+    params: dict,
+    profiler: Optional[Profiler] = None,
+    blocks: Optional[Iterable[tuple[tuple[int, int], Optional[str]]]] = None,
+) -> None:
+    """Execute a kernel launch.
+
+    Parameters
+    ----------
+    blocks:
+        When ``None``, the full grid executes (functional simulation). For
+        representative-block profiling, pass an iterable of
+        ``((bx, by), block_class)`` pairs and only those blocks run — the
+        caller scales their counters by the per-region block counts
+        (paper Eq. 8).
+    """
+    verify(func)
+    missing = [
+        p.name for p in func.params
+        if p.name not in params and p.name != "smem_base"  # injected per block
+    ]
+    if missing:
+        raise ValueError(f"launch of {func.name}: missing parameters {missing}")
+    ipdoms = immediate_postdominators(func)
+    if blocks is None:
+        gx, gy = cfg.grid
+        blocks = (((ix, iy), None) for iy in range(gy) for ix in range(gx))
+    for block_idx, block_class in blocks:
+        ix, iy = block_idx
+        if not (0 <= ix < cfg.grid[0] and 0 <= iy < cfg.grid[1]):
+            raise ValueError(f"block index {block_idx} outside grid {cfg.grid}")
+        execute_block(
+            func, cfg, block_idx, memory, params, profiler, ipdoms, block_class
+        )

@@ -1,0 +1,145 @@
+"""Simulated global memory.
+
+A flat, byte-addressed memory backed by a single ``uint32`` word array.
+All ISA types are 4 bytes, so every access is word-aligned; the simulator
+traps misaligned or out-of-range addresses instead of corrupting neighbours —
+the exact failure mode border handling exists to prevent (Section I of the
+paper: "Accessing unknown memory locations may result in undefined behavior
+and lead to corrupted pixels").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.types import DataType
+
+#: Size of one coalescing segment in bytes (Kepler/Turing L1/L2 line for
+#: global accesses). Used by the profiler to count memory transactions.
+SEGMENT_BYTES = 128
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or misaligned simulated memory access."""
+
+
+class GlobalMemory:
+    """Flat simulated device memory with bump allocation."""
+
+    def __init__(self, size_bytes: int = 1 << 26):
+        if size_bytes % 4:
+            raise ValueError("memory size must be a multiple of 4 bytes")
+        self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
+        # Address 0 is reserved so that a null pointer always traps.
+        self._next = 4
+
+    @property
+    def size_bytes(self) -> int:
+        return self._words.size * 4
+
+    # ------------------------------------------------------------- allocation
+
+    def alloc(self, nbytes: int, *, align: int = 128) -> int:
+        """Reserve ``nbytes`` and return the base byte address."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        base = ((self._next + align - 1) // align) * align
+        end = base + nbytes
+        if end > self.size_bytes:
+            raise MemoryError_(
+                f"out of simulated memory: need {end} bytes, have {self.size_bytes}"
+            )
+        self._next = end
+        return base
+
+    def alloc_array(self, shape: tuple[int, ...], dtype: DataType) -> int:
+        n = int(np.prod(shape))
+        return self.alloc(n * dtype.size_bytes)
+
+    # ------------------------------------------------------- host-side access
+
+    def write_array(self, base: int, array: np.ndarray) -> None:
+        """Copy a host array into memory at ``base`` (row-major)."""
+        flat = np.ascontiguousarray(array).reshape(-1)
+        dtype = _resolve_np(flat.dtype)
+        words = flat.view(np.uint32)
+        self._check_range(base, words.size * 4)
+        self._words[base // 4 : base // 4 + words.size] = words
+        del dtype
+
+    def read_array(self, base: int, shape: tuple[int, ...], dtype: DataType) -> np.ndarray:
+        n = int(np.prod(shape))
+        self._check_range(base, n * 4)
+        words = self._words[base // 4 : base // 4 + n]
+        return words.view(dtype.numpy_dtype).reshape(shape).copy()
+
+    # ------------------------------------------------------ lane-vector access
+
+    def gather(self, addrs: np.ndarray, mask: np.ndarray, dtype: DataType) -> np.ndarray:
+        """Vector load: one value per active lane. Inactive lanes read 0."""
+        self._check_lane_addrs(addrs, mask)
+        out = np.zeros(addrs.shape, dtype=dtype.numpy_dtype)
+        active = addrs[mask] // 4
+        out[mask] = self._words[active].view(dtype.numpy_dtype)
+        return out
+
+    def scatter(
+        self, addrs: np.ndarray, values: np.ndarray, mask: np.ndarray, dtype: DataType
+    ) -> None:
+        """Vector store for active lanes.
+
+        Duplicate addresses among active lanes follow NumPy fancy-assignment
+        order (last write wins) — matching CUDA's "one of the writes is
+        guaranteed to land" contract closely enough for these kernels, which
+        never write the same pixel twice.
+        """
+        self._check_lane_addrs(addrs, mask)
+        vals = values.astype(dtype.numpy_dtype, copy=False)
+        self._words[addrs[mask] // 4] = vals[mask].view(np.uint32)
+
+    # ------------------------------------------------------------- validation
+
+    def _check_range(self, base: int, nbytes: int) -> None:
+        if base % 4:
+            raise MemoryError_(f"misaligned base address {base:#x}")
+        if base < 4 or base + nbytes > self.size_bytes:
+            raise MemoryError_(
+                f"access [{base:#x}, {base + nbytes:#x}) outside memory "
+                f"of {self.size_bytes} bytes"
+            )
+
+    def _check_lane_addrs(self, addrs: np.ndarray, mask: np.ndarray) -> None:
+        if not mask.any():
+            return
+        active = addrs[mask].astype(np.int64)
+        bad_align = active % 4 != 0
+        if bad_align.any():
+            raise MemoryError_(
+                f"misaligned lane address {int(active[bad_align][0]):#x}"
+            )
+        oob = (active < 4) | (active + 4 > self.size_bytes)
+        if oob.any():
+            raise MemoryError_(
+                f"lane address {int(active[oob][0]):#x} out of bounds "
+                f"(memory is {self.size_bytes} bytes) — an unhandled border access?"
+            )
+
+
+def transactions_for(addrs: np.ndarray, mask: np.ndarray) -> int:
+    """Number of 128-byte coalescing segments touched by the active lanes.
+
+    A perfectly coalesced warp access touches 1 segment; the worst case is one
+    per lane. Warp-grained ISP (paper Section V-B) is motivated by keeping
+    warps on the efficient path, so the profiler tracks this.
+    """
+    if not mask.any():
+        return 0
+    segments = np.unique(addrs[mask].astype(np.int64) // SEGMENT_BYTES)
+    return int(segments.size)
+
+
+def _resolve_np(np_dtype: np.dtype) -> DataType:
+    for dt in (DataType.S32, DataType.U32, DataType.F32):
+        if dt.numpy_dtype == np_dtype:
+            return dt
+    raise TypeError(f"unsupported host array dtype {np_dtype}; use int32/uint32/float32")

@@ -1,0 +1,121 @@
+"""Theoretical occupancy calculator.
+
+Implements the same arithmetic as Nvidia's CUDA Occupancy Calculator for the
+resources our kernels use (threads, blocks, registers — the evaluated kernels
+use no shared memory, matching the paper's setup). Table II of the paper is
+regenerated from this module: register usage per variant -> theoretical
+occupancy on the GTX680.
+
+Occupancy feeds the paper's cost model (Section IV-B): a drop from
+``O_naive`` to ``O_ISP`` multiplies the predicted runtime by
+``O_naive / O_ISP`` (Eq. 10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .device import WARP_SIZE, DeviceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy computation for one kernel configuration."""
+
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    #: which resource capped the result: "blocks" | "warps" | "registers"
+    limiter: str
+    warps_per_block: int
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.occupancy
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def registers_per_block(
+    device: DeviceSpec, block_threads: int, regs_per_thread: int
+) -> int:
+    """Register-file footprint of one resident block (allocation-granular).
+
+    CC 3.0+ allocates registers per *warp*, rounded up to
+    ``register_alloc_unit``; the number of warps charged is rounded up to
+    ``warp_alloc_granularity``.
+    """
+    warps = math.ceil(block_threads / WARP_SIZE)
+    charged_warps = _round_up(warps, device.warp_alloc_granularity)
+    per_warp = _round_up(
+        max(regs_per_thread, 1) * WARP_SIZE, device.register_alloc_unit
+    )
+    return charged_warps * per_warp
+
+
+def compute_occupancy(
+    device: DeviceSpec, block_threads: int, regs_per_thread: int,
+    shared_bytes: int = 0,
+) -> OccupancyResult:
+    """Theoretical occupancy for a kernel on ``device``.
+
+    ``regs_per_thread`` should already be capped at
+    ``device.max_registers_per_thread`` (the compiler's register estimator
+    applies the cap and accounts for spill traffic separately).
+    ``shared_bytes`` is the per-block shared-memory footprint of the
+    tile-staging variants; it adds a fourth resource limit.
+    """
+    if block_threads <= 0:
+        raise ValueError("block_threads must be positive")
+    if block_threads > device.max_threads_per_block:
+        raise ValueError(
+            f"block of {block_threads} threads exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    regs_per_thread = min(regs_per_thread, device.max_registers_per_thread)
+
+    warps_per_block = math.ceil(block_threads / WARP_SIZE)
+
+    limit_blocks = device.max_blocks_per_sm
+    limit_warps = device.max_warps_per_sm // warps_per_block
+    if regs_per_thread > 0:
+        block_regs = registers_per_block(device, block_threads, regs_per_thread)
+        limit_regs = device.registers_per_sm // block_regs
+    else:
+        limit_regs = limit_blocks
+
+    if shared_bytes > 0:
+        granule = device.shared_alloc_unit
+        charged = _round_up(shared_bytes, granule)
+        limit_shared = device.shared_mem_per_sm // charged
+    else:
+        limit_shared = limit_blocks
+
+    active = min(limit_blocks, limit_warps, limit_regs, limit_shared)
+    if active <= 0:
+        # A single block exceeds the register file: the kernel is unlaunchable
+        # at this block size on real hardware; we model it as one serialized
+        # block (the compiler should have spilled before this point).
+        active = 1
+
+    if active == limit_shared and limit_shared < min(limit_blocks, limit_warps,
+                                                     limit_regs):
+        limiter = "shared"
+    elif active == limit_regs and limit_regs < min(limit_blocks, limit_warps):
+        limiter = "registers"
+    elif active == limit_warps and limit_warps < limit_blocks:
+        limiter = "warps"
+    else:
+        limiter = "blocks"
+
+    active_warps = active * warps_per_block
+    return OccupancyResult(
+        active_blocks_per_sm=active,
+        active_warps_per_sm=active_warps,
+        occupancy=active_warps / device.max_warps_per_sm,
+        limiter=limiter,
+        warps_per_block=warps_per_block,
+    )

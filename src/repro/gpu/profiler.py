@@ -1,0 +1,147 @@
+"""Dynamic execution counters.
+
+The profiler is the simulator's NVProf: it observes every executed warp
+instruction and aggregates
+
+* dynamic counts by PTX keyword (the unit of the paper's Table I),
+* counts by ISP region tag and by accounting role (check/switch/kernel),
+* per-block totals (block classes feed representative-block scaling),
+* memory transactions (coalescing) and divergence events,
+* cost-weighted issue cycles when a :class:`~repro.gpu.cost.CostTable` is
+  attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Optional
+
+from ..ir.instructions import Instruction, Opcode
+from .cost import CostTable, category_of
+
+
+@dataclasses.dataclass
+class BlockProfile:
+    """Counters for a single executed threadblock.
+
+    ``by_category`` holds device-independent cost-category counts
+    (:func:`repro.gpu.cost.category_of`), so a single profiled block can be
+    priced on any device's cost table via :meth:`cycles_on`.
+    """
+
+    block_idx: tuple[int, int]
+    block_class: Optional[str] = None
+    warp_instructions: int = 0
+    thread_instructions: int = 0
+    issue_cycles: float = 0.0
+    mem_transactions: int = 0
+    divergences: int = 0
+    by_keyword: Counter = dataclasses.field(default_factory=Counter)
+    by_category: Counter = dataclasses.field(default_factory=Counter)
+
+    def cycles_on(self, table: CostTable) -> float:
+        """Issue cycles of this block under a specific device cost table."""
+        cycles = sum(n * table.rate(cat) for cat, n in self.by_category.items())
+        cycles += self.mem_transactions * table.mem_transaction
+        cycles += self.divergences * table.divergence_penalty
+        return cycles
+
+    def mem_cycles_on(self, table: CostTable) -> float:
+        """Memory-issue share of :meth:`cycles_on` (latency-hiding proxy)."""
+        return (
+            self.by_category.get("mem", 0) * table.mem_issue
+            + self.mem_transactions * table.mem_transaction
+        )
+
+
+class Profiler:
+    """Accumulates dynamic statistics for one or more launches."""
+
+    def __init__(self, cost_table: Optional[CostTable] = None):
+        self.cost_table = cost_table
+        self.warp_instructions = 0
+        self.thread_instructions = 0
+        self.issue_cycles = 0.0
+        self.mem_transactions = 0
+        self.divergent_branches = 0
+        self.by_keyword: Counter = Counter()
+        self.by_region: dict[str, Counter] = {}
+        self.by_role: dict[str, Counter] = {}
+        self.block_profiles: list[BlockProfile] = []
+        self._current: Optional[BlockProfile] = None
+
+    # ------------------------------------------------------------- block scope
+
+    def begin_block(
+        self, block_idx: tuple[int, int], block_class: Optional[str] = None
+    ) -> None:
+        self._current = BlockProfile(block_idx=block_idx, block_class=block_class)
+
+    def end_block(self) -> BlockProfile:
+        if self._current is None:
+            raise RuntimeError("end_block without begin_block")
+        done, self._current = self._current, None
+        self.block_profiles.append(done)
+        return done
+
+    # ----------------------------------------------------------------- events
+
+    def on_instruction(
+        self, instr: Instruction, active_lanes: int, transactions: int = 0
+    ) -> None:
+        """Record one warp-level execution of ``instr``."""
+        keyword = instr.keyword
+        self.warp_instructions += 1
+        self.thread_instructions += active_lanes
+        self.by_keyword[keyword] += 1
+        region = instr.region or "(shared)"
+        self.by_region.setdefault(region, Counter())[keyword] += 1
+        role = instr.role or "(untagged)"
+        self.by_role.setdefault(role, Counter())[keyword] += 1
+
+        cycles = 0.0
+        if self.cost_table is not None:
+            cycles = self.cost_table.issue_cost(instr)
+            if instr.op in (Opcode.LD, Opcode.ST):
+                cycles += self.cost_table.mem_transaction * transactions
+            self.issue_cycles += cycles
+        if transactions:
+            self.mem_transactions += transactions
+
+        blk = self._current
+        if blk is not None:
+            blk.warp_instructions += 1
+            blk.thread_instructions += active_lanes
+            blk.by_keyword[keyword] += 1
+            blk.by_category[category_of(instr)] += 1
+            blk.issue_cycles += cycles
+            blk.mem_transactions += transactions
+
+    def on_divergence(self) -> None:
+        self.divergent_branches += 1
+        if self._current is not None:
+            self._current.divergences += 1
+        if self.cost_table is not None:
+            self.issue_cycles += self.cost_table.divergence_penalty
+            if self._current is not None:
+                self._current.issue_cycles += self.cost_table.divergence_penalty
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def mem_issue_fraction(self) -> float:
+        """Fraction of issue cycles spent on memory ops — the timing model's
+        proxy for how latency-sensitive (occupancy-hungry) a kernel is."""
+        if not self.issue_cycles:
+            return 0.0
+        if self.cost_table is None:
+            return 0.0
+        mem_cycles = 0.0
+        for kw in ("ld", "st"):
+            mem_cycles += self.by_keyword.get(kw, 0) * self.cost_table.mem_issue
+        mem_cycles += self.mem_transactions * self.cost_table.mem_transaction
+        return min(1.0, mem_cycles / self.issue_cycles)
+
+    def region_totals(self) -> dict[str, int]:
+        return {r: sum(c.values()) for r, c in self.by_region.items()}

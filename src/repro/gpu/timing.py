@@ -1,0 +1,133 @@
+"""Cycle/time estimation for kernel launches — the simulator's stopwatch.
+
+The paper measures kernel time with NVProf on real GPUs; we estimate it from
+first principles using quantities the simulator produces exactly:
+
+* **work**: cost-weighted issue cycles per block, per geometric block class
+  (from representative-block profiling), scaled by the exact number of blocks
+  in each class;
+* **parallelism**: theoretical occupancy (registers/block-size limited) gives
+  the number of concurrently resident blocks and warps per SM;
+* **latency hiding**: a kernel whose memory-issue fraction is high needs more
+  resident warps to hide latency; below the requirement, time inflates by the
+  deficit ratio — this is the mechanism behind the paper's cost model, where
+  an occupancy drop from ``O_naive`` to ``O_ISP`` inflates time by
+  ``O_naive/O_ISP`` (Section IV-B.2);
+* **wave quantization**: blocks are dispatched in waves of
+  ``active_blocks x SMs``; the final partial wave wastes capacity, which
+  penalizes small grids (small images) — the tail effect;
+* **launch overhead**: a fixed per-launch cost, relatively larger for small
+  images and multi-kernel pipelines (Sobel, Night).
+
+All absolute numbers are pseudo-time; every reported result is a speedup
+ratio, as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .device import DeviceSpec
+from .occupancy import OccupancyResult, compute_occupancy
+
+#: Fixed host-side cost per kernel launch, in microseconds (driver + PCIe
+#: doorbell). Typical measured values on the paper's era of hardware are
+#: 3-10 us; we use a middle value.
+LAUNCH_OVERHEAD_US = 5.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingEstimate:
+    """Predicted execution time of one kernel launch."""
+
+    cycles: float
+    time_us: float
+    occupancy: OccupancyResult
+    stall_factor: float
+    waves: float
+    waves_quantized: int
+    total_issue_cycles: float
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_us / 1000.0
+
+
+def estimate_time(
+    device: DeviceSpec,
+    *,
+    total_blocks: int,
+    block_threads: int,
+    regs_per_thread: int,
+    class_block_cycles: dict[str, float],
+    class_block_counts: dict[str, int],
+    mem_issue_fraction: float,
+    spill_factor: float = 1.0,
+    shared_bytes: int = 0,
+) -> TimingEstimate:
+    """Estimate launch time on ``device``.
+
+    Parameters
+    ----------
+    class_block_cycles:
+        Issue cycles of one block of each geometric class (profiled).
+    class_block_counts:
+        Number of blocks per class; must sum to ``total_blocks``.
+    mem_issue_fraction:
+        Fraction of issue cycles that are memory operations (0..1).
+    spill_factor:
+        Multiplier >= 1 applied to issue cycles when the register estimator
+        had to spill (extra local-memory traffic).
+    """
+    counted = sum(class_block_counts.values())
+    if counted != total_blocks:
+        raise ValueError(
+            f"class block counts sum to {counted}, expected {total_blocks}"
+        )
+    missing = set(class_block_counts) - set(class_block_cycles)
+    nonzero_missing = {c for c in missing if class_block_counts[c] > 0}
+    if nonzero_missing:
+        raise ValueError(f"no profiled cycles for block classes {sorted(nonzero_missing)}")
+
+    total_work = sum(
+        class_block_cycles[c] * n for c, n in class_block_counts.items() if n > 0
+    )
+    total_work *= spill_factor
+
+    occ = compute_occupancy(device, block_threads, regs_per_thread,
+                            shared_bytes=shared_bytes)
+
+    needed_warps = (
+        device.latency_hiding_warps + device.mem_latency_warps * mem_issue_fraction
+    )
+    resident_warps = max(1, occ.active_warps_per_sm)
+    stall = max(1.0, needed_warps / resident_warps)
+
+    blocks_concurrent = max(1, occ.active_blocks_per_sm * device.sm_count)
+    waves = total_blocks / blocks_concurrent
+    waves_quantized = math.ceil(waves)
+    tail_factor = waves_quantized / waves if waves > 0 else 1.0
+    # Tail waste only applies to the under-filled final wave; for very small
+    # grids (waves < 1) the device is simply under-utilized and the critical
+    # path is a single block's execution.
+    if waves < 1.0:
+        avg_block = total_work / max(1, total_blocks)
+        per_sm_issue = avg_block / device.issue_width
+        cycles = per_sm_issue * stall * max(1.0, total_blocks / blocks_concurrent)
+        # At minimum, the whole grid's work spread over the device:
+        cycles = max(cycles, total_work / (device.sm_count * device.issue_width) * stall)
+    else:
+        per_sm_work = total_work / device.sm_count
+        cycles = per_sm_work / device.issue_width * stall * tail_factor
+
+    time_us = cycles / device.clock_mhz + LAUNCH_OVERHEAD_US
+    return TimingEstimate(
+        cycles=cycles,
+        time_us=time_us,
+        occupancy=occ,
+        stall_factor=stall,
+        waves=waves,
+        waves_quantized=waves_quantized,
+        total_issue_cycles=total_work,
+    )

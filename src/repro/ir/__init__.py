@@ -1,0 +1,47 @@
+"""Virtual PTX-like ISA: types, instructions, functions, builder, analyses.
+
+This is the substrate the paper's instruction-level analysis (Section IV,
+Table I) runs on. The compiler lowers DSL kernels to this IR; the SIMT
+simulator in :mod:`repro.gpu` executes it.
+"""
+
+from .builder import IRBuilder
+from .cfg import build_cfg, has_loops, immediate_postdominators
+from .function import BasicBlock, KernelFunction, Param
+from .instructions import (
+    CmpOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    Register,
+    SpecialReg,
+)
+from .printer import format_instruction, print_function
+from .stats import count_by_region, count_by_role, count_function, count_instructions
+from .types import DataType
+from .verifier import IRVerificationError, verify
+
+__all__ = [
+    "BasicBlock",
+    "CmpOp",
+    "DataType",
+    "IRBuilder",
+    "IRVerificationError",
+    "Immediate",
+    "Instruction",
+    "KernelFunction",
+    "Opcode",
+    "Param",
+    "Register",
+    "SpecialReg",
+    "build_cfg",
+    "count_by_region",
+    "count_by_role",
+    "count_function",
+    "count_instructions",
+    "format_instruction",
+    "has_loops",
+    "immediate_postdominators",
+    "print_function",
+    "verify",
+]

@@ -1,0 +1,391 @@
+"""Convenience builder for constructing virtual-ISA kernel functions.
+
+The compiler's lowering passes use this builder exclusively; hand-written
+kernels in the tests use it too. It provides typed helpers for every opcode,
+automatic fresh-register naming, Python-literal auto-immediates, and tagging
+contexts (``region`` / ``role``) that thread the paper's accounting categories
+(n_check / n_switch / n_kernel, per-region attribution) through the emitted
+instructions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional, Union
+
+from .function import BasicBlock, KernelFunction, Param
+from .instructions import (
+    CmpOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    Operand,
+    Register,
+    SpecialReg,
+)
+from .instructions import Opcode as _Op  # noqa: F401 (re-export convenience)
+from .types import DataType
+
+Value = Union[Register, Immediate, int, float, bool]
+
+
+class IRBuilder:
+    """Builds a :class:`KernelFunction` block by block."""
+
+    def __init__(self, name: str, params: Optional[list[Param]] = None):
+        self.function = KernelFunction(name, params or [])
+        self._block: Optional[BasicBlock] = None
+        self._reg_counter = 0
+        self._label_counter = 0
+        self._region: Optional[str] = None
+        self._role: Optional[str] = None
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise ValueError("no current block; call new_block()/set_block() first")
+        return self._block
+
+    def new_block(self, label: Optional[str] = None, *, switch: bool = True) -> BasicBlock:
+        if label is None:
+            label = self.fresh_label("bb")
+        blk = self.function.new_block(label)
+        if switch:
+            self._block = blk
+        return blk
+
+    def set_block(self, block: Union[BasicBlock, str]) -> None:
+        if isinstance(block, str):
+            block = self.function.block(block)
+        self._block = block
+
+    def fresh_label(self, stem: str = "bb") -> str:
+        while True:
+            self._label_counter += 1
+            label = f"{stem}_{self._label_counter}"
+            if not self.function.has_block(label):
+                return label
+
+    def fresh_reg(self, dtype: DataType, stem: str = "r") -> Register:
+        self._reg_counter += 1
+        return Register(f"{stem}{self._reg_counter}", dtype)
+
+    @contextlib.contextmanager
+    def region(self, name: Optional[str]):
+        """Tag all instructions emitted inside with an ISP region name."""
+        prev, self._region = self._region, name
+        try:
+            yield
+        finally:
+            self._region = prev
+
+    @contextlib.contextmanager
+    def role(self, name: Optional[str]):
+        """Tag all instructions emitted inside with an accounting role."""
+        prev, self._role = self._role, name
+        try:
+            yield
+        finally:
+            self._role = prev
+
+    # --------------------------------------------------------------- operands
+
+    @staticmethod
+    def imm(value: Union[int, float, bool], dtype: DataType) -> Immediate:
+        return Immediate(value, dtype)
+
+    def _coerce(self, value: Value, dtype: DataType) -> Operand:
+        if isinstance(value, (Register, Immediate)):
+            return value
+        return Immediate(value, dtype)
+
+    @staticmethod
+    def _infer_dtype(*values: Value) -> DataType:
+        for v in values:
+            if isinstance(v, (Register, Immediate)):
+                return v.dtype
+        raise ValueError("cannot infer dtype from literals only; pass dtype explicitly")
+
+    # ------------------------------------------------------------------- emit
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        if instr.region is None:
+            instr.region = self._region
+        if instr.role is None:
+            instr.role = self._role
+        return self.block.append(instr)
+
+    def _binary(
+        self, op: Opcode, a: Value, b: Value, dtype: Optional[DataType] = None
+    ) -> Register:
+        dtype = dtype or self._infer_dtype(a, b)
+        dst = self.fresh_reg(dtype)
+        self._emit(
+            Instruction(op, dtype, dst, [self._coerce(a, dtype), self._coerce(b, dtype)])
+        )
+        return dst
+
+    def _unary(self, op: Opcode, a: Value, dtype: Optional[DataType] = None) -> Register:
+        dtype = dtype or self._infer_dtype(a)
+        dst = self.fresh_reg(dtype)
+        self._emit(Instruction(op, dtype, dst, [self._coerce(a, dtype)]))
+        return dst
+
+    # Arithmetic -----------------------------------------------------------
+
+    def add(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.ADD, a, b, dtype)
+
+    def sub(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.SUB, a, b, dtype)
+
+    def mul(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.MUL, a, b, dtype)
+
+    def div(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.DIV, a, b, dtype)
+
+    def rem(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.REM, a, b, dtype)
+
+    def min(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.MIN, a, b, dtype)
+
+    def max(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.MAX, a, b, dtype)
+
+    def and_(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.AND, a, b, dtype)
+
+    def or_(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.OR, a, b, dtype)
+
+    def xor(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.XOR, a, b, dtype)
+
+    def shl(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.SHL, a, b, dtype)
+
+    def shr(self, a: Value, b: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._binary(Opcode.SHR, a, b, dtype)
+
+    def abs(self, a: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._unary(Opcode.ABS, a, dtype)
+
+    def neg(self, a: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._unary(Opcode.NEG, a, dtype)
+
+    def not_(self, a: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._unary(Opcode.NOT, a, dtype)
+
+    def mad(
+        self, a: Value, b: Value, c: Value, dtype: Optional[DataType] = None
+    ) -> Register:
+        """d = a * b + c (PTX ``mad`` / ``fma``)."""
+        dtype = dtype or self._infer_dtype(a, b, c)
+        dst = self.fresh_reg(dtype)
+        self._emit(
+            Instruction(
+                Opcode.MAD,
+                dtype,
+                dst,
+                [self._coerce(a, dtype), self._coerce(b, dtype), self._coerce(c, dtype)],
+            )
+        )
+        return dst
+
+    # SFU -------------------------------------------------------------------
+
+    def ex2(self, a: Value) -> Register:
+        return self._unary(Opcode.EX2, a, DataType.F32)
+
+    def lg2(self, a: Value) -> Register:
+        return self._unary(Opcode.LG2, a, DataType.F32)
+
+    def rcp(self, a: Value) -> Register:
+        return self._unary(Opcode.RCP, a, DataType.F32)
+
+    def sqrt(self, a: Value) -> Register:
+        return self._unary(Opcode.SQRT, a, DataType.F32)
+
+    def rsqrt(self, a: Value) -> Register:
+        return self._unary(Opcode.RSQRT, a, DataType.F32)
+
+    def sin(self, a: Value) -> Register:
+        return self._unary(Opcode.SIN, a, DataType.F32)
+
+    def cos(self, a: Value) -> Register:
+        return self._unary(Opcode.COS, a, DataType.F32)
+
+    # Moves / conversions ----------------------------------------------------
+
+    def mov(self, a: Value, dtype: Optional[DataType] = None) -> Register:
+        return self._unary(Opcode.MOV, a, dtype)
+
+    def mov_to(self, dst: Register, a: Value) -> Register:
+        """Move into an existing register (used for loop-carried values)."""
+        self._emit(Instruction(Opcode.MOV, dst.dtype, dst, [self._coerce(a, dst.dtype)]))
+        return dst
+
+    def special(self, sreg: SpecialReg) -> Register:
+        dst = self.fresh_reg(DataType.S32, stem=sreg.name.lower().replace(".", "_"))
+        self._emit(Instruction(Opcode.MOV, DataType.S32, dst, [], special=sreg))
+        return dst
+
+    def cvt(self, a: Value, to: DataType, frm: Optional[DataType] = None) -> Register:
+        frm = frm or self._infer_dtype(a)
+        dst = self.fresh_reg(to)
+        self._emit(
+            Instruction(Opcode.CVT, to, dst, [self._coerce(a, frm)], src_dtype=frm)
+        )
+        return dst
+
+    # Parameters / memory ------------------------------------------------------
+
+    def ld_param(self, name: str) -> Register:
+        p = self.function.param(name)
+        dst = self.fresh_reg(p.dtype, stem=f"p_{name}_")
+        self._emit(Instruction(Opcode.LDPARAM, p.dtype, dst, [], param=name))
+        return dst
+
+    def ld(self, addr: Value, dtype: DataType) -> Register:
+        dst = self.fresh_reg(dtype)
+        self._emit(Instruction(Opcode.LD, dtype, dst, [self._coerce(addr, DataType.U32)]))
+        return dst
+
+    def tex(
+        self,
+        image: str,
+        x: Value,
+        y: Value,
+        *,
+        mode: str = "clamp",
+        border_value: float = 0.0,
+    ) -> Register:
+        """Textured 2-D read with hardware address-mode border handling.
+
+        ``image`` names the sampled image (the launch must provide
+        ``{image}_ptr``/``{image}_w``/``{image}_h`` parameters); ``mode`` is
+        "clamp" (clamp-to-edge) or "border" (return ``border_value`` when out
+        of range), the two modes CUDA offers for unnormalized coordinates.
+        """
+        if mode not in ("clamp", "border"):
+            raise ValueError(f"unsupported texture address mode {mode!r}")
+        dst = self.fresh_reg(DataType.F32)
+        self._emit(
+            Instruction(
+                Opcode.TEX,
+                DataType.F32,
+                dst,
+                [self._coerce(x, DataType.S32), self._coerce(y, DataType.S32)],
+                param=image,
+                tex_mode=mode,
+                tex_border_value=border_value,
+            )
+        )
+        return dst
+
+    def st(self, addr: Value, value: Value, dtype: Optional[DataType] = None) -> None:
+        dtype = dtype or self._infer_dtype(value)
+        self._emit(
+            Instruction(
+                Opcode.ST,
+                dtype,
+                None,
+                [self._coerce(addr, DataType.U32), self._coerce(value, dtype)],
+            )
+        )
+
+    def lds(self, addr: Value, dtype: DataType) -> Register:
+        """Load from the block's shared scratchpad (byte address)."""
+        dst = self.fresh_reg(dtype)
+        self._emit(Instruction(Opcode.LDS, dtype, dst,
+                               [self._coerce(addr, DataType.U32)]))
+        return dst
+
+    def sts(self, addr: Value, value: Value,
+            dtype: Optional[DataType] = None) -> None:
+        """Store to the block's shared scratchpad (byte address)."""
+        dtype = dtype or self._infer_dtype(value)
+        self._emit(
+            Instruction(
+                Opcode.STS, dtype, None,
+                [self._coerce(addr, DataType.U32), self._coerce(value, dtype)],
+            )
+        )
+
+    def bar(self) -> None:
+        """Block-wide barrier (PTX bar.sync 0)."""
+        self._emit(Instruction(Opcode.BAR, DataType.S32))
+
+    # Comparison / select -------------------------------------------------------
+
+    def setp(
+        self, cmp: CmpOp, a: Value, b: Value, dtype: Optional[DataType] = None
+    ) -> Register:
+        dtype = dtype or self._infer_dtype(a, b)
+        dst = self.fresh_reg(DataType.PRED, stem="p")
+        self._emit(
+            Instruction(
+                Opcode.SETP,
+                dtype,
+                dst,
+                [self._coerce(a, dtype), self._coerce(b, dtype)],
+                cmp=cmp,
+            )
+        )
+        return dst
+
+    def selp(
+        self, pred: Register, if_true: Value, if_false: Value,
+        dtype: Optional[DataType] = None,
+    ) -> Register:
+        dtype = dtype or self._infer_dtype(if_true, if_false)
+        dst = self.fresh_reg(dtype)
+        self._emit(
+            Instruction(
+                Opcode.SELP,
+                dtype,
+                dst,
+                [self._coerce(if_true, dtype), self._coerce(if_false, dtype), pred],
+            )
+        )
+        return dst
+
+    # Control flow ----------------------------------------------------------------
+
+    def br(self, target: Union[str, BasicBlock]) -> None:
+        label = target.label if isinstance(target, BasicBlock) else target
+        self._emit(Instruction(Opcode.BRA, DataType.S32, target=label))
+
+    def cbr(
+        self,
+        pred: Register,
+        if_true: Union[str, BasicBlock],
+        if_false: Union[str, BasicBlock],
+        *,
+        negated: bool = False,
+    ) -> None:
+        t = if_true.label if isinstance(if_true, BasicBlock) else if_true
+        f = if_false.label if isinstance(if_false, BasicBlock) else if_false
+        self._emit(
+            Instruction(
+                Opcode.BRA,
+                DataType.S32,
+                pred=pred,
+                pred_negated=negated,
+                target=t,
+                target_else=f,
+            )
+        )
+
+    def exit(self) -> None:
+        self._emit(Instruction(Opcode.EXIT, DataType.S32))
+
+    # ------------------------------------------------------------------ finish
+
+    def finish(self) -> KernelFunction:
+        """Return the built function (verification is the caller's choice)."""
+        return self.function

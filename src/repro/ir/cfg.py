@@ -1,0 +1,93 @@
+"""Control-flow-graph analyses for kernel functions.
+
+The SIMT simulator reconverges divergent warps at the *immediate
+post-dominator* of the branch block — the textbook stack-based reconvergence
+model used by GPGPU-Sim and by real SIMT hardware descriptions. We compute
+post-dominators with :mod:`networkx` on the reversed CFG augmented with a
+virtual exit node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from .function import KernelFunction
+
+#: Name of the virtual exit node used for post-dominator computation.
+VIRTUAL_EXIT = "__exit__"
+
+
+def build_cfg(func: KernelFunction) -> nx.DiGraph:
+    """Directed graph over block labels; exit blocks edge into VIRTUAL_EXIT."""
+    g = nx.DiGraph()
+    g.add_node(VIRTUAL_EXIT)
+    for block in func.blocks:
+        g.add_node(block.label)
+    for block in func.blocks:
+        succs = block.successor_labels()
+        if not succs:
+            g.add_edge(block.label, VIRTUAL_EXIT)
+        for s in succs:
+            g.add_edge(block.label, s)
+    return g
+
+
+def reachable_blocks(func: KernelFunction) -> set[str]:
+    g = build_cfg(func)
+    reach = set(nx.descendants(g, func.entry.label)) | {func.entry.label}
+    reach.discard(VIRTUAL_EXIT)
+    return reach
+
+
+def immediate_postdominators(func: KernelFunction) -> dict[str, Optional[str]]:
+    """Map block label -> label of its immediate post-dominator.
+
+    Blocks whose ipdom is the virtual exit map to ``None`` (the warp simply
+    runs to completion past them). Unreachable blocks are absent from the map.
+    """
+    g = build_cfg(func)
+    entry = func.entry.label
+    keep = set(nx.descendants(g, entry)) | {entry}
+    if VIRTUAL_EXIT not in keep:
+        # No reachable exit (e.g. an infinite loop): nothing post-dominates.
+        return {label: None for label in keep}
+    rg = g.subgraph(keep).reverse(copy=True)
+    idom = nx.immediate_dominators(rg, VIRTUAL_EXIT)
+    result: dict[str, Optional[str]] = {}
+    for label in keep:
+        if label == VIRTUAL_EXIT:
+            continue
+        ip = idom.get(label)
+        result[label] = None if ip in (None, VIRTUAL_EXIT) else ip
+    return result
+
+
+def back_edges(func: KernelFunction) -> set[tuple[str, str]]:
+    """DFS back edges — presence indicates loops (Repeat border pattern)."""
+    g = build_cfg(func)
+    g.remove_node(VIRTUAL_EXIT)
+    edges: set[tuple[str, str]] = set()
+    color: dict[str, int] = {}
+    stack = [(func.entry.label, iter(g.successors(func.entry.label)))]
+    color[func.entry.label] = 1
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if color.get(succ, 0) == 0:
+                color[succ] = 1
+                stack.append((succ, iter(g.successors(succ))))
+                advanced = True
+                break
+            if color.get(succ) == 1:
+                edges.add((node, succ))
+        if not advanced:
+            color[node] = 2
+            stack.pop()
+    return edges
+
+
+def has_loops(func: KernelFunction) -> bool:
+    return bool(back_edges(func))

@@ -1,0 +1,293 @@
+"""Instruction set of the virtual PTX-like ISA.
+
+The opcode vocabulary is chosen so that the categories inventoried by the
+paper's Table I (``add``, ``max``, ``cvt``, ``setp``, ``selp``, ``mad``,
+``ld``, ``st``, ``bra``, ...) map one-to-one onto our opcodes. Section IV-A of
+the paper counts instructions *by keyword* ("add.s32 and add.i32 are both
+counted as an add instruction"); :mod:`repro.ir.stats` applies the same
+keyword-level grouping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Sequence, Union
+
+from .types import DataType, coerce_immediate
+
+
+class Opcode(enum.Enum):
+    """Virtual ISA opcodes (PTX keyword per opcode)."""
+
+    # Data movement
+    MOV = "mov"
+    LDPARAM = "ld.param"
+    LD = "ld.global"
+    ST = "st.global"
+    #: textured 2-D load: hardware address-mode border handling (paper
+    #: Section I: "GPUs typically provide dedicated hardware support such as
+    #: texture memory ... cached and can be efficiently accessed at the
+    #: image border. However, the access is bound to the image size").
+    TEX = "tex"
+    #: shared-memory (per-block scratchpad) accesses — used by the
+    #: tile-staging variant, where border handling happens once per halo
+    #: pixel during the cooperative load instead of once per tap.
+    LDS = "ld.shared"
+    STS = "st.shared"
+    #: block-wide barrier (PTX bar.sync); must execute in uniform control flow
+    BAR = "bar"
+    # Integer / float arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MAD = "mad"  # d = a * b + c (fma for f32)
+    DIV = "div"
+    REM = "rem"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    NEG = "neg"
+    # Bitwise / shifts
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Comparison and selection
+    SETP = "setp"
+    SELP = "selp"
+    # Conversions
+    CVT = "cvt"
+    # Transcendental (SFU on real hardware)
+    EX2 = "ex2"  # 2**x
+    LG2 = "lg2"  # log2(x)
+    RCP = "rcp"  # 1/x
+    SQRT = "sqrt"
+    RSQRT = "rsqrt"
+    SIN = "sin"
+    COS = "cos"
+    # Control flow (terminators)
+    BRA = "bra"
+    EXIT = "exit"
+
+    @property
+    def keyword(self) -> str:
+        """Leading PTX keyword — the unit of the paper's instruction counting."""
+        return self.value.split(".")[0]
+
+
+#: Terminator opcodes — must appear exactly once, at the end of a basic block.
+TERMINATORS = frozenset({Opcode.BRA, Opcode.EXIT})
+
+#: Opcodes whose cost the GPU cost model bills as SFU operations.
+SFU_OPS = frozenset(
+    {Opcode.EX2, Opcode.LG2, Opcode.RCP, Opcode.SQRT, Opcode.RSQRT, Opcode.SIN, Opcode.COS}
+)
+
+#: Opcodes that access global memory.
+MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST, Opcode.TEX})
+
+#: Opcodes that access the per-block shared scratchpad.
+SHARED_OPS = frozenset({Opcode.LDS, Opcode.STS})
+
+_ARITY = {
+    Opcode.MOV: 1,
+    Opcode.LDPARAM: 0,
+    Opcode.LD: 1,
+    Opcode.ST: 2,
+    Opcode.TEX: 2,
+    Opcode.LDS: 1,
+    Opcode.STS: 2,
+    Opcode.BAR: 0,
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.MAD: 3,
+    Opcode.DIV: 2,
+    Opcode.REM: 2,
+    Opcode.MIN: 2,
+    Opcode.MAX: 2,
+    Opcode.ABS: 1,
+    Opcode.NEG: 1,
+    Opcode.AND: 2,
+    Opcode.OR: 2,
+    Opcode.XOR: 2,
+    Opcode.NOT: 1,
+    Opcode.SHL: 2,
+    Opcode.SHR: 2,
+    Opcode.SETP: 2,
+    Opcode.SELP: 3,
+    Opcode.CVT: 1,
+    Opcode.EX2: 1,
+    Opcode.LG2: 1,
+    Opcode.RCP: 1,
+    Opcode.SQRT: 1,
+    Opcode.RSQRT: 1,
+    Opcode.SIN: 1,
+    Opcode.COS: 1,
+    Opcode.BRA: 0,
+    Opcode.EXIT: 0,
+}
+
+
+class CmpOp(enum.Enum):
+    """Comparison predicates for ``setp`` (PTX spelling)."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class SpecialReg(enum.Enum):
+    """Read-only special registers (PTX ``%tid`` etc.).
+
+    The region-switching code of ISP (paper Listings 3 and 5) is driven by
+    ``%ctaid`` (block index) and, for warp-grained partitioning, the warp index
+    derived from ``%tid``.
+    """
+
+    TID_X = "%tid.x"
+    TID_Y = "%tid.y"
+    NTID_X = "%ntid.x"
+    NTID_Y = "%ntid.y"
+    CTAID_X = "%ctaid.x"
+    CTAID_Y = "%ctaid.y"
+    NCTAID_X = "%nctaid.x"
+    NCTAID_Y = "%nctaid.y"
+    LANEID = "%laneid"
+    WARPID = "%warpid"
+
+
+@dataclasses.dataclass(frozen=True)
+class Register:
+    """A typed virtual register. Identity is ``(name)``; the verifier checks
+    that a name is never redefined with a different type."""
+
+    name: str
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Immediate:
+    """A typed literal operand, pre-coerced to its dtype's lattice."""
+
+    value: Union[int, float, bool]
+    dtype: DataType
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", coerce_immediate(self.value, self.dtype))
+
+    def __str__(self) -> str:
+        if self.dtype is DataType.F32:
+            return f"0F({self.value!r})"
+        return str(self.value)
+
+
+Operand = Union[Register, Immediate]
+
+
+@dataclasses.dataclass
+class Instruction:
+    """One virtual-ISA instruction.
+
+    Attributes
+    ----------
+    op:
+        The opcode.
+    dtype:
+        The operating type. For ``setp`` this is the *compared* type (the
+        destination is always a predicate); for ``cvt`` it is the destination
+        type and ``src_dtype`` holds the source type.
+    dst:
+        Destination register (``None`` for stores and terminators).
+    srcs:
+        Source operands, in opcode-defined order. ``st dst_addr, value``
+        stores ``srcs[1]`` at address ``srcs[0]``.
+    cmp:
+        Comparison operator, ``setp`` only.
+    pred:
+        Guard predicate for ``bra`` (``None`` = unconditional).
+    target / target_else:
+        Branch targets (labels). ``target_else`` is the fall-through label and
+        is filled in by the builder so every conditional branch is explicit.
+    param:
+        Parameter name for ``ld.param``.
+    src_dtype:
+        Source type for ``cvt``.
+    special:
+        Special register read for ``mov`` from a :class:`SpecialReg`.
+    region:
+        Optional tag naming the ISP region this instruction belongs to —
+        carried through compilation so the profiler can attribute dynamic
+        counts per region as in the paper's Table I.
+    role:
+        Optional tag: ``"check"`` (border-handling address check),
+        ``"switch"`` (region-switch statement), ``"kernel"`` (filter math),
+        ``"addr"`` (plain address arithmetic). Used by the model calibration
+        (n_check / n_switch / n_kernel in paper Eqs. 3-6).
+    """
+
+    op: Opcode
+    dtype: DataType
+    dst: Optional[Register] = None
+    srcs: Sequence[Operand] = ()
+    cmp: Optional[CmpOp] = None
+    pred: Optional[Register] = None
+    pred_negated: bool = False
+    target: Optional[str] = None
+    target_else: Optional[str] = None
+    param: Optional[str] = None
+    src_dtype: Optional[DataType] = None
+    special: Optional[SpecialReg] = None
+    #: TEX only: hardware address mode, "clamp" (clamp-to-edge) or
+    #: "border" (out-of-range reads return ``tex_border_value``), matching
+    #: CUDA's cudaAddressModeClamp / cudaAddressModeBorder for unnormalized
+    #: coordinates.
+    tex_mode: Optional[str] = None
+    tex_border_value: float = 0.0
+    region: Optional[str] = None
+    role: Optional[str] = None
+
+    def __post_init__(self):
+        self.srcs = tuple(self.srcs)
+        expected = _ARITY[self.op]
+        if self.op is Opcode.MOV and self.special is not None:
+            expected = 0
+        if len(self.srcs) != expected:
+            raise ValueError(
+                f"{self.op.value} expects {expected} source operands, got {len(self.srcs)}"
+            )
+        if self.op is Opcode.SETP and self.cmp is None:
+            raise ValueError("setp requires a comparison operator")
+        if self.op is Opcode.CVT and self.src_dtype is None:
+            raise ValueError("cvt requires src_dtype")
+        if self.op is Opcode.LDPARAM and self.param is None:
+            raise ValueError("ld.param requires a parameter name")
+        if self.op is Opcode.TEX and self.param is None:
+            raise ValueError("tex requires the sampled image's name")
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in TERMINATORS
+
+    @property
+    def keyword(self) -> str:
+        """Paper-style counting keyword (``add``, ``setp``, ``ld``...)."""
+        return self.op.keyword
+
+    def defined_register(self) -> Optional[Register]:
+        return self.dst
+
+    def used_registers(self) -> list[Register]:
+        used = [s for s in self.srcs if isinstance(s, Register)]
+        if self.pred is not None:
+            used.append(self.pred)
+        return used

@@ -1,0 +1,78 @@
+"""PTX-flavoured pretty printer for kernel functions.
+
+The output is what the paper calls "the PTX code" in Section IV-A — the
+artifact whose instructions Table I inventories. It is also used by
+``examples/codegen_dump.py`` to let users eyeball the generated fat kernels.
+"""
+
+from __future__ import annotations
+
+from .function import KernelFunction
+from .instructions import Instruction, Opcode
+
+
+def format_instruction(instr: Instruction) -> str:
+    op = instr.op
+    if op is Opcode.EXIT:
+        return "exit;"
+    if op is Opcode.BRA:
+        if instr.pred is None:
+            return f"bra {instr.target};"
+        neg = "!" if instr.pred_negated else ""
+        return f"@{neg}{instr.pred} bra {instr.target}; // else {instr.target_else}"
+    if op is Opcode.MOV and instr.special is not None:
+        return f"mov.s32 {instr.dst}, {instr.special.value};"
+    if op is Opcode.LDPARAM:
+        return f"ld.param.{instr.dtype.suffix} {instr.dst}, [{instr.param}];"
+    if op is Opcode.TEX:
+        x, y = instr.srcs
+        return (f"tex.2d.v1.f32 {instr.dst}, [{instr.param}, {{{x}, {y}}}];"
+                f" // mode={instr.tex_mode}")
+    if op is Opcode.LD:
+        return f"ld.global.{instr.dtype.suffix} {instr.dst}, [{instr.srcs[0]}];"
+    if op is Opcode.ST:
+        return f"st.global.{instr.dtype.suffix} [{instr.srcs[0]}], {instr.srcs[1]};"
+    if op is Opcode.LDS:
+        return f"ld.shared.{instr.dtype.suffix} {instr.dst}, [{instr.srcs[0]}];"
+    if op is Opcode.STS:
+        return f"st.shared.{instr.dtype.suffix} [{instr.srcs[0]}], {instr.srcs[1]};"
+    if op is Opcode.BAR:
+        return "bar.sync 0;"
+    if op is Opcode.SETP:
+        a, b = instr.srcs
+        return f"setp.{instr.cmp.value}.{instr.dtype.suffix} {instr.dst}, {a}, {b};"
+    if op is Opcode.SELP:
+        a, b, p = instr.srcs
+        return f"selp.{instr.dtype.suffix} {instr.dst}, {a}, {b}, {p};"
+    if op is Opcode.CVT:
+        return (
+            f"cvt.{instr.dtype.suffix}.{instr.src_dtype.suffix} "
+            f"{instr.dst}, {instr.srcs[0]};"
+        )
+    srcs = ", ".join(str(s) for s in instr.srcs)
+    return f"{op.value}.{instr.dtype.suffix} {instr.dst}, {srcs};"
+
+
+def print_function(func: KernelFunction, *, annotate: bool = False) -> str:
+    """Render the function as PTX-like text.
+
+    With ``annotate=True``, each instruction gets a trailing comment showing
+    its ISP region and accounting role — handy when auditing the per-region
+    attribution behind the Table I reproduction.
+    """
+    lines = [f".visible .entry {func.name}("]
+    for i, p in enumerate(func.params):
+        comma = "," if i + 1 < len(func.params) else ""
+        kind = ".ptr " if p.is_pointer else ""
+        lines.append(f"    .param .{p.dtype.suffix} {kind}{p.name}{comma}")
+    lines.append(")")
+    lines.append("{")
+    for block in func.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block:
+            text = f"    {format_instruction(instr)}"
+            if annotate and (instr.region or instr.role):
+                text += f"  // region={instr.region or '-'} role={instr.role or '-'}"
+            lines.append(text)
+    lines.append("}")
+    return "\n".join(lines)

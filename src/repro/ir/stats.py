@@ -1,0 +1,75 @@
+"""Static instruction statistics with the paper's keyword-level grouping.
+
+Section IV-A: "The instructions have been categorized based on keywords for
+simplicity purposes. For example, add.s32 and add.i32 are both counted as an
+add instruction." These helpers produce exactly that kind of census, both for
+whole functions and filtered by ISP region or accounting role.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Optional
+
+from .function import KernelFunction
+from .instructions import Instruction
+
+#: Order in which Table-I-style reports list categories. Instructions whose
+#: keyword is absent here are appended alphabetically.
+CATEGORY_ORDER = [
+    "add", "sub", "mul", "mad", "div", "rem", "min", "max", "abs", "neg",
+    "and", "or", "xor", "not", "shl", "shr",
+    "setp", "selp", "cvt", "mov",
+    "ld", "st", "bra", "exit",
+    "ex2", "lg2", "rcp", "sqrt", "rsqrt", "sin", "cos",
+]
+
+
+def count_instructions(
+    instructions: Iterable[Instruction],
+    *,
+    predicate: Optional[Callable[[Instruction], bool]] = None,
+) -> Counter:
+    """Histogram of instruction keywords, optionally filtered."""
+    counter: Counter = Counter()
+    for instr in instructions:
+        if predicate is not None and not predicate(instr):
+            continue
+        counter[instr.keyword] += 1
+    return counter
+
+
+def count_function(func: KernelFunction) -> Counter:
+    return count_instructions(func.instructions())
+
+
+def count_by_region(func: KernelFunction) -> dict[str, Counter]:
+    """Keyword histogram per ISP region tag (untagged -> ``"(shared)"``)."""
+    result: dict[str, Counter] = {}
+    for instr in func.instructions():
+        region = instr.region or "(shared)"
+        result.setdefault(region, Counter())[instr.keyword] += 1
+    return result
+
+
+def count_by_role(func: KernelFunction) -> dict[str, Counter]:
+    """Keyword histogram per accounting role (check/switch/kernel/addr)."""
+    result: dict[str, Counter] = {}
+    for instr in func.instructions():
+        role = instr.role or "(untagged)"
+        result.setdefault(role, Counter())[instr.keyword] += 1
+    return result
+
+
+def ordered_categories(counters: Iterable[Counter]) -> list[str]:
+    """Union of keys across counters, in Table-I presentation order."""
+    seen: set[str] = set()
+    for c in counters:
+        seen.update(c.keys())
+    ordered = [k for k in CATEGORY_ORDER if k in seen]
+    ordered += sorted(seen - set(CATEGORY_ORDER))
+    return ordered
+
+
+def total(counter: Counter) -> int:
+    return sum(counter.values())

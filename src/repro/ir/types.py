@@ -1,0 +1,86 @@
+"""Data types of the virtual PTX-like ISA.
+
+The paper analyzes instruction counts at PTX level (Section IV-A). Our virtual
+ISA keeps the PTX type discipline small but faithful: 32-bit signed/unsigned
+integers, 32-bit IEEE floats, and 1-bit predicates. All memory traffic in the
+evaluated kernels is 4 bytes per element, which matches the single-channel
+``float``/``uchar``-promoted-to-``float`` images used by Hipacc-generated code.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """Register/operand types, mirroring PTX ``.pred/.s32/.u32/.f32``."""
+
+    PRED = "pred"
+    S32 = "s32"
+    U32 = "u32"
+    F32 = "f32"
+
+    @property
+    def suffix(self) -> str:
+        """PTX-style type suffix used by the printer (e.g. ``add.s32``)."""
+        return self.value
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used by the SIMT simulator to hold lane values."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DataType.S32, DataType.U32)
+
+    @property
+    def is_float(self) -> bool:
+        return self is DataType.F32
+
+    @property
+    def is_predicate(self) -> bool:
+        return self is DataType.PRED
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in global memory (predicates never hit memory)."""
+        if self is DataType.PRED:
+            raise ValueError("predicates are not addressable")
+        return 4
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType.{self.name}"
+
+
+_NUMPY_DTYPES = {
+    DataType.PRED: np.dtype(np.bool_),
+    DataType.S32: np.dtype(np.int32),
+    DataType.U32: np.dtype(np.uint32),
+    DataType.F32: np.dtype(np.float32),
+}
+
+#: Types that may appear as kernel parameters.
+PARAM_TYPES = (DataType.S32, DataType.U32, DataType.F32)
+
+#: Types that may be loaded from / stored to global memory.
+MEMORY_TYPES = (DataType.S32, DataType.U32, DataType.F32)
+
+
+def coerce_immediate(value: float | int | bool, dtype: DataType):
+    """Clamp/convert a Python literal to the exact lattice of ``dtype``.
+
+    Keeping immediates pre-coerced means the simulator never has to guess about
+    overflow semantics: ``s32`` wraps like int32, ``f32`` rounds to float32.
+    """
+    if dtype is DataType.PRED:
+        return bool(value)
+    if dtype is DataType.F32:
+        return float(np.float32(value))
+    if dtype is DataType.S32:
+        return int(np.int32(np.int64(value) & 0xFFFFFFFF))
+    if dtype is DataType.U32:
+        return int(np.uint32(np.int64(value) & 0xFFFFFFFF))
+    raise ValueError(f"unsupported immediate type {dtype}")

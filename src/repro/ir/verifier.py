@@ -1,0 +1,148 @@
+"""Structural and type verification of kernel functions.
+
+The compiler verifies every function it emits; the SIMT simulator refuses to
+launch unverified functions. Catching malformed IR here (rather than deep in a
+masked NumPy gather) keeps compiler bugs cheap to debug.
+"""
+
+from __future__ import annotations
+
+from .cfg import reachable_blocks
+from .function import KernelFunction
+from .instructions import CmpOp, Immediate, Opcode, Register
+from .types import DataType
+
+
+class IRVerificationError(Exception):
+    """Raised when a kernel function violates the ISA's structural rules."""
+
+
+def verify(func: KernelFunction) -> None:
+    """Raise :class:`IRVerificationError` on the first violation found."""
+    if not func.blocks:
+        raise IRVerificationError(f"{func.name}: function has no blocks")
+
+    labels = {b.label for b in func.blocks}
+    reg_types: dict[str, DataType] = {}
+    defined: set[str] = set()
+    param_names = {p.name for p in func.params}
+
+    for block in func.blocks:
+        if not block.is_terminated:
+            raise IRVerificationError(f"{func.name}:{block.label}: missing terminator")
+        for i, instr in enumerate(block):
+            where = f"{func.name}:{block.label}[{i}]"
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                raise IRVerificationError(f"{where}: terminator not last in block")
+            _check_types(instr, reg_types, where)
+            if instr.op is Opcode.LDPARAM and instr.param not in param_names:
+                raise IRVerificationError(f"{where}: unknown parameter {instr.param!r}")
+            if instr.op is Opcode.TEX and f"{instr.param}_ptr" not in param_names:
+                raise IRVerificationError(
+                    f"{where}: tex samples unknown image {instr.param!r}"
+                )
+            if instr.op is Opcode.BRA:
+                for t in (instr.target, instr.target_else):
+                    if t is not None and t not in labels:
+                        raise IRVerificationError(f"{where}: branch to unknown label {t!r}")
+                if instr.pred is not None and instr.target_else is None:
+                    raise IRVerificationError(f"{where}: conditional branch missing else target")
+            if instr.dst is not None:
+                defined.add(instr.dst.name)
+
+    # Every used register must be defined somewhere in the function. (A full
+    # dominance-based def-before-use check is intentionally out of scope; the
+    # simulator additionally traps reads of never-written registers at run
+    # time, which catches path-sensitive violations.)
+    for block in func.blocks:
+        for i, instr in enumerate(block):
+            for reg in instr.used_registers():
+                if reg.name not in defined:
+                    raise IRVerificationError(
+                        f"{func.name}:{block.label}[{i}]: use of undefined register {reg}"
+                    )
+
+    unreachable = labels - reachable_blocks(func)
+    if unreachable:
+        raise IRVerificationError(
+            f"{func.name}: unreachable blocks: {sorted(unreachable)}"
+        )
+
+
+def _check_types(instr, reg_types: dict[str, DataType], where: str) -> None:
+    def bind(reg: Register):
+        prev = reg_types.get(reg.name)
+        if prev is None:
+            reg_types[reg.name] = reg.dtype
+        elif prev is not reg.dtype:
+            raise IRVerificationError(
+                f"{where}: register %{reg.name} used as {reg.dtype.value}, "
+                f"previously {prev.value}"
+            )
+
+    for opnd in instr.srcs:
+        if isinstance(opnd, Register):
+            bind(opnd)
+    if instr.dst is not None:
+        bind(instr.dst)
+    if instr.pred is not None:
+        bind(instr.pred)
+        if instr.pred.dtype is not DataType.PRED:
+            raise IRVerificationError(f"{where}: branch guard must be a predicate")
+
+    op = instr.op
+    if op is Opcode.SETP:
+        if instr.dst is None or instr.dst.dtype is not DataType.PRED:
+            raise IRVerificationError(f"{where}: setp destination must be a predicate")
+        if not isinstance(instr.cmp, CmpOp):
+            raise IRVerificationError(f"{where}: setp requires a CmpOp")
+        for s in instr.srcs:
+            if _operand_dtype(s) is not instr.dtype:
+                raise IRVerificationError(f"{where}: setp operand type mismatch")
+    elif op is Opcode.SELP:
+        a, b, p = instr.srcs
+        if _operand_dtype(p) is not DataType.PRED:
+            raise IRVerificationError(f"{where}: selp selector must be a predicate")
+        for s in (a, b):
+            if _operand_dtype(s) is not instr.dtype:
+                raise IRVerificationError(f"{where}: selp operand type mismatch")
+    elif op is Opcode.CVT:
+        if _operand_dtype(instr.srcs[0]) is not instr.src_dtype:
+            raise IRVerificationError(f"{where}: cvt source type mismatch")
+        if instr.dst is None or instr.dst.dtype is not instr.dtype:
+            raise IRVerificationError(f"{where}: cvt destination type mismatch")
+    elif op is Opcode.LD or op is Opcode.LDS:
+        if _operand_dtype(instr.srcs[0]) is not DataType.U32:
+            raise IRVerificationError(f"{where}: load address must be u32")
+    elif op is Opcode.TEX:
+        for src in instr.srcs:
+            if _operand_dtype(src) is not DataType.S32:
+                raise IRVerificationError(f"{where}: tex coordinates must be s32")
+        if instr.dst is None or instr.dst.dtype is not DataType.F32:
+            raise IRVerificationError(f"{where}: tex destination must be f32")
+        if instr.tex_mode not in ("clamp", "border"):
+            raise IRVerificationError(f"{where}: invalid tex address mode")
+    elif op is Opcode.ST or op is Opcode.STS:
+        if _operand_dtype(instr.srcs[0]) is not DataType.U32:
+            raise IRVerificationError(f"{where}: store address must be u32")
+        if _operand_dtype(instr.srcs[1]) is not instr.dtype:
+            raise IRVerificationError(f"{where}: store value type mismatch")
+    elif op in (Opcode.BRA, Opcode.EXIT, Opcode.LDPARAM, Opcode.MOV,
+                Opcode.BAR):
+        pass
+    else:
+        # homogeneous arithmetic: all operands and dst share instr.dtype
+        for s in instr.srcs:
+            if _operand_dtype(s) is not instr.dtype:
+                raise IRVerificationError(
+                    f"{where}: {op.value} operand type mismatch "
+                    f"({_operand_dtype(s).value} vs {instr.dtype.value})"
+                )
+        if instr.dst is not None and instr.dst.dtype is not instr.dtype:
+            raise IRVerificationError(f"{where}: {op.value} destination type mismatch")
+
+
+def _operand_dtype(opnd) -> DataType:
+    if isinstance(opnd, (Register, Immediate)):
+        return opnd.dtype
+    raise IRVerificationError(f"unexpected operand {opnd!r}")

@@ -1,0 +1,26 @@
+"""The paper's analytic performance model (Section IV, Eqs. 1-10)."""
+
+from .blocks import ModelBlockCounts, block_counts, body_fraction_series, index_bounds
+from .calibration import Calibration, calibrate, switch_cost
+from .instructions import (
+    InstructionEstimate,
+    estimate_instructions,
+    region_cost_per_pixel,
+)
+from .prediction import Prediction, clear_model_cache, predict_kernel
+
+__all__ = [
+    "Calibration",
+    "InstructionEstimate",
+    "ModelBlockCounts",
+    "Prediction",
+    "block_counts",
+    "body_fraction_series",
+    "calibrate",
+    "clear_model_cache",
+    "estimate_instructions",
+    "index_bounds",
+    "predict_kernel",
+    "region_cost_per_pixel",
+    "switch_cost",
+]

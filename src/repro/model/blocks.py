@@ -1,0 +1,122 @@
+"""Block-count model — paper Eqs. 2, 7, 8 and Figure 3.
+
+These are the *model's* (closed-form, paper-style) block counts, kept
+deliberately separate from the exact geometry in
+:mod:`repro.compiler.regions`: the compiler and simulator use the exact
+version; the analytic model uses this one, as the paper's model does.
+For non-degenerate geometries the two coincide (tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..compiler.regions import Region
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelBlockCounts:
+    """Eq. 7/8 quantities for one configuration."""
+
+    n_block_x: int
+    n_block_y: int
+    bh_l: int
+    bh_r: int
+    bh_t: int
+    bh_b: int
+    counts: dict[Region, int]
+
+    @property
+    def total(self) -> int:
+        return self.n_block_x * self.n_block_y
+
+    @property
+    def body_fraction(self) -> float:
+        """Percentage basis of paper Figure 3."""
+        return self.counts[Region.BODY] / max(1, self.total)
+
+
+def index_bounds(
+    sx: int, sy: int, m: int, n: int, tx: int, ty: int
+) -> tuple[int, int, int, int]:
+    """Paper Eq. 2: (BH_L, BH_R, BH_T, BH_B).
+
+    ``m x n`` is the window size; a window reaches ``m//2`` pixels beyond the
+    output pixel on each side. ``BH_L``/``BH_T`` are exclusive upper bounds of
+    the left/top border block indices; ``BH_R``/``BH_B`` are inclusive lower
+    bounds of the right/bottom ones.
+    """
+    if m % 2 == 0 or n % 2 == 0:
+        raise ValueError("window sizes must be odd")
+    hx, hy = m // 2, n // 2
+    gx = math.ceil(sx / tx)
+    gy = math.ceil(sy / ty)
+    bh_l = min(gx, math.ceil(hx / tx))
+    bh_t = min(gy, math.ceil(hy / ty))
+    # First block column whose window can cross the right edge: the last
+    # block always can (for hx > 0); a full block i can iff
+    # (i+1)*tx - 1 + hx >= sx.
+    if hx > 0:
+        bh_r = min(gx - 1, max(0, math.ceil((sx + 1 - hx) / tx) - 1))
+    else:
+        bh_r = gx
+    if hy > 0:
+        bh_b = min(gy - 1, max(0, math.ceil((sy + 1 - hy) / ty) - 1))
+    else:
+        bh_b = gy
+    return bh_l, bh_r, bh_t, bh_b
+
+
+def block_counts(
+    sx: int, sy: int, m: int, n: int, tx: int, ty: int
+) -> ModelBlockCounts:
+    """Paper Eqs. 7 and 8: blocks per region."""
+    bh_l, bh_r, bh_t, bh_b = index_bounds(sx, sy, m, n, tx, ty)
+    gx = math.ceil(sx / tx)
+    gy = math.ceil(sy / ty)
+
+    def axis_split(low: int, high: int, total: int) -> tuple[int, int, int]:
+        """(n_low, n_mid, n_high) block columns/rows on one axis.
+
+        A degenerate axis (low > high: some block needs checks on *both*
+        sides) has no check-free middle; the nine-region model degrades to
+        all-border, matching the compiler's fallback-to-naive behaviour.
+        """
+        if low > high:
+            return total, 0, 0
+        n_low = low
+        n_high = total - high
+        return n_low, total - n_low - n_high, n_high
+
+    nxl, nxm, nxr = axis_split(bh_l, bh_r, gx)
+    nyt, nym, nyb = axis_split(bh_t, bh_b, gy)
+
+    counts = {
+        Region.TL: nxl * nyt,
+        Region.T: nxm * nyt,
+        Region.TR: nxr * nyt,
+        Region.L: nxl * nym,
+        Region.R: nxr * nym,
+        Region.BL: nxl * nyb,
+        Region.B: nxm * nyb,
+        Region.BR: nxr * nyb,
+    }
+    counts[Region.BODY] = gx * gy - sum(counts.values())  # Eq. 8b
+    assert counts[Region.BODY] >= 0
+    return ModelBlockCounts(
+        n_block_x=gx, n_block_y=gy,
+        bh_l=bh_l, bh_r=bh_r, bh_t=bh_t, bh_b=bh_b,
+        counts=counts,
+    )
+
+
+def body_fraction_series(
+    sizes: list[int], m: int, n: int, tx: int, ty: int
+) -> list[tuple[int, float]]:
+    """The (image size, body-block percentage) series of paper Figure 3."""
+    out = []
+    for s in sizes:
+        counts = block_counts(s, s, m, n, tx, ty)
+        out.append((s, 100.0 * counts.body_fraction))
+    return out

@@ -1,0 +1,91 @@
+"""Model calibration: extract (n_check, n_kernel, n_switch) from compiled IR.
+
+The paper's model (Section IV-A.2) is parameterized by the number of
+instructions for border checking vs. kernel execution. Rather than guessing,
+we calibrate from the compiler's own output — which is exactly what the
+authors did by inventorying the PTX of the compiled kernels (Table I):
+
+* ``check_per_pixel``  — static instructions tagged ``role="check"`` in the
+  naive variant (all checks, every access): the paper's
+  ``4 * n_check * m * n`` aggregate.
+* ``kernel_per_pixel`` — static instructions tagged ``kernel``/``addr``: the
+  paper's ``n_kernel * m * n`` aggregate (filter math + address calculation).
+* ``switch_cost(region)`` — per-thread cost of the Listing 3 dispatch chain
+  up to the given region's test, computed from the chain structure.
+
+The calibration is *static*: it ignores loop trip counts (Repeat) and
+divergence, which is one of the ways the model stays coarser than the
+simulator — mispredictions near the decision boundary are expected and are
+part of the reproduction (paper Table III's red cells).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..compiler.driver import compile_kernel
+from ..compiler.frontend import KernelDescription
+from ..compiler.isp import Variant
+from ..compiler.regions import SWITCH_ORDER, Region
+
+#: Per-test instruction cost in the dispatch chain: setp (+ setp + and) + bra.
+_TEST_COST_ONE = 2.0
+_TEST_COST_TWO = 4.0
+#: Regions whose Listing 3 test has two conditions.
+_TWO_COND = {Region.TL, Region.TR, Region.BL, Region.BR}
+
+
+@dataclasses.dataclass(frozen=True)
+class Calibration:
+    """Static per-pixel instruction budget of one kernel."""
+
+    #: all-checks cost per output pixel (sum over taps and sides)
+    check_per_pixel: float
+    #: kernel + address cost per output pixel
+    kernel_per_pixel: float
+    #: window size the aggregates were measured at
+    window: tuple[int, int]
+
+    @property
+    def check_per_tap_side(self) -> float:
+        """The paper's ``n_check``: one border check of one access."""
+        m, n = self.window
+        sides = 4 if (m > 1 and n > 1) else 2
+        return self.check_per_pixel / (sides * m * n)
+
+    @property
+    def kernel_per_tap(self) -> float:
+        """The paper's ``n_kernel`` (per window element)."""
+        m, n = self.window
+        return self.kernel_per_pixel / (m * n)
+
+
+def calibrate(desc: KernelDescription, block: tuple[int, int] = (32, 4)) -> Calibration:
+    """Compile the naive variant and count role-tagged instructions."""
+    ck = compile_kernel(desc, variant=Variant.NAIVE, block=block)
+    check = 0
+    kern = 0
+    for instr in ck.func.instructions():
+        if instr.role == "check":
+            check += 1
+        elif instr.role in ("kernel", "addr"):
+            kern += 1
+    return Calibration(
+        check_per_pixel=float(check),
+        kernel_per_pixel=float(kern),
+        window=desc.window_size,
+    )
+
+
+def switch_cost(region: Region) -> float:
+    """Per-thread instructions spent in the dispatch chain before entering
+    ``region`` (the model's ``n_switch(p)``, paper Eq. 5)."""
+    cost = 0.0
+    for r in SWITCH_ORDER:
+        if r is Region.BODY:
+            cost += 1.0  # final unconditional bra
+            break
+        cost += _TEST_COST_TWO if r in _TWO_COND else _TEST_COST_ONE
+        if r is region:
+            break
+    return cost

@@ -1,0 +1,143 @@
+"""Prediction model — paper Eq. 10 and the isp+m decision.
+
+``G = R_reduced * O_ISP / O_naive``: the instruction-count gain discounted by
+the occupancy ratio. ``G > 1`` predicts ISP to be faster; otherwise the
+model "suggests falling back to the naive implementation" (Section VI-A.2).
+
+Occupancy comes from the same theoretical-occupancy calculator the paper
+used, fed by the compiler's register estimates for each variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..compiler.driver import compile_kernel
+from ..compiler.frontend import KernelDescription
+from ..compiler.isp import CompileError, Variant
+from ..gpu.device import DeviceSpec, GTX680
+from ..gpu.occupancy import compute_occupancy
+from .calibration import calibrate
+from .instructions import InstructionEstimate, estimate_instructions
+
+
+def _artifact_key(desc: KernelDescription, block, device, degenerate: bool):
+    """Cache key for size-independent model artifacts (calibration and
+    register estimates do not depend on the image size; only the block-count
+    arithmetic of Eqs. 7-8 does)."""
+    from ..dsl.expr import walk
+
+    boundaries = tuple(
+        sorted((a.image.name, a.boundary.value) for a in desc.accessors)
+    )
+    n_nodes = sum(1 for _ in walk(desc.expr))
+    return (desc.name, boundaries, desc.extent, n_nodes, block,
+            device.name, degenerate)
+
+
+#: (calibration, regs_naive, regs_isp or None) per artifact key.
+_ARTIFACT_CACHE: dict[tuple, tuple] = {}
+
+
+def clear_model_cache() -> None:
+    _ARTIFACT_CACHE.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class Prediction:
+    """Model output for one kernel/configuration."""
+
+    kernel: str
+    device: str
+    r_reduced: float
+    occupancy_naive: float
+    occupancy_isp: float
+    gain: float  # the paper's G (Eq. 10)
+    instructions: InstructionEstimate
+    regs_naive: int
+    regs_isp: int
+
+    @property
+    def use_isp(self) -> bool:
+        return self.gain > 1.0
+
+    @property
+    def choice(self) -> Variant:
+        return Variant.ISP if self.use_isp else Variant.NAIVE
+
+
+def predict_kernel(
+    desc: KernelDescription,
+    *,
+    block: tuple[int, int] = (32, 4),
+    device: DeviceSpec = GTX680,
+) -> Prediction:
+    """Evaluate the model for one kernel (paper Eqs. 3-10)."""
+    if not desc.needs_border_handling:
+        occ = 1.0
+        est = estimate_instructions(
+            calibrate(desc, block), desc.width, desc.height, *block
+        )
+        return Prediction(
+            kernel=desc.name, device=device.name,
+            r_reduced=1.0, occupancy_naive=occ, occupancy_isp=occ, gain=1.0,
+            instructions=est, regs_naive=0, regs_isp=0,
+        )
+
+    from ..compiler.regions import RegionGeometry
+
+    hx, hy = desc.extent
+    degenerate = RegionGeometry.compute(
+        desc.width, desc.height, hx, hy, block
+    ).degenerate
+
+    key = _artifact_key(desc, block, device, degenerate)
+    cached = _ARTIFACT_CACHE.get(key)
+    if cached is not None:
+        cal, regs_naive, regs_isp = cached
+    else:
+        cal = calibrate(desc, block)
+        ck_naive = compile_kernel(
+            desc, variant=Variant.NAIVE, block=block, device=device
+        )
+        regs_naive = ck_naive.registers.allocated
+        if degenerate:
+            regs_isp = None
+        else:
+            ck_isp = compile_kernel(
+                desc, variant=Variant.ISP, block=block, device=device,
+                fallback_to_naive=False,
+            )
+            regs_isp = ck_isp.registers.allocated
+        _ARTIFACT_CACHE[key] = (cal, regs_naive, regs_isp)
+
+    est = estimate_instructions(cal, desc.width, desc.height, *block)
+
+    threads = block[0] * block[1]
+    if regs_isp is None:
+        # Degenerate geometry: ISP is not even expressible; G = 0 forces naive.
+        occ_n = compute_occupancy(device, threads, regs_naive).occupancy
+        return Prediction(
+            kernel=desc.name, device=device.name,
+            r_reduced=0.0, occupancy_naive=occ_n, occupancy_isp=occ_n, gain=0.0,
+            instructions=est,
+            regs_naive=regs_naive,
+            regs_isp=regs_naive,
+        )
+
+    occ_naive = compute_occupancy(device, threads, regs_naive)
+    occ_isp = compute_occupancy(device, threads, regs_isp)
+
+    r = est.r_reduced
+    gain = r * (occ_isp.occupancy / occ_naive.occupancy)  # Eq. 10
+    return Prediction(
+        kernel=desc.name,
+        device=device.name,
+        r_reduced=r,
+        occupancy_naive=occ_naive.occupancy,
+        occupancy_isp=occ_isp.occupancy,
+        gain=gain,
+        instructions=est,
+        regs_naive=regs_naive,
+        regs_isp=regs_isp,
+    )

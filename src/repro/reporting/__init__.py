@@ -1,0 +1,7 @@
+"""Reporting helpers: stats and ASCII tables for the benchmark harness."""
+
+from .export import export_json, load_json
+from .stats import geometric_mean, pearson, speedup
+from .tables import format_series, format_table
+
+__all__ = ["export_json", "format_series", "format_table", "geometric_mean", "load_json", "pearson", "speedup"]

@@ -1,0 +1,54 @@
+"""Machine-readable export of benchmark artifacts.
+
+The bench harness saves each reproduced table/figure both as rendered text
+(for EXPERIMENTS.md) and as a JSON record (for downstream tooling /
+regression diffing). Records are append-only per run and deterministic
+except for the caller-supplied metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pathlib
+from typing import Any
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert repro objects into JSON-compatible values."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(_jsonable(k)): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        try:
+            return value.item()
+        except Exception:
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_json(path: pathlib.Path, name: str, payload: Any) -> pathlib.Path:
+    """Write one artifact record as ``<path>/<name>.json``; returns the path."""
+    path = pathlib.Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    record = {"artifact": name, "data": _jsonable(payload)}
+    out = path / f"{name}.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def load_json(path: pathlib.Path, name: str) -> Any:
+    """Read back an artifact record's payload."""
+    record = json.loads((pathlib.Path(path) / f"{name}.json").read_text())
+    return record["data"]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Renders the reproduced tables/figures in the same row/column layout as the
+paper, so EXPERIMENTS.md can juxtapose paper values and measured values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """ASCII table with right-aligned numeric columns."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        out = []
+        for cell in row:
+            if isinstance(cell, float):
+                out.append(float_fmt.format(cell))
+            else:
+                out.append(str(cell))
+        str_rows.append(out)
+
+    ncols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Iterable[tuple[object, float]], *, value_fmt: str = "{:.3f}"
+) -> str:
+    """One-line-per-point rendering for figure series."""
+    lines = [name]
+    for x, y in points:
+        lines.append(f"  {x}: {value_fmt.format(y)}")
+    return "\n".join(lines)

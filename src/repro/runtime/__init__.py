@@ -1,0 +1,38 @@
+"""Runtime: functional simulation, profiling/timing, vectorized host path."""
+
+from ..compiler.isp import Variant
+from .executor import (
+    FineClass,
+    KernelMeasurement,
+    KernelProfile,
+    PipelineMeasurement,
+    SimulationResult,
+    clear_profile_cache,
+    fine_block_classes,
+    measure_pipeline,
+    profile_kernel,
+    run_pipeline_simt,
+    select_variants,
+)
+from .padding import PaddingEstimate, measure_padding_kernel, pad_copy_time_us
+from .vectorized import run_kernel_vectorized, run_pipeline_vectorized
+
+__all__ = [
+    "FineClass",
+    "KernelMeasurement",
+    "KernelProfile",
+    "PipelineMeasurement",
+    "SimulationResult",
+    "Variant",
+    "clear_profile_cache",
+    "fine_block_classes",
+    "measure_padding_kernel",
+    "measure_pipeline",
+    "pad_copy_time_us",
+    "PaddingEstimate",
+    "profile_kernel",
+    "run_kernel_vectorized",
+    "run_pipeline_simt",
+    "run_pipeline_vectorized",
+    "select_variants",
+]

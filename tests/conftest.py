@@ -1,0 +1,74 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsl import Accessor, Boundary, BoundaryCondition, Image, IterationSpace, Kernel, Mask
+from repro.ir import DataType, IRBuilder, Param
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20210521)  # IPPS 2021 vibes
+
+
+@pytest.fixture
+def small_image(rng) -> np.ndarray:
+    return rng.random((48, 48)).astype(np.float32)
+
+
+ALL_BOUNDARIES = [
+    Boundary.CLAMP,
+    Boundary.MIRROR,
+    Boundary.REPEAT,
+    Boundary.CONSTANT,
+]
+
+
+class ConvKernel(Kernel):
+    """Minimal convolution kernel used by many compiler tests."""
+
+    def __init__(self, iter_space: IterationSpace, acc: Accessor, mask: Mask,
+                 kernel_name: str = "conv"):
+        super().__init__(iter_space)
+        self.acc = self.add_accessor(acc)
+        self.mask = mask
+        self._name = kernel_name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def kernel(self):
+        return self.convolve(self.mask, self.acc)
+
+
+def make_conv_kernel(
+    width: int,
+    height: int,
+    boundary: Boundary,
+    mask: np.ndarray,
+    constant: float = 0.0,
+    name: str = "conv",
+) -> ConvKernel:
+    inp = Image(width, height, "inp")
+    out = Image(width, height, "out")
+    acc = Accessor(BoundaryCondition(inp, boundary, constant))
+    return ConvKernel(IterationSpace(out), acc, Mask(mask), name)
+
+
+def simple_store_kernel(name: str = "store42") -> "IRBuilder":
+    """Hand-built IR function: out[x] = 42.0 for one 32-thread block."""
+    b = IRBuilder(name, [Param("out_ptr", DataType.U32, is_pointer=True)])
+    b.new_block("entry")
+    out = b.ld_param("out_ptr")
+    from repro.ir import SpecialReg
+
+    tid = b.special(SpecialReg.TID_X)
+    off = b.cvt(b.shl(tid, 2), DataType.U32)
+    addr = b.add(out, off, DataType.U32)
+    b.st(addr, b.imm(42.0, DataType.F32), DataType.F32)
+    b.exit()
+    return b

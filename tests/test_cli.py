@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX680" in out and "RTX2080" in out
+
+    def test_run_verifies_against_reference(self, capsys):
+        rc = main(["run", "--app", "gaussian", "--pattern", "mirror",
+                   "--variant", "isp", "--size", "32", "--block", "16x4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max|err|" in out
+
+    def test_run_texture_variant(self, capsys):
+        rc = main(["run", "--app", "gaussian", "--pattern", "clamp",
+                   "--variant", "texture", "--size", "32", "--block", "16x4"])
+        assert rc == 0
+
+    def test_regions(self, capsys):
+        assert main(["regions", "--app", "bilateral", "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "BH_L=" in out
+        assert "body fraction" in out
+
+    def test_regions_degenerate(self, capsys):
+        assert main(["regions", "--app", "bilateral", "--size", "16",
+                     "--block", "32x4"]) == 0
+        assert "DEGENERATE" in capsys.readouterr().out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--app", "gaussian", "--pattern", "repeat",
+                     "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "G=" in out and "->" in out
+
+    def test_codegen(self, capsys):
+        assert main(["codegen", "--app", "gaussian", "--pattern", "clamp",
+                     "--variant", "isp", "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "goto Body;" in out
+
+    def test_measure_small(self, capsys):
+        assert main(["measure", "--app", "gaussian", "--pattern", "repeat",
+                     "--size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "isp+m choices" in out
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["regions", "--app", "gaussian", "--block", "banana"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "unsharp"])

@@ -1,0 +1,84 @@
+"""Compilation determinism and idempotence.
+
+A reproduction's numbers are only trustworthy if the toolchain is
+deterministic: compiling the same kernel twice must produce byte-identical
+IR (no dict-ordering or id()-dependent artifacts), and the optimization
+pipeline must be idempotent.
+"""
+
+import numpy as np
+
+from repro.compiler import Variant, compile_kernel, optimize, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import bilateral, night
+from repro.ir import print_function
+from tests.conftest import make_conv_kernel
+
+MASK = np.ones((5, 5), np.float32) / 25.0
+
+
+def _text(variant, boundary=Boundary.MIRROR, block=(32, 4)):
+    # A fresh kernel object each time: determinism must not depend on
+    # object identities surviving between compilations.
+    desc = trace_kernel(make_conv_kernel(128, 128, boundary, MASK))
+    ck = compile_kernel(desc, variant=variant, block=block)
+    return print_function(ck.func, annotate=True)
+
+
+class TestDeterminism:
+    def test_naive_stable_across_compilations(self):
+        assert _text(Variant.NAIVE) == _text(Variant.NAIVE)
+
+    def test_isp_stable_across_compilations(self):
+        assert _text(Variant.ISP) == _text(Variant.ISP)
+
+    def test_shared_isp_stable(self):
+        assert _text(Variant.SHARED_ISP) == _text(Variant.SHARED_ISP)
+
+    def test_bilateral_stable(self):
+        def text():
+            pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+            desc = trace_kernel(pipe.kernels[0])
+            ck = compile_kernel(desc, variant=Variant.ISP)
+            return print_function(ck.func)
+
+        assert text() == text()
+
+    def test_pipeline_tracing_stable(self):
+        def extents():
+            pipe = night.build_pipeline(256, 256, Boundary.REPEAT)
+            return [trace_kernel(k).extent for k in pipe]
+
+        assert extents() == extents()
+
+
+class TestOptimizeIdempotent:
+    def test_second_pass_is_noop(self):
+        for variant in (Variant.NAIVE, Variant.ISP, Variant.SHARED):
+            desc = trace_kernel(make_conv_kernel(64, 64, Boundary.REPEAT, MASK))
+            ck = compile_kernel(desc, variant=variant, block=(16, 4))
+            before = print_function(ck.func)
+            optimize(ck.func)
+            assert print_function(ck.func) == before, variant
+
+    def test_unoptimized_compile_larger_but_equivalent(self, rng):
+        from repro.dsl import Pipeline
+        from repro.runtime import run_pipeline_simt
+
+        src = rng.random((32, 32)).astype(np.float32)
+
+        desc_opt = trace_kernel(make_conv_kernel(32, 32, Boundary.CLAMP, MASK))
+        opt = compile_kernel(desc_opt, variant=Variant.ISP, block=(16, 4),
+                             optimize=True)
+        desc_raw = trace_kernel(make_conv_kernel(32, 32, Boundary.CLAMP, MASK))
+        raw = compile_kernel(desc_raw, variant=Variant.ISP, block=(16, 4),
+                             optimize=False)
+        assert raw.func.static_size() >= opt.func.static_size()
+
+        k = make_conv_kernel(32, 32, Boundary.CLAMP, MASK)
+        out_a = run_pipeline_simt(Pipeline("p", [k]), variant=Variant.ISP,
+                                  block=(16, 4), inputs={"inp": src}).output
+        from repro.filters.reference import correlate
+
+        ref = correlate(src, MASK, Boundary.CLAMP)
+        assert np.abs(out_a - ref).max() < 1e-5

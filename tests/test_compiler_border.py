@@ -1,0 +1,181 @@
+"""Border-check codegen tests (paper Listing 1).
+
+A miniature kernel applies :func:`emit_axis_checks` to the coordinate
+``tid - OFFSET`` and stores the mapped index; executing it on the simulator
+must agree with the scalar golden model ``reference_index`` for every
+pattern and every check-side combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.border import emit_axis_checks, instructions_per_side
+from repro.dsl import Boundary, reference_index
+from repro.gpu import GlobalMemory, LaunchConfig, Profiler, launch
+from repro.ir import DataType, IRBuilder, Param, SpecialReg, verify
+
+SIZE = 16
+OFFSET = 24  # tid 0..63 -> coords -24..39: both sides exercised deeply
+
+CHECKED = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
+
+
+def build_mapper(boundary: Boundary, check_low: bool, check_high: bool):
+    b = IRBuilder(f"map_{boundary.value}", [
+        Param("out_ptr", DataType.U32, is_pointer=True),
+        Param("valid_ptr", DataType.U32, is_pointer=True),
+        Param("size", DataType.S32),
+    ])
+    b.new_block("entry")
+    out = b.ld_param("out_ptr")
+    vout = b.ld_param("valid_ptr")
+    size = b.ld_param("size")
+    tid = b.special(SpecialReg.TID_X)
+    ctaid = b.special(SpecialReg.CTAID_X)
+    ntid = b.special(SpecialReg.NTID_X)
+    gid = b.mad(ctaid, ntid, tid)
+    coord = b.sub(gid, OFFSET)
+    mapped = emit_axis_checks(b, coord, size, boundary,
+                              check_low=check_low, check_high=check_high)
+    off = b.cvt(b.shl(gid, 2), DataType.U32)
+    b.st(b.add(out, off, DataType.U32), mapped.coord)
+    if mapped.valid is not None:
+        flag = b.selp(mapped.valid, b.imm(1, DataType.S32), b.imm(0, DataType.S32))
+    else:
+        flag = b.mov(b.imm(1, DataType.S32))
+    b.st(b.add(vout, off, DataType.U32), flag)
+    b.exit()
+    func = b.finish()
+    verify(func)
+    return func
+
+
+def run_mapper(boundary, check_low, check_high):
+    func = build_mapper(boundary, check_low, check_high)
+    mem = GlobalMemory(1 << 14)
+    out = mem.alloc(64 * 4)
+    vout = mem.alloc(64 * 4)
+    launch(func, LaunchConfig((2, 1), (32, 1)), mem,
+           {"out_ptr": out, "valid_ptr": vout, "size": SIZE}, Profiler())
+    mapped = mem.read_array(out, (64,), DataType.S32)
+    valid = mem.read_array(vout, (64,), DataType.S32)
+    return mapped, valid
+
+
+def in_contract(boundary: Boundary, coord: int) -> bool:
+    """Mirror uses Listing 1's single reflection, valid for excursions up to
+    one image size (always true for real kernels: windows are smaller than
+    images; larger combinations are rejected as degenerate geometry).
+    Clamp/Repeat/Constant are exact at any depth."""
+    if boundary is Boundary.MIRROR:
+        return -SIZE <= coord < 2 * SIZE
+    return True
+
+
+class TestBorderMapping:
+    @pytest.mark.parametrize("boundary", CHECKED)
+    def test_both_sides_match_reference(self, boundary):
+        mapped, valid = run_mapper(boundary, True, True)
+        for gid in range(64):
+            coord = gid - OFFSET
+            if not in_contract(boundary, coord):
+                continue
+            ref = reference_index(coord, SIZE, boundary)
+            if ref is None:  # CONSTANT out of bounds
+                assert valid[gid] == 0, (boundary, coord)
+                assert 0 <= mapped[gid] < SIZE  # clamped-safe address
+            else:
+                assert valid[gid] == 1
+                assert mapped[gid] == ref, (boundary, coord, mapped[gid], ref)
+
+    @pytest.mark.parametrize("boundary", CHECKED)
+    def test_low_only(self, boundary):
+        """With only the low check, high-side coords pass through unmapped
+        (the L-region contract: its windows can never cross the right edge)."""
+        mapped, valid = run_mapper(boundary, True, False)
+        for gid in range(64):
+            coord = gid - OFFSET
+            if not in_contract(boundary, coord):
+                continue
+            if coord < 0:
+                ref = reference_index(coord, SIZE, boundary)
+                if ref is None:
+                    assert valid[gid] == 0
+                else:
+                    assert mapped[gid] == ref
+            elif 0 <= coord:
+                # includes coords >= SIZE: untouched by the low-only variant
+                assert mapped[gid] == coord
+                if boundary is Boundary.CONSTANT and coord < SIZE:
+                    assert valid[gid] == 1
+
+    @pytest.mark.parametrize("boundary", CHECKED)
+    def test_high_only(self, boundary):
+        mapped, _ = run_mapper(boundary, False, True)
+        for gid in range(64):
+            coord = gid - OFFSET
+            if not in_contract(boundary, coord):
+                continue
+            if coord >= SIZE:
+                ref = reference_index(coord, SIZE, boundary)
+                if ref is not None:
+                    assert mapped[gid] == ref
+            elif coord < SIZE:
+                assert mapped[gid] == coord
+
+    def test_no_checks_is_identity_and_free(self):
+        b = IRBuilder("noop", [Param("size", DataType.S32)])
+        b.new_block("entry")
+        size = b.ld_param("size")
+        tid = b.special(SpecialReg.TID_X)
+        before = b.function.static_size()
+        res = emit_axis_checks(b, tid, size, Boundary.CLAMP,
+                               check_low=False, check_high=False)
+        assert res.coord is tid
+        assert b.function.static_size() == before  # zero instructions emitted
+
+    def test_undefined_emits_nothing(self):
+        b = IRBuilder("undef", [Param("size", DataType.S32)])
+        b.new_block("entry")
+        size = b.ld_param("size")
+        tid = b.special(SpecialReg.TID_X)
+        before = b.function.static_size()
+        res = emit_axis_checks(b, tid, size, Boundary.UNDEFINED,
+                               check_low=True, check_high=True)
+        assert res.coord is tid
+        assert b.function.static_size() == before
+
+    def test_check_instructions_tagged(self):
+        func = build_mapper(Boundary.MIRROR, True, True)
+        checks = [i for i in func.instructions() if i.role == "check"]
+        assert len(checks) >= 6  # setp + refl + selp per side
+
+    def test_repeat_emits_loops(self):
+        from repro.ir import has_loops
+
+        func = build_mapper(Boundary.REPEAT, True, True)
+        assert has_loops(func)
+        func2 = build_mapper(Boundary.CLAMP, True, True)
+        assert not has_loops(func2)
+
+    def test_static_cost_ordering(self):
+        """Repeat is the costliest pattern, clamp the cheapest — the static
+        estimates must respect the ordering the paper observes."""
+        assert instructions_per_side(Boundary.CLAMP) < instructions_per_side(
+            Boundary.MIRROR
+        )
+        assert instructions_per_side(Boundary.MIRROR) <= instructions_per_side(
+            Boundary.REPEAT
+        )
+        assert instructions_per_side(Boundary.UNDEFINED) == 0
+
+
+class TestRepeatDeepWrap:
+    def test_multiple_iterations(self):
+        """Repeat's while-loop must handle coords several image-widths out
+        (paper: 'required ... when small images are computed using a large
+        filter window')."""
+        mapped, _ = run_mapper(Boundary.REPEAT, True, True)
+        # coord -24 with SIZE 16 needs two += iterations: -24+16+16 = 8
+        gid = 0
+        assert mapped[gid] == (-24) % SIZE == 8

@@ -1,0 +1,106 @@
+"""Tests of the CUDA source emitter against the paper's listing shapes."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Variant, emit_cuda, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import bilateral, sobel
+from tests.conftest import make_conv_kernel
+
+MASK3 = np.ones((3, 3), np.float32) / 9.0
+
+
+def desc_for(boundary, width=512, height=512):
+    return trace_kernel(make_conv_kernel(width, height, boundary, MASK3))
+
+
+class TestListing1Patterns:
+    """Each pattern's characteristic check shape (paper Listing 1)."""
+
+    def test_clamp(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP), Variant.NAIVE)
+        assert "if (xx" in src and "= 0;" in src
+        assert "inp_w - 1" in src
+
+    def test_mirror(self):
+        src = emit_cuda(desc_for(Boundary.MIRROR), Variant.NAIVE)
+        assert "- 1" in src
+        assert "2 * inp_w" in src  # 2*size - x - 1
+
+    def test_repeat_uses_while(self):
+        src = emit_cuda(desc_for(Boundary.REPEAT), Variant.NAIVE)
+        assert "while (" in src
+        assert "+= inp_w" in src and "-= inp_w" in src
+
+    def test_constant_validity(self):
+        src = emit_cuda(desc_for(Boundary.CONSTANT), Variant.NAIVE)
+        assert "bool ok" in src
+        assert "? v" in src  # select against the constant
+
+
+class TestListing3Shape:
+    def test_switch_chain_order(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP), Variant.ISP)
+        order = ["goto TL;", "goto TR;", "goto T;", "goto BL;", "goto BR;",
+                 "goto B;", "goto R;", "goto L;", "goto Body;"]
+        pos = [src.index(tag) for tag in order]
+        assert pos == sorted(pos), "dispatch must follow Listing 3 order"
+
+    def test_bounds_in_header_comment(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP), Variant.ISP)
+        assert "BH_L=" in src and "BH_R=" in src
+
+    def test_body_region_check_free(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP), Variant.ISP)
+        body = src[src.index("\nBody:"):src.index("goto done;", src.index("\nBody:"))]
+        assert "if (" not in body
+        assert "while (" not in body
+
+    def test_region_labels_present(self):
+        src = emit_cuda(desc_for(Boundary.MIRROR), Variant.ISP)
+        for label in ("TL:", "TR:", "T:", "BL:", "BR:", "B:", "R:", "L:", "Body:"):
+            assert f"\n{label}" in src or f" {label}" in src
+
+
+class TestListing5Shape:
+    def test_warp_refinement(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP), Variant.ISP_WARP, (128, 1))
+        assert "warp_x = threadIdx.x >> 5" in src
+        assert "if (warp_x >" in src or "if (warp_x <" in src
+        # re-route from L to Body per Listing 5
+        assert "goto Body;" in src
+
+    def test_narrow_block_has_no_warp_dispatch(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP), Variant.ISP_WARP, (32, 4))
+        assert "warp_x" not in src
+
+
+class TestGeneralProperties:
+    def test_point_operator_emits_naive_shape(self):
+        pipe = sobel.build_pipeline(64, 64, Boundary.CLAMP)
+        mag = trace_kernel(pipe.kernels[2])
+        src = emit_cuda(mag, Variant.ISP)
+        assert "goto" not in src
+        assert "sqrtf(" in src
+
+    def test_bilateral_uses_expf(self):
+        pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+        desc = trace_kernel(pipe.kernels[0])
+        src = emit_cuda(desc, Variant.NAIVE)
+        assert "expf(" in src
+        assert src.count("inp[") == 169  # 13x13 window
+
+    def test_degenerate_isp_rejected(self):
+        desc = trace_kernel(make_conv_kernel(
+            8, 8, Boundary.CLAMP, np.ones((13, 13), np.float32)))
+        with pytest.raises(ValueError, match="degenerate"):
+            emit_cuda(desc, Variant.ISP)
+
+    def test_policy_variant_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            emit_cuda(desc_for(Boundary.CLAMP), Variant.ISP_MODEL)
+
+    def test_guard_emitted_for_ragged_sizes(self):
+        src = emit_cuda(desc_for(Boundary.CLAMP, 130, 130), Variant.NAIVE)
+        assert "if (gx >= out_w || gy >= out_h) return;" in src

@@ -1,0 +1,106 @@
+"""Front-end (kernel tracing) tests."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import FrontendError, trace_kernel
+from repro.dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+)
+from tests.conftest import ConvKernel, make_conv_kernel
+
+
+class TestTracing:
+    def test_basic_convolution(self):
+        # coefficient array shape is (rows, cols) = (5, 3): 3 wide, 5 tall
+        k = make_conv_kernel(32, 24, Boundary.CLAMP, np.ones((5, 3), np.float32))
+        desc = trace_kernel(k)
+        assert desc.width == 32 and desc.height == 24
+        assert desc.extent == (1, 2)
+        assert desc.window_size == (3, 5)
+        assert not desc.is_point_operator
+        assert desc.needs_border_handling
+        assert desc.output_name == "out"
+
+    def test_point_operator_detection(self):
+        class PointK(Kernel):
+            def __init__(self, it, acc):
+                super().__init__(it)
+                self.acc = self.add_accessor(acc)
+
+            def kernel(self):
+                return self.acc(0, 0) * 2.0
+
+        inp, out = Image(8, 8, "inp"), Image(8, 8, "out")
+        k = PointK(IterationSpace(out), Accessor(inp))
+        desc = trace_kernel(k)
+        assert desc.is_point_operator
+        assert not desc.needs_border_handling
+
+    def test_extent_from_max_access(self):
+        coeffs = np.zeros((5, 5), np.float32)
+        coeffs[0, 2] = 1.0  # only (0, -2)
+        k = make_conv_kernel(32, 32, Boundary.CLAMP, coeffs)
+        desc = trace_kernel(k)
+        assert desc.extent == (0, 2)
+
+    def test_unregistered_accessor_rejected(self):
+        class BadK(Kernel):
+            def __init__(self, it, acc):
+                super().__init__(it)
+                self.acc = acc  # forgot add_accessor
+
+            def kernel(self):
+                return self.acc(0, 0)
+
+        inp, out = Image(8, 8, "inp"), Image(8, 8, "out")
+        k = BadK(IterationSpace(out),
+                 Accessor(BoundaryCondition(inp, Boundary.CLAMP)))
+        with pytest.raises(FrontendError, match="not registered"):
+            trace_kernel(k)
+
+    def test_size_mismatch_rejected(self):
+        inp, out = Image(8, 8, "inp"), Image(16, 16, "out")
+        acc = Accessor(BoundaryCondition(inp, Boundary.CLAMP))
+        k = ConvKernel(IterationSpace(out), acc, Mask(np.ones((3, 3), np.float32)))
+        with pytest.raises(FrontendError, match="does not match"):
+            trace_kernel(k)
+
+    def test_undefined_boundary_with_offset_rejected(self):
+        inp, out = Image(8, 8, "inp"), Image(8, 8, "out")
+        k = ConvKernel(IterationSpace(out), Accessor(inp),
+                       Mask(np.ones((3, 3), np.float32)))
+        with pytest.raises(FrontendError, match="without a boundary"):
+            trace_kernel(k)
+
+    def test_no_reads_rejected(self):
+        class NothingK(Kernel):
+            def kernel(self):
+                return 1.0
+
+        k = NothingK(IterationSpace(Image(8, 8, "out")))
+        with pytest.raises(FrontendError, match="reads no input"):
+            trace_kernel(k)
+
+    def test_none_return_rejected(self):
+        class NoneK(Kernel):
+            def kernel(self):
+                return None
+
+        k = NoneK(IterationSpace(Image(8, 8, "out")))
+        with pytest.raises(FrontendError, match="returned None"):
+            trace_kernel(k)
+
+    def test_accesses_grouped_per_accessor(self):
+        inp, out = Image(8, 8, "inp"), Image(8, 8, "out")
+        acc = Accessor(BoundaryCondition(inp, Boundary.MIRROR))
+        k = ConvKernel(IterationSpace(out), acc, Mask(np.ones((3, 3), np.float32)))
+        desc = trace_kernel(k)
+        assert len(desc.accesses) == 1
+        assert len(desc.accesses[id(acc)]) == 9

@@ -1,0 +1,170 @@
+"""Structural tests of the generated naive / ISP / warp-ISP kernels."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    CompileError,
+    Region,
+    Variant,
+    compile_kernel,
+    trace_kernel,
+)
+from repro.dsl import Boundary
+from repro.ir import Opcode, count_by_region
+from tests.conftest import make_conv_kernel
+
+MASK3 = np.ones((3, 3), np.float32) / 9.0
+
+
+def conv_desc(width=128, height=128, boundary=Boundary.CLAMP, mask=MASK3):
+    return trace_kernel(make_conv_kernel(width, height, boundary, mask))
+
+
+class TestNaive:
+    def test_single_region(self):
+        ck = compile_kernel(conv_desc(), variant=Variant.NAIVE, block=(32, 4))
+        regions = count_by_region(ck.func)
+        assert set(regions) <= {"naive", "(shared)"}
+        assert ck.effective_variant is Variant.NAIVE
+        assert ck.geometry is None
+
+    def test_no_switch_instructions(self):
+        ck = compile_kernel(conv_desc(), variant=Variant.NAIVE)
+        assert all(i.role != "switch" for i in ck.func.instructions())
+
+    def test_bounds_guard_only_when_needed(self):
+        ck = compile_kernel(conv_desc(128, 128), variant=Variant.NAIVE, block=(32, 4))
+        branches = [i for i in ck.func.instructions()
+                    if i.op is Opcode.BRA and i.pred is not None]
+        assert not branches  # 128 divides evenly: no guard
+        ck2 = compile_kernel(conv_desc(130, 130), variant=Variant.NAIVE, block=(32, 4))
+        branches2 = [i for i in ck2.func.instructions()
+                     if i.op is Opcode.BRA and i.pred is not None]
+        assert branches2  # guard present
+
+
+class TestIsp:
+    def test_nine_regions_emitted(self):
+        ck = compile_kernel(conv_desc(), variant=Variant.ISP, block=(32, 4))
+        regions = count_by_region(ck.func)
+        expected = {r.value for r in Region}
+        assert expected <= set(regions)
+
+    def test_body_region_has_no_checks(self):
+        """The whole point of ISP (paper Fig. 1): Body is check-free."""
+        ck = compile_kernel(conv_desc(), variant=Variant.ISP)
+        for instr in ck.func.instructions():
+            if instr.region == Region.BODY.value:
+                assert instr.role != "check"
+
+    def test_corner_checks_both_sides_edges_one(self):
+        ck = compile_kernel(conv_desc(boundary=Boundary.CLAMP), variant=Variant.ISP)
+        by_region = {}
+        for instr in ck.func.instructions():
+            if instr.role == "check" and instr.region:
+                by_region.setdefault(instr.region, 0)
+                by_region[instr.region] += 1
+        # Corners check 2 sides, edges 1 -> roughly double the check count.
+        assert by_region["TL"] > by_region["T"]
+        assert by_region["TL"] > by_region["L"]
+        assert Region.BODY.value not in by_region
+
+    def test_switch_chain_tagged_and_ordered(self):
+        ck = compile_kernel(conv_desc(), variant=Variant.ISP)
+        switch = [i for i in ck.func.instructions() if i.role == "switch"]
+        assert switch, "dispatch chain missing"
+        assert all(i.op in (Opcode.SETP, Opcode.BRA, Opcode.AND, Opcode.MOV,
+                            Opcode.SHR) for i in switch)
+
+    def test_metadata(self):
+        ck = compile_kernel(conv_desc(), variant=Variant.ISP, block=(32, 4))
+        assert ck.func.metadata["variant"] is Variant.ISP
+        assert ck.geometry is not None
+        assert ck.geometry.grid == (4, 32)
+
+    def test_point_operator_collapses_to_naive(self):
+        from repro.dsl import Accessor, Image, IterationSpace, Kernel
+
+        class PointK(Kernel):
+            def __init__(self, it, acc):
+                super().__init__(it)
+                self.acc = self.add_accessor(acc)
+
+            def kernel(self):
+                return self.acc(0, 0) + 1.0
+
+        inp, out = Image(64, 64, "inp"), Image(64, 64, "out")
+        k = PointK(IterationSpace(out), Accessor(inp))
+        ck = compile_kernel(k, variant=Variant.ISP)
+        assert ck.variant is Variant.ISP
+        assert ck.effective_variant is Variant.NAIVE
+
+    def test_degenerate_fallback_and_strict(self):
+        desc = conv_desc(8, 8, mask=np.ones((13, 13), np.float32))
+        ck = compile_kernel(desc, variant=Variant.ISP, block=(32, 4))
+        assert ck.effective_variant is Variant.NAIVE
+        with pytest.raises(CompileError, match="degenerate"):
+            compile_kernel(desc, variant=Variant.ISP, block=(32, 4),
+                           fallback_to_naive=False)
+
+    def test_isp_model_variant_rejected_here(self):
+        with pytest.raises(CompileError, match="selection policy"):
+            compile_kernel(conv_desc(), variant=Variant.ISP_MODEL)
+
+    def test_one_dimensional_mask_skips_other_axis(self):
+        """A 1x5 mask needs no top/bottom handling anywhere."""
+        mask = np.ones((1, 5), np.float32)
+        ck = compile_kernel(conv_desc(mask=mask), variant=Variant.ISP)
+        regions = count_by_region(ck.func)
+        # No T/B/TL/... regions exist: hy == 0 -> only x-axis borders.
+        assert Region.T.value not in regions
+        assert Region.L.value in regions
+        assert Region.R.value in regions
+
+
+class TestWarpIsp:
+    def test_warp_dispatch_emitted_for_wide_blocks(self):
+        ck = compile_kernel(conv_desc(256, 64), variant=Variant.ISP_WARP,
+                            block=(128, 1))
+        assert ck.func.metadata["warp_grained_effective"]
+        shifts = [i for i in ck.func.instructions()
+                  if i.op is Opcode.SHR and i.role == "switch"]
+        assert shifts, "warp index (tid.x >> 5) not computed"
+
+    def test_falls_back_for_narrow_blocks(self):
+        """With 32-wide blocks each row is one warp: warp dispatch is
+        meaningless and must be disabled (same code as block ISP)."""
+        ck = compile_kernel(conv_desc(), variant=Variant.ISP_WARP, block=(32, 4))
+        assert not ck.func.metadata["warp_grained_effective"]
+
+    def test_functional_equivalence_with_block_isp(self, rng):
+        """Warp re-routing must not change results, only routing."""
+        from repro.filters.reference import correlate
+        from repro.runtime import run_pipeline_simt
+        from repro.dsl import Pipeline
+
+        src = rng.random((32, 128)).astype(np.float32)
+        k = make_conv_kernel(128, 32, Boundary.MIRROR, MASK3)
+        pipe = Pipeline("conv", [k])
+        res = run_pipeline_simt(pipe, variant=Variant.ISP_WARP, block=(128, 1),
+                                inputs={"inp": src})
+        ref = correlate(src, MASK3, Boundary.MIRROR)
+        assert np.abs(res.output - ref).max() < 1e-6
+
+    def test_warp_isp_reduces_bordered_warp_work(self):
+        """In an L block, only warp 0 should run the L path; the block's
+        total checked instructions must drop vs block-grained ISP."""
+        from repro.gpu import GTX680
+        from repro.runtime import profile_kernel
+
+        desc = conv_desc(256, 64, Boundary.REPEAT)
+        p_blk = profile_kernel(desc, variant=Variant.ISP, block=(128, 1),
+                               use_cache=False)
+        p_wrp = profile_kernel(desc, variant=Variant.ISP_WARP, block=(128, 1),
+                               use_cache=False)
+        # Compare the left-border block class cycles.
+        left_cls = [c for c in p_blk.classes if c.region is Region.L][0].name
+        blk = p_blk.profiles[left_cls].warp_instructions
+        wrp = p_wrp.profiles[left_cls].warp_instructions
+        assert wrp < blk

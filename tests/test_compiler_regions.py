@@ -1,0 +1,142 @@
+"""Region geometry tests — paper Eq. 2 / Figure 1, exact by construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.regions import (
+    REGION_CHECKS,
+    SWITCH_ORDER,
+    Region,
+    RegionGeometry,
+)
+
+
+def brute_force_checks(geom: RegionGeometry, bx: int, by: int) -> frozenset:
+    """Directly compute which sides block (bx, by) needs from the window."""
+    tx, ty = geom.block
+    sides = set()
+    x_lo = bx * tx
+    x_hi = min((bx + 1) * tx, geom.width) - 1
+    y_lo = by * ty
+    y_hi = min((by + 1) * ty, geom.height) - 1
+    if x_lo - geom.hx < 0:
+        sides.add("left")
+    if x_hi + geom.hx >= geom.width:
+        sides.add("right")
+    if y_lo - geom.hy < 0:
+        sides.add("top")
+    if y_hi + geom.hy >= geom.height:
+        sides.add("bottom")
+    return frozenset(sides)
+
+
+geometries = st.builds(
+    RegionGeometry.compute,
+    st.integers(8, 600),       # width
+    st.integers(8, 600),       # height
+    st.integers(0, 20),        # hx
+    st.integers(0, 20),        # hy
+    st.tuples(st.sampled_from([8, 16, 32, 64]), st.sampled_from([1, 2, 4, 8])),
+)
+
+
+class TestGeometryProperties:
+    @settings(max_examples=200)
+    @given(geom=geometries)
+    def test_classification_matches_brute_force(self, geom):
+        """Every block's region must demand exactly the checks a direct
+        window analysis says it needs (soundness of Eq. 2)."""
+        if geom.degenerate:
+            return
+        gx, gy = geom.grid
+        for by in range(gy):
+            for bx in range(gx):
+                region = geom.classify(bx, by)
+                assert REGION_CHECKS[region] == brute_force_checks(geom, bx, by), (
+                    geom, bx, by, region,
+                )
+
+    @settings(max_examples=100)
+    @given(geom=geometries)
+    def test_block_counts_match_classification(self, geom):
+        if geom.degenerate:
+            return
+        gx, gy = geom.grid
+        tally = {r: 0 for r in Region}
+        for by in range(gy):
+            for bx in range(gx):
+                tally[geom.classify(bx, by)] += 1
+        assert tally == geom.block_counts()
+
+    @settings(max_examples=100)
+    @given(geom=geometries)
+    def test_representatives_belong_to_their_region(self, geom):
+        if geom.degenerate:
+            return
+        counts = geom.block_counts()
+        for region in Region:
+            rep = geom.representative(region)
+            if counts[region] == 0:
+                assert rep is None
+            else:
+                assert rep is not None
+                assert geom.classify(*rep) is region
+
+    @settings(max_examples=100)
+    @given(geom=geometries)
+    def test_feasible_regions_in_switch_order(self, geom):
+        if geom.degenerate:
+            return
+        feas = geom.feasible_regions()
+        order = [SWITCH_ORDER.index(r) for r in feas]
+        assert order == sorted(order)
+        counts = geom.block_counts()
+        assert set(feas) == {r for r, c in counts.items() if c > 0}
+
+
+class TestConcreteGeometry:
+    def test_paper_configuration(self):
+        """Bilateral 13x13 (hx=hy=6), 2048x2048, 32x4 blocks."""
+        geom = RegionGeometry.compute(2048, 2048, 6, 6, (32, 4))
+        assert geom.grid == (64, 512)
+        assert geom.bh_l == 1
+        assert geom.bh_t == 2
+        assert geom.bh_r == 63
+        assert geom.bh_b == 510
+        counts = geom.block_counts()
+        assert counts[Region.TL] == 2
+        assert counts[Region.BODY] == 62 * 508
+        assert geom.body_fraction() == pytest.approx(62 * 508 / (64 * 512))
+
+    def test_body_fraction_grows_with_size(self):
+        """Paper Figure 3: larger images put more blocks in Body."""
+        fracs = [
+            RegionGeometry.compute(s, s, 2, 2, (32, 4)).body_fraction()
+            for s in (128, 256, 512, 1024, 2048, 4096)
+        ]
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] > 0.95
+
+    def test_degenerate_tiny_image(self):
+        geom = RegionGeometry.compute(8, 8, 6, 6, (32, 4))
+        assert geom.degenerate
+        with pytest.raises(ValueError):
+            geom.representative(Region.BODY)
+
+    def test_point_operator_geometry(self):
+        geom = RegionGeometry.compute(64, 64, 0, 0, (32, 4))
+        assert not geom.degenerate
+        assert geom.block_counts()[Region.BODY] == geom.grid[0] * geom.grid[1]
+        assert geom.feasible_regions() == [Region.BODY]
+
+    def test_classify_rejects_outside(self):
+        geom = RegionGeometry.compute(64, 64, 1, 1, (32, 4))
+        with pytest.raises(ValueError):
+            geom.classify(99, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RegionGeometry.compute(0, 64, 1, 1, (32, 4))
+        with pytest.raises(ValueError):
+            RegionGeometry.compute(64, 64, -1, 1, (32, 4))

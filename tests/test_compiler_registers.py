@@ -1,0 +1,129 @@
+"""Register-estimation tests (paper Table II's mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    Variant,
+    compile_kernel,
+    estimate_registers,
+    max_live_registers,
+    trace_kernel,
+)
+from repro.dsl import Boundary
+from repro.gpu import GTX680, RTX2080
+from repro.ir import CmpOp, DataType, IRBuilder, Param
+from tests.conftest import make_conv_kernel
+
+
+class TestMaxLive:
+    def test_straight_line_chain(self):
+        """a; b=a+1; c=b+1 — only one value live at a time after use."""
+        b = IRBuilder("k", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        v = b.ld_param("n")
+        for _ in range(10):
+            v = b.add(v, 1)
+        b.exit()
+        assert max_live_registers(b.finish()) == 1
+
+    def test_parallel_values(self):
+        """n values all consumed at the end -> n live simultaneously."""
+        b = IRBuilder("k", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        n = b.ld_param("n")
+        vals = [b.add(n, i) for i in range(8)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.exit()
+        assert max_live_registers(b.finish()) >= 8
+
+    def test_predicates_not_counted(self):
+        b = IRBuilder("k", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        n = b.ld_param("n")
+        ps = [b.setp(CmpOp.LT, n, i) for i in range(10)]
+        b.cbr(ps[-1], "a", "b")
+        b.new_block("a")
+        b.br("b")
+        b.new_block("b")
+        b.exit()
+        assert max_live_registers(b.finish()) <= 2
+
+    def test_live_across_branch(self):
+        b = IRBuilder("k", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        n = b.ld_param("n")
+        kept = b.add(n, 5)
+        p = b.setp(CmpOp.LT, n, 0)
+        b.cbr(p, "a", "join")
+        b.new_block("a")
+        b.br("join")
+        b.new_block("join")
+        b.add(kept, 1)  # kept live across the diamond
+        b.exit()
+        assert max_live_registers(b.finish()) >= 1
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("boundary", [Boundary.CLAMP, Boundary.REPEAT])
+    def test_isp_uses_more_registers_than_naive(self, boundary):
+        """The paper's Table II property, for every pattern."""
+        desc = trace_kernel(make_conv_kernel(
+            512, 512, boundary, np.ones((5, 5), np.float32)))
+        naive = compile_kernel(desc, variant=Variant.NAIVE, device=GTX680)
+        isp = compile_kernel(desc, variant=Variant.ISP, device=GTX680)
+        assert isp.registers.estimated > naive.registers.estimated
+
+    def test_table2_structure_bilateral_gtx680(self):
+        """Bilateral 13x13 on GTX680, 32x4 blocks: naive 62.5% -> ISP 50%."""
+        from repro.filters import bilateral
+        from repro.gpu import compute_occupancy
+
+        pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+        desc = trace_kernel(pipe.kernels[0])
+        n = compile_kernel(desc, variant=Variant.NAIVE, device=GTX680)
+        i = compile_kernel(desc, variant=Variant.ISP, device=GTX680)
+        occ_n = compute_occupancy(GTX680, 128, n.registers.allocated)
+        occ_i = compute_occupancy(GTX680, 128, i.registers.allocated)
+        assert occ_n.percent == pytest.approx(62.5)
+        assert occ_i.percent == pytest.approx(50.0)
+
+    def test_turing_no_occupancy_drop(self):
+        """Same kernels on RTX2080: register growth is absorbed
+        (paper Section VI-A.2)."""
+        from repro.filters import bilateral
+        from repro.gpu import compute_occupancy
+
+        pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+        desc = trace_kernel(pipe.kernels[0])
+        n = compile_kernel(desc, variant=Variant.NAIVE, device=RTX2080)
+        i = compile_kernel(desc, variant=Variant.ISP, device=RTX2080)
+        occ_n = compute_occupancy(RTX2080, 128, n.registers.allocated)
+        occ_i = compute_occupancy(RTX2080, 128, i.registers.allocated)
+        assert occ_n.occupancy == occ_i.occupancy == 1.0
+
+    def test_cap_and_spills(self):
+        b = IRBuilder("fat", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        n = b.ld_param("n")
+        vals = [b.add(n, i) for i in range(100)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.exit()
+        est = estimate_registers(b.finish(), GTX680)
+        assert est.allocated <= GTX680.max_registers_per_thread
+        assert est.spilled > 0
+        assert est.spill_factor > 1.0
+        est_turing = estimate_registers(b.finish(), RTX2080)
+        assert est_turing.spilled == 0
+
+    def test_no_device_defaults_to_generous_cap(self):
+        b = IRBuilder("k", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        b.ld_param("n")
+        b.exit()
+        est = estimate_registers(b.finish(), None)
+        assert est.spilled == 0

@@ -1,0 +1,131 @@
+"""Property tests for the border-pattern index mapping (paper Figure 2).
+
+``reference_index`` is the scalar golden model everything else is tested
+against; these tests pin down its own mathematical properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsl import Boundary, reference_index
+
+coords = st.integers(min_value=-(10**6), max_value=10**6)
+sizes = st.integers(min_value=1, max_value=10**4)
+checked = st.sampled_from(
+    [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
+)
+
+
+class TestReferenceIndexProperties:
+    @given(c=coords, s=sizes, b=checked)
+    def test_result_in_bounds_or_none(self, c, s, b):
+        r = reference_index(c, s, b)
+        if r is None:
+            assert b is Boundary.CONSTANT and not (0 <= c < s)
+        else:
+            assert 0 <= r < s
+
+    @given(c=coords, s=sizes, b=checked)
+    def test_identity_in_bounds(self, c, s, b):
+        """All patterns agree on in-bounds coordinates."""
+        if 0 <= c < s:
+            assert reference_index(c, s, b) == c
+
+    @given(c=coords, s=sizes)
+    def test_clamp_idempotent(self, c, s):
+        r = reference_index(c, s, Boundary.CLAMP)
+        assert reference_index(r, s, Boundary.CLAMP) == r
+
+    @given(c=coords, s=sizes)
+    def test_clamp_is_nearest(self, c, s):
+        r = reference_index(c, s, Boundary.CLAMP)
+        assert r == min(max(c, 0), s - 1)
+
+    @given(c=coords, s=sizes, k=st.integers(-5, 5))
+    def test_repeat_periodic(self, c, s, k):
+        assert reference_index(c, s, Boundary.REPEAT) == reference_index(
+            c + k * s, s, Boundary.REPEAT
+        )
+
+    @given(c=coords, s=sizes)
+    def test_mirror_symmetric_about_edge(self, c, s):
+        """Symmetric reflection: position -1-k mirrors position k."""
+        left = reference_index(-1 - c, s, Boundary.MIRROR) if c >= 0 else None
+        if c >= 0:
+            assert left == reference_index(c, s, Boundary.MIRROR)
+
+    @given(c=coords, s=sizes, k=st.integers(-3, 3))
+    def test_mirror_periodic_2s(self, c, s, k):
+        assert reference_index(c, s, Boundary.MIRROR) == reference_index(
+            c + k * 2 * s, s, Boundary.MIRROR
+        )
+
+    @given(c=coords, s=sizes)
+    def test_constant_none_exactly_oob(self, c, s):
+        r = reference_index(c, s, Boundary.CONSTANT)
+        assert (r is None) == (c < 0 or c >= s)
+
+    @given(c=coords, s=sizes)
+    def test_undefined_raises_oob(self, c, s):
+        if 0 <= c < s:
+            assert reference_index(c, s, Boundary.UNDEFINED) == c
+        else:
+            with pytest.raises(IndexError):
+                reference_index(c, s, Boundary.UNDEFINED)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            reference_index(0, 0, Boundary.CLAMP)
+
+
+class TestAgainstNumpyPad:
+    """The np.pad modes used by the golden references must match
+    reference_index for all border depths up to the image size."""
+
+    @pytest.mark.parametrize(
+        "boundary,mode",
+        [
+            (Boundary.CLAMP, "edge"),
+            (Boundary.MIRROR, "symmetric"),
+            (Boundary.REPEAT, "wrap"),
+        ],
+    )
+    def test_pad_mode_equivalence(self, boundary, mode):
+        size = 7
+        data = np.arange(size, dtype=np.float32)
+        pad = size  # depth up to a full image
+        padded = np.pad(data, pad, mode=mode)
+        for c in range(-pad, size + pad):
+            idx = reference_index(c, size, boundary)
+            assert padded[c + pad] == data[idx], (boundary, c)
+
+    def test_constant_pad_equivalence(self):
+        size = 5
+        data = np.arange(size, dtype=np.float32)
+        padded = np.pad(data, 3, mode="constant", constant_values=9.5)
+        for c in range(-3, size + 3):
+            idx = reference_index(c, size, Boundary.CONSTANT)
+            expect = 9.5 if idx is None else data[idx]
+            assert padded[c + 3] == expect
+
+
+class TestExamplesFromFigure2:
+    """Concrete mappings spelled out in the paper's Figure 2 description."""
+
+    def test_clamp_duplicates_nearest(self):
+        assert reference_index(-1, 10, Boundary.CLAMP) == 0
+        assert reference_index(-3, 10, Boundary.CLAMP) == 0
+        assert reference_index(12, 10, Boundary.CLAMP) == 9
+
+    def test_mirror(self):
+        assert reference_index(-1, 10, Boundary.MIRROR) == 0
+        assert reference_index(-2, 10, Boundary.MIRROR) == 1
+        assert reference_index(10, 10, Boundary.MIRROR) == 9
+        assert reference_index(11, 10, Boundary.MIRROR) == 8
+
+    def test_repeat_tiles(self):
+        assert reference_index(-1, 10, Boundary.REPEAT) == 9
+        assert reference_index(10, 10, Boundary.REPEAT) == 0
+        assert reference_index(-10, 10, Boundary.REPEAT) == 0

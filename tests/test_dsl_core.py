@@ -1,0 +1,225 @@
+"""Unit tests for DSL expressions, images, masks/domains, pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    Accessor,
+    BinOp,
+    Boundary,
+    BoundaryCondition,
+    Const,
+    Domain,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Pipeline,
+    PixelAccess,
+    UnOp,
+    expf,
+    fminf,
+    pixel_accesses,
+    powf,
+    sqrtf,
+    walk,
+    wrap,
+)
+
+
+class TestExpr:
+    def test_operator_overloads_build_nodes(self):
+        img = Image(8, 8)
+        acc = Accessor(BoundaryCondition(img, Boundary.CLAMP))
+        e = (acc(0, 0) + 1.0) * 2.0 - acc(1, 0) / 3.0
+        assert isinstance(e, BinOp)
+        assert len(pixel_accesses(e)) == 2
+
+    def test_reverse_operators(self):
+        img = Image(8, 8)
+        acc = Accessor(img)
+        e = 1.0 + acc(0, 0)
+        assert isinstance(e, BinOp) and e.op == "add"
+        assert isinstance(e.lhs, Const)
+        e2 = 2.0 / acc(0, 0)
+        assert e2.op == "div" and isinstance(e2.lhs, Const)
+
+    def test_neg_and_pos(self):
+        img = Image(8, 8)
+        acc = Accessor(img)
+        assert isinstance(-acc(0, 0), UnOp)
+        v = acc(0, 0)
+        assert +v is v
+
+    def test_seq_is_creation_ordered(self):
+        img = Image(8, 8)
+        acc = Accessor(img)
+        a = acc(0, 0)
+        b = a + 1.0
+        c = b * 2.0
+        assert a.seq < b.seq < c.seq
+
+    def test_wrap_rejects_bool_and_junk(self):
+        with pytest.raises(TypeError):
+            wrap(True)
+        with pytest.raises(TypeError):
+            wrap("hello")
+
+    def test_walk_visits_shared_once(self):
+        img = Image(8, 8)
+        acc = Accessor(img)
+        shared = acc(0, 0) * 2.0
+        e = shared + shared
+        nodes = list(walk(e))
+        assert len([n for n in nodes if n is shared]) == 1
+
+    def test_math_intrinsics(self):
+        img = Image(8, 8)
+        acc = Accessor(img)
+        assert isinstance(expf(acc(0, 0)), UnOp)
+        assert isinstance(sqrtf(1.0), UnOp)
+        assert isinstance(fminf(acc(0, 0), 1.0), BinOp)
+        # powf is sugar for exp2(y * log2(x))
+        p = powf(acc(0, 0), 2.0)
+        assert isinstance(p, UnOp) and p.op == "exp2"
+
+    def test_offsets_must_be_static_ints(self):
+        img = Image(8, 8)
+        acc = Accessor(img)
+        with pytest.raises(TypeError):
+            PixelAccess(acc, 1.5, 0)
+
+
+class TestImage:
+    def test_shape_and_binding(self, rng):
+        img = Image(16, 8, "x")
+        assert img.shape == (8, 16)
+        data = rng.random((8, 16))
+        img.bind(data)
+        assert img.host.dtype == np.float32
+
+    def test_bind_shape_mismatch(self):
+        img = Image(16, 8)
+        with pytest.raises(ValueError, match="shape"):
+            img.bind(np.zeros((16, 8)))
+
+    def test_from_array(self):
+        img = Image.from_array(np.zeros((4, 6), dtype=np.float64))
+        assert img.width == 6 and img.height == 4
+        assert img.is_bound
+
+    def test_unbound_host_raises(self):
+        with pytest.raises(ValueError, match="no bound host data"):
+            _ = Image(4, 4).host
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Image(0, 4)
+
+
+class TestMaskDomain:
+    def test_rectangle_domain(self):
+        dom = Domain.rectangle(3, 5)
+        assert len(dom) == 15
+        assert dom.extent == (1, 2)
+        assert dom.window_size == (3, 5)
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            Domain.rectangle(4, 3)
+        with pytest.raises(ValueError, match="odd"):
+            Mask(np.zeros((2, 3), np.float32))
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Domain([(0, 0), (0, 0)])
+
+    def test_mask_coeff_indexing(self):
+        m = Mask(np.array([[1, 2, 3], [4, 5, 6], [7, 8, 9]], np.float32))
+        assert m.coeff(0, 0) == 5.0
+        assert m.coeff(-1, -1) == 1.0
+        assert m.coeff(1, 1) == 9.0
+        with pytest.raises(IndexError):
+            m.coeff(2, 0)
+
+    def test_mask_domain_skips_zeros_keeps_extent(self):
+        coeffs = np.zeros((5, 5), np.float32)
+        coeffs[0, 0] = coeffs[2, 2] = coeffs[4, 4] = 1.0
+        dom = Mask(coeffs).domain()
+        assert len(dom) == 3
+        assert dom.extent == (2, 2)
+
+    def test_dilated_atrous_mask(self):
+        base = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], np.float32)
+        m = Mask.dilated(base, 4)
+        assert m.size == (9, 9)
+        dom = m.domain()
+        assert len(dom) == 9  # still 9 taps
+        assert dom.extent == (4, 4)  # full window extent
+        assert m.coeff(0, 0) == 4.0
+        assert m.coeff(-4, -4) == 1.0
+        assert m.coeff(1, 0) == 0.0  # a hole
+
+    def test_forced_extent_cannot_shrink(self):
+        with pytest.raises(ValueError, match="smaller than"):
+            Domain([(2, 0)], extent=(1, 0))
+
+
+class TestKernelPrimitives:
+    def test_iterate_sums_row_major(self):
+        img = Image(8, 8)
+        acc = Accessor(BoundaryCondition(img, Boundary.CLAMP))
+        dom = Domain.rectangle(3, 3)
+        e = Kernel.iterate(dom, lambda dx, dy: acc(dx, dy))
+        # 9 adds chained onto the 0.0 seed
+        adds = [n for n in walk(e) if isinstance(n, BinOp) and n.op == "add"]
+        assert len(adds) == 9
+        assert len(pixel_accesses(e)) == 9
+
+    def test_convolve_skips_zero_coefficients(self):
+        img = Image(8, 8)
+        acc = Accessor(BoundaryCondition(img, Boundary.CLAMP))
+        coeffs = np.zeros((3, 3), np.float32)
+        coeffs[1, 1] = 1.0
+        e = Kernel.convolve(Mask(coeffs), acc)
+        assert len(pixel_accesses(e)) == 1
+
+    def test_custom_combine(self):
+        img = Image(8, 8)
+        acc = Accessor(BoundaryCondition(img, Boundary.CLAMP))
+        dom = Domain.rectangle(3, 1)
+        e = Kernel.iterate(dom, lambda dx, dy: acc(dx, dy),
+                           init=-1e30, combine=lambda a, b: fminf(a, b))
+        mins = [n for n in walk(e) if isinstance(n, BinOp) and n.op == "min"]
+        assert len(mins) == 3
+
+
+class TestPipeline:
+    def _stage(self, src: Image, dst: Image):
+        from tests.conftest import ConvKernel
+
+        acc = Accessor(BoundaryCondition(src, Boundary.CLAMP))
+        return ConvKernel(IterationSpace(dst), acc,
+                          Mask(np.ones((3, 3), np.float32) / 9),
+                          kernel_name=f"k_{dst.name}")
+
+    def test_chaining_and_io(self):
+        a, b, c = Image(8, 8, "a"), Image(8, 8, "b"), Image(8, 8, "c")
+        p = Pipeline("p", [self._stage(a, b), self._stage(b, c)])
+        assert [i.name for i in p.inputs] == ["a"]
+        assert p.output.name == "c"
+        assert len(p) == 2
+
+    def test_double_write_rejected(self):
+        a, b = Image(8, 8, "a"), Image(8, 8, "b")
+        with pytest.raises(ValueError, match="written twice"):
+            Pipeline("p", [self._stage(a, b), self._stage(a, b)])
+
+    def test_self_read_rejected(self):
+        a = Image(8, 8, "a")
+        with pytest.raises(ValueError, match="its own output"):
+            Pipeline("p", [self._stage(a, a)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline("p", [])

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts' fast paths run and verify themselves.
+
+The heavyweight measurement sections of some examples are exercised by the
+benchmark harness; here we run the cheap, correctness-bearing entry points
+in-process so a broken example fails CI.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def _run_example(name: str, argv=None, monkeypatch=None):
+    if monkeypatch is not None and argv is not None:
+        monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(f"examples/{name}", run_name="__main__")
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        _run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "model verdict" in out
+        assert "max |err| = 0" in out or "max |err|" in out
+
+    def test_border_patterns(self, capsys):
+        _run_example("border_patterns.py")
+        out = capsys.readouterr().out
+        assert "clamp" in out and "repeat" in out
+        # the mapping table shows the constant marker for OOB cells
+        assert "  c" in out
+
+    def test_codegen_dump_default(self, capsys, monkeypatch):
+        _run_example("codegen_dump.py", [], monkeypatch)
+        out = capsys.readouterr().out
+        assert "goto Body;" in out
+        assert "tex" not in out.split("NAIVE")[0]
+
+    def test_codegen_dump_repeat(self, capsys, monkeypatch):
+        _run_example("codegen_dump.py", ["repeat"], monkeypatch)
+        out = capsys.readouterr().out
+        assert "while (" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    """Opt-in (pytest -m slow): the measurement-heavy examples."""
+
+    def test_sobel_edges(self, capsys):
+        _run_example("sobel_edges.py")
+        assert "speedup" in capsys.readouterr().out
+
+    def test_model_explorer(self, capsys, monkeypatch):
+        _run_example("model_explorer.py", ["gaussian", "repeat"], monkeypatch)
+        assert "G (Eq.10)" in capsys.readouterr().out

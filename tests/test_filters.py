@@ -1,0 +1,147 @@
+"""Unit tests for the five application filters and their references."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import trace_kernel
+from repro.dsl import Boundary
+from repro.filters import PIPELINES, REFERENCES, bilateral, gaussian, laplace, night, sobel
+from repro.filters.reference import correlate, pad_image
+
+
+class TestMasks:
+    def test_gaussian_mask_normalized(self):
+        assert gaussian.GAUSSIAN_MASK.sum() == pytest.approx(1.0)
+        assert gaussian.GAUSSIAN_MASK.shape == (3, 3)
+
+    def test_laplace_mask_zero_sum(self):
+        assert laplace.LAPLACE_MASK.sum() == pytest.approx(0.0)
+        assert laplace.LAPLACE_MASK.shape == (5, 5)
+
+    def test_sobel_masks_antisymmetric(self):
+        assert np.array_equal(sobel.SOBEL_Y_MASK, sobel.SOBEL_X_MASK.T)
+        assert sobel.SOBEL_X_MASK.sum() == 0
+
+    def test_bilateral_spatial_mask(self):
+        m = bilateral.spatial_mask()
+        assert m.shape == (13, 13)  # the paper's window
+        assert m[6, 6] == pytest.approx(1.0)  # center weight is exp(0)
+        assert np.all(m > 0)
+        # radially symmetric
+        assert m[0, 6] == pytest.approx(m[12, 6])
+        assert m[6, 0] == pytest.approx(m[6, 12])
+        # monotone decreasing from the center along an axis
+        row = m[6]
+        assert all(row[i] <= row[i + 1] for i in range(6))
+
+    def test_atrous_masks_grow_as_paper_says(self):
+        """Paper: Atrous sizes 3x3, 5x5, 9x9, 17x17."""
+        sizes = [night.atrous_mask(d).shape for d in night.ATROUS_DILATIONS]
+        assert sizes == [(3, 3), (5, 5), (9, 9), (17, 17)]
+        for d in night.ATROUS_DILATIONS:
+            m = night.atrous_mask(d)
+            assert np.count_nonzero(m) == 9  # always 9 real taps
+            assert m.sum() == pytest.approx(1.0)
+
+
+class TestPipelinesStructure:
+    def test_kernel_counts_match_paper(self):
+        """Section VI: Gaussian/Laplace/Bilateral 1 kernel, Sobel 3, Night 5."""
+        expected = {"gaussian": 1, "laplace": 1, "bilateral": 1,
+                    "sobel": 3, "night": 5}
+        for name, n in expected.items():
+            pipe = PIPELINES[name](64, 64, Boundary.CLAMP)
+            assert len(pipe) == n, name
+
+    def test_window_sizes_match_paper(self):
+        """Gaussian 3x3, Laplace 5x5, Bilateral 13x13."""
+        for name, window in [("gaussian", (3, 3)), ("laplace", (5, 5)),
+                             ("bilateral", (13, 13))]:
+            pipe = PIPELINES[name](64, 64, Boundary.CLAMP)
+            desc = trace_kernel(pipe.kernels[0])
+            assert desc.window_size == window, name
+
+    def test_sobel_last_stage_point_op(self):
+        pipe = sobel.build_pipeline(64, 64, Boundary.CLAMP)
+        assert trace_kernel(pipe.kernels[2]).is_point_operator
+
+    def test_night_last_stage_point_op(self):
+        pipe = night.build_pipeline(64, 64, Boundary.CLAMP)
+        descs = [trace_kernel(k) for k in pipe]
+        assert [d.is_point_operator for d in descs] == [False] * 4 + [True]
+        assert [d.extent for d in descs[:4]] == [(1, 1), (2, 2), (4, 4), (8, 8)]
+
+    def test_shared_input_image(self):
+        from repro.dsl import Image
+
+        inp = Image(64, 64, "inp")
+        pipe = sobel.build_pipeline(64, 64, Boundary.CLAMP, input_image=inp)
+        assert pipe.inputs == [inp]
+
+
+class TestReferences:
+    def test_gaussian_preserves_constant_field(self):
+        src = np.full((32, 32), 0.7, dtype=np.float32)
+        for b in (Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT):
+            out = REFERENCES["gaussian"](src, b)
+            assert np.allclose(out, 0.7, atol=1e-6), b
+
+    def test_laplace_zero_on_flat(self):
+        src = np.full((32, 32), 0.5, dtype=np.float32)
+        out = REFERENCES["laplace"](src, Boundary.CLAMP)
+        assert np.abs(out).max() < 1e-5
+
+    def test_bilateral_smooths_noise_keeps_edges(self, rng):
+        step = np.zeros((32, 32), dtype=np.float32)
+        step[:, 16:] = 1.0
+        noisy = np.clip(step + rng.normal(0, 0.02, step.shape), 0, 1).astype(np.float32)
+        out = REFERENCES["bilateral"](noisy, Boundary.CLAMP)
+        # noise reduced on the flats
+        assert out[:, :8].std() < noisy[:, :8].std()
+        # edge magnitude preserved
+        assert (out[:, 20:].mean() - out[:, :12].mean()) > 0.9
+
+    def test_sobel_detects_vertical_edge(self):
+        src = np.zeros((32, 32), dtype=np.float32)
+        src[:, 16:] = 1.0
+        res = REFERENCES["sobel"](src, Boundary.CLAMP)
+        col = np.argmax(res[8])
+        assert col in (15, 16)
+
+    def test_night_output_bounded(self, rng):
+        src = rng.random((32, 32)).astype(np.float32)
+        out = REFERENCES["night"](src, Boundary.MIRROR)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0 + 1e-6
+
+    def test_tonemap_identity_at_zero_and_monotone(self):
+        xs = np.linspace(0, 1, 64).astype(np.float32)
+        ys = night.tonemap_reference(xs)
+        assert ys[0] == 0.0
+        assert np.all(np.diff(ys) > 0)
+
+    def test_pad_image_depths(self, rng):
+        src = rng.random((8, 12)).astype(np.float32)
+        padded = pad_image(src, 3, 2, Boundary.REPEAT)
+        assert padded.shape == (12, 18)
+        # wrap semantics: left pad column equals right-side data
+        assert np.array_equal(padded[2:-2, 0], src[:, -3])
+
+    def test_correlate_zero_coeff_skipped_matches_dense(self, rng):
+        """Zero coefficients contribute nothing either way, but skipping must
+        not change the float32 accumulation of nonzero taps' row-major order."""
+        src = rng.random((16, 16)).astype(np.float32)
+        sparse = np.zeros((3, 3), np.float32)
+        sparse[0, 0] = 0.5
+        sparse[2, 2] = 0.25
+        out = correlate(src, sparse, Boundary.CLAMP)
+        manual = (0.5 * pad_image(src, 1, 1, Boundary.CLAMP)[0:16, 0:16]
+                  + np.float32(0.25) * pad_image(src, 1, 1, Boundary.CLAMP)[2:18, 2:18])
+        assert np.allclose(out, manual, atol=1e-7)
+
+    def test_constant_pattern_uses_constant(self):
+        src = np.ones((8, 8), dtype=np.float32)
+        out = REFERENCES["gaussian"](src, Boundary.CONSTANT, 0.0)
+        # corners lose weight to the zero border
+        assert out[0, 0] < out[4, 4]
+        assert out[4, 4] == pytest.approx(1.0)

@@ -1,0 +1,90 @@
+"""Unit and property tests for the theoretical occupancy calculator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu import GTX680, RTX2080, compute_occupancy, registers_per_block
+
+
+class TestKnownConfigurations:
+    """Spot values cross-checked against the CUDA occupancy calculator."""
+
+    def test_gtx680_unconstrained(self):
+        # 128-thread blocks, trivial register usage: block limit (16) binds
+        # at 64 warps -> but warp limit allows 16 blocks = 64 warps = 100%.
+        occ = compute_occupancy(GTX680, 128, 16)
+        assert occ.active_blocks_per_sm == 16
+        assert occ.occupancy == 1.0
+
+    def test_gtx680_register_steps(self):
+        # The Table II structure: 46 regs -> 62.5%, 59 regs -> 50%.
+        assert compute_occupancy(GTX680, 128, 46).percent == pytest.approx(62.5)
+        assert compute_occupancy(GTX680, 128, 59).percent == pytest.approx(50.0)
+
+    def test_gtx680_register_limited_flag(self):
+        occ = compute_occupancy(GTX680, 128, 59)
+        assert occ.limiter == "registers"
+
+    def test_rtx2080_warp_limited(self):
+        # Turing: 32 warps/SM. 128-thread blocks = 4 warps -> 8 blocks max.
+        occ = compute_occupancy(RTX2080, 128, 32)
+        assert occ.active_blocks_per_sm == 8
+        assert occ.occupancy == 1.0
+
+    def test_rtx2080_tolerates_more_registers(self):
+        # The paper: "the increased number of available registers on the
+        # Turing architecture" meant no occupancy drop for the ISP variant.
+        assert compute_occupancy(RTX2080, 128, 46).occupancy == 1.0
+        assert compute_occupancy(RTX2080, 128, 59).occupancy == 1.0
+        assert compute_occupancy(RTX2080, 128, 64).occupancy == 1.0
+
+    def test_registers_per_block_granularity(self):
+        # 4 warps, 33 regs/thread: 33*32=1056 -> rounded to 1280 per warp.
+        assert registers_per_block(GTX680, 128, 33) == 4 * 1280
+
+    def test_block_too_large(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX680, 2048, 32)
+
+    def test_non_positive_block(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX680, 0, 32)
+
+
+class TestProperties:
+    @given(
+        regs=st.integers(min_value=1, max_value=255),
+        threads=st.sampled_from([32, 64, 128, 256, 512, 1024]),
+    )
+    def test_occupancy_in_unit_interval(self, regs, threads):
+        for dev in (GTX680, RTX2080):
+            occ = compute_occupancy(dev, threads, regs)
+            assert 0.0 < occ.occupancy <= 1.0
+            assert occ.active_warps_per_sm <= dev.max_warps_per_sm
+
+    @given(
+        threads=st.sampled_from([32, 64, 128, 256]),
+        r1=st.integers(min_value=1, max_value=254),
+        delta=st.integers(min_value=1, max_value=64),
+    )
+    def test_monotone_nonincreasing_in_registers(self, threads, r1, delta):
+        """More registers can never raise occupancy."""
+        for dev in (GTX680, RTX2080):
+            o1 = compute_occupancy(dev, threads, r1).occupancy
+            o2 = compute_occupancy(dev, threads, min(255, r1 + delta)).occupancy
+            assert o2 <= o1
+
+    @given(
+        threads=st.sampled_from([32, 64, 128, 256, 512]),
+        regs=st.integers(min_value=1, max_value=255),
+    )
+    def test_register_file_respected(self, threads, regs):
+        for dev in (GTX680, RTX2080):
+            occ = compute_occupancy(dev, threads, regs)
+            capped = min(regs, dev.max_registers_per_thread)
+            used = occ.active_blocks_per_sm * registers_per_block(
+                dev, threads, capped
+            )
+            if occ.active_blocks_per_sm > 1:
+                assert used <= dev.registers_per_sm

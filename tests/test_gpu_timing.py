@@ -1,0 +1,136 @@
+"""Unit tests for the cost tables and the timing estimator."""
+
+import math
+
+import pytest
+
+from repro.gpu import GTX680, RTX2080, cost_table_for, estimate_time
+from repro.gpu.cost import category_of
+from repro.gpu.timing import LAUNCH_OVERHEAD_US
+from repro.ir import DataType, Immediate, Instruction, Opcode, Register
+
+
+def instr(op, dtype=DataType.S32, **kw):
+    dst = Register("d", dtype) if op not in (Opcode.BRA, Opcode.EXIT, Opcode.ST) else None
+    srcs = []
+    arity = {Opcode.ADD: 2, Opcode.MUL: 2, Opcode.DIV: 2, Opcode.SQRT: 1,
+             Opcode.LD: 1, Opcode.EXIT: 0}[op]
+    for _ in range(arity):
+        srcs.append(Register("s", DataType.U32 if op is Opcode.LD else dtype))
+    return Instruction(op, dtype, dst, srcs, **kw)
+
+
+class TestCostTables:
+    def test_categories(self):
+        assert category_of(instr(Opcode.ADD)) == "alu"
+        assert category_of(instr(Opcode.MUL)) == "imul"
+        assert category_of(instr(Opcode.MUL, DataType.F32)) == "alu"
+        assert category_of(instr(Opcode.DIV)) == "idiv"
+        assert category_of(instr(Opcode.DIV, DataType.F32)) == "sfu"
+        assert category_of(instr(Opcode.SQRT, DataType.F32)) == "sfu"
+        assert category_of(instr(Opcode.LD, DataType.F32)) == "mem"
+        assert category_of(instr(Opcode.EXIT)) == "branch"
+
+    def test_tables_differ_per_arch(self):
+        k = cost_table_for(GTX680)
+        t = cost_table_for(RTX2080)
+        assert k.sfu != t.sfu or k.idiv != t.idiv
+
+    def test_rate_consistency(self):
+        table = cost_table_for(GTX680)
+        for inst in [instr(Opcode.ADD), instr(Opcode.DIV), instr(Opcode.SQRT, DataType.F32)]:
+            assert table.issue_cost(inst) == table.rate(category_of(inst))
+
+
+def _estimate(device, *, blocks=1024, cycles=1000.0, regs=32,
+              mem_frac=0.2, threads=128, spill=1.0):
+    return estimate_time(
+        device,
+        total_blocks=blocks,
+        block_threads=threads,
+        regs_per_thread=regs,
+        class_block_cycles={"all": cycles},
+        class_block_counts={"all": blocks},
+        mem_issue_fraction=mem_frac,
+        spill_factor=spill,
+    )
+
+
+class TestTimingEstimator:
+    def test_time_scales_with_work(self):
+        t1 = _estimate(GTX680, cycles=1000.0)
+        t2 = _estimate(GTX680, cycles=2000.0)
+        assert t2.cycles == pytest.approx(2 * t1.cycles, rel=0.05)
+
+    def test_more_blocks_more_time(self):
+        t1 = _estimate(GTX680, blocks=1024)
+        t2 = _estimate(GTX680, blocks=4096)
+        assert t2.cycles > t1.cycles * 3.5
+
+    def test_register_pressure_slows_down(self):
+        """The paper's core cost mechanism: lower occupancy -> more time
+        (when below the latency-hiding requirement)."""
+        fast = _estimate(GTX680, regs=32, mem_frac=0.5)
+        slow = _estimate(GTX680, regs=59, mem_frac=0.5)
+        assert slow.occupancy.occupancy < fast.occupancy.occupancy
+        assert slow.cycles > fast.cycles
+
+    def test_turing_insensitive_to_these_registers(self):
+        """On Turing, 59 regs costs no occupancy (paper Section VI-A.2)."""
+        a = _estimate(RTX2080, regs=32)
+        b = _estimate(RTX2080, regs=59)
+        assert a.occupancy.occupancy == b.occupancy.occupancy == 1.0
+        assert a.cycles == pytest.approx(b.cycles)
+
+    def test_wave_quantization(self):
+        est = _estimate(GTX680, blocks=100)
+        assert est.waves_quantized == math.ceil(est.waves)
+        assert est.waves_quantized >= 1
+
+    def test_tiny_grid_single_block_path(self):
+        est = _estimate(GTX680, blocks=4)
+        assert est.waves < 1.0
+        assert est.cycles > 0
+
+    def test_spill_factor_multiplies(self):
+        a = _estimate(GTX680, spill=1.0)
+        b = _estimate(GTX680, spill=1.2)
+        assert b.total_issue_cycles == pytest.approx(1.2 * a.total_issue_cycles)
+
+    def test_launch_overhead_included(self):
+        est = _estimate(GTX680)
+        assert est.time_us >= LAUNCH_OVERHEAD_US
+        assert est.time_ms == pytest.approx(est.time_us / 1000)
+
+    def test_heterogeneous_classes(self):
+        est = estimate_time(
+            GTX680,
+            total_blocks=100,
+            block_threads=128,
+            regs_per_thread=32,
+            class_block_cycles={"border": 2000.0, "body": 1000.0},
+            class_block_counts={"border": 20, "body": 80},
+            mem_issue_fraction=0.1,
+        )
+        assert est.total_issue_cycles == pytest.approx(20 * 2000 + 80 * 1000)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="sum to"):
+            estimate_time(
+                GTX680, total_blocks=10, block_threads=128, regs_per_thread=32,
+                class_block_cycles={"a": 1.0}, class_block_counts={"a": 5},
+                mem_issue_fraction=0.0,
+            )
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError, match="no profiled cycles"):
+            estimate_time(
+                GTX680, total_blocks=10, block_threads=128, regs_per_thread=32,
+                class_block_cycles={}, class_block_counts={"a": 10},
+                mem_issue_fraction=0.0,
+            )
+
+    def test_memory_heavy_kernels_need_more_warps(self):
+        compute = _estimate(GTX680, regs=59, mem_frac=0.0)
+        memory = _estimate(GTX680, regs=59, mem_frac=1.0)
+        assert memory.stall_factor > compute.stall_factor

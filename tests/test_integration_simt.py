@@ -1,0 +1,159 @@
+"""End-to-end correctness: DSL -> compiler -> SIMT simulator vs NumPy.
+
+Every filter of the paper's evaluation, under every border pattern and every
+compiled variant, must produce the golden reference output bit-for-bit
+(float32 tolerance for kernels using transcendentals, where the simulator's
+``ex2``-based ``expf`` and NumPy's ``exp`` legitimately differ in the last
+ulp).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Variant
+from repro.dsl import Boundary
+from repro.filters import (
+    PIPELINES,
+    bilateral,
+    gaussian,
+    laplace,
+    night,
+    sobel,
+)
+from repro.filters.reference import (
+    bilateral_reference,
+    correlate,
+    gaussian_reference,
+    laplace_reference,
+    night_reference,
+    sobel_reference,
+)
+from repro.runtime import run_pipeline_simt
+
+PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
+VARIANTS = [Variant.NAIVE, Variant.ISP]
+CONST = 0.25
+
+
+@pytest.fixture(scope="module")
+def src48():
+    return np.random.default_rng(7).random((48, 48)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def src32():
+    return np.random.default_rng(8).random((32, 32)).astype(np.float32)
+
+
+@pytest.mark.parametrize("boundary", PATTERNS)
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestSingleKernelFilters:
+    def test_gaussian(self, boundary, variant, src48):
+        pipe = gaussian.build_pipeline(48, 48, boundary, CONST)
+        res = run_pipeline_simt(pipe, variant=variant, block=(16, 4),
+                                inputs={"inp": src48})
+        ref = gaussian_reference(src48, boundary, CONST)
+        assert np.abs(res.output - ref).max() < 1e-6
+
+    def test_laplace(self, boundary, variant, src48):
+        pipe = laplace.build_pipeline(48, 48, boundary, CONST)
+        res = run_pipeline_simt(pipe, variant=variant, block=(16, 4),
+                                inputs={"inp": src48})
+        ref = laplace_reference(src48, boundary, CONST)
+        assert np.abs(res.output - ref).max() < 1e-4  # sums of 25 taps
+
+    def test_bilateral_7x7(self, boundary, variant, src32):
+        pipe = bilateral.build_pipeline(32, 32, boundary, CONST, radius=3)
+        res = run_pipeline_simt(pipe, variant=variant, block=(16, 4),
+                                inputs={"inp": src32})
+        ref = bilateral_reference(src32, boundary, CONST, radius=3)
+        assert np.abs(res.output - ref).max() < 1e-4
+
+
+@pytest.mark.parametrize("boundary", [Boundary.CLAMP, Boundary.REPEAT])
+@pytest.mark.parametrize("variant", VARIANTS)
+class TestPipelines:
+    def test_sobel_all_stages(self, boundary, variant, src48):
+        pipe = sobel.build_pipeline(48, 48, boundary, CONST)
+        res = run_pipeline_simt(pipe, variant=variant, block=(16, 4),
+                                inputs={"inp": src48})
+        ref = sobel_reference(src48, boundary, CONST)
+        assert np.abs(res.images["dx"] - ref["dx"]).max() < 1e-5
+        assert np.abs(res.images["dy"] - ref["dy"]).max() < 1e-5
+        assert np.abs(res.output - ref["mag"]).max() < 1e-4
+
+    def test_night_pipeline(self, boundary, variant, src48):
+        pipe = night.build_pipeline(48, 48, boundary, CONST)
+        res = run_pipeline_simt(pipe, variant=variant, block=(16, 4),
+                                inputs={"inp": src48})
+        ref = night_reference(src48, boundary, CONST)
+        assert np.abs(res.output - ref).max() < 1e-4
+
+
+class TestFullBilateral13x13:
+    """One full-window bilateral configuration (the paper's 13x13)."""
+
+    def test_isp_matches_reference(self, src32):
+        pipe = bilateral.build_pipeline(32, 32, Boundary.CLAMP)
+        res = run_pipeline_simt(pipe, variant=Variant.ISP, block=(16, 4),
+                                inputs={"inp": src32})
+        ref = bilateral_reference(src32, Boundary.CLAMP)
+        assert np.abs(res.output - ref).max() < 1e-4
+
+
+class TestWarpGrained:
+    def test_warp_isp_all_patterns(self):
+        src = np.random.default_rng(9).random((32, 128)).astype(np.float32)
+        mask = np.ones((3, 3), np.float32) / 9.0
+        from tests.conftest import make_conv_kernel
+        from repro.dsl import Pipeline
+
+        for boundary in PATTERNS:
+            k = make_conv_kernel(128, 32, boundary, mask)
+            pipe = Pipeline("conv", [k])
+            res = run_pipeline_simt(pipe, variant=Variant.ISP_WARP,
+                                    block=(64, 2), inputs={"inp": src})
+            ref = correlate(src, mask, boundary)
+            assert np.abs(res.output - ref).max() < 1e-6, boundary
+
+
+class TestRaggedSizes:
+    """Grids that over-cover the image exercise the bounds guard."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_non_divisible_image(self, variant):
+        src = np.random.default_rng(10).random((37, 45)).astype(np.float32)
+        pipe = gaussian.build_pipeline(45, 37, Boundary.MIRROR)
+        res = run_pipeline_simt(pipe, variant=variant, block=(16, 4),
+                                inputs={"inp": src})
+        ref = gaussian_reference(src, Boundary.MIRROR)
+        assert np.abs(res.output - ref).max() < 1e-6
+
+    def test_degenerate_isp_falls_back_but_is_correct(self):
+        src = np.random.default_rng(11).random((16, 16)).astype(np.float32)
+        pipe = bilateral.build_pipeline(16, 16, Boundary.CLAMP)  # 13x13 window!
+        res = run_pipeline_simt(pipe, variant=Variant.ISP, block=(16, 4),
+                                inputs={"inp": src})
+        assert res.compiled[0].effective_variant is Variant.NAIVE
+        ref = bilateral_reference(src, Boundary.CLAMP)
+        assert np.abs(res.output - ref).max() < 1e-4
+
+
+class TestVariantsAgree:
+    """All variants of the same kernel are bit-identical to each other
+    (they evaluate the same float32 expression in the same order)."""
+
+    @pytest.mark.parametrize("boundary", PATTERNS)
+    def test_naive_vs_isp_bitexact(self, boundary, src48):
+        pipe = gaussian.build_pipeline(48, 48, boundary, CONST)
+        a = run_pipeline_simt(pipe, variant=Variant.NAIVE, block=(16, 4),
+                              inputs={"inp": src48})
+        b = run_pipeline_simt(pipe, variant=Variant.ISP, block=(16, 4),
+                              inputs={"inp": src48})
+        assert np.array_equal(a.output, b.output)
+
+
+def test_all_registry_pipelines_buildable():
+    for name, build in PIPELINES.items():
+        pipe = build(64, 64, Boundary.CLAMP)
+        assert len(pipe) >= 1, name

@@ -1,0 +1,186 @@
+"""Unit tests for IRBuilder and the verifier."""
+
+import pytest
+
+from repro.ir import (
+    CmpOp,
+    DataType,
+    IRBuilder,
+    IRVerificationError,
+    Opcode,
+    Param,
+    SpecialReg,
+    verify,
+)
+
+
+def minimal(name="k"):
+    b = IRBuilder(name, [Param("n", DataType.S32)])
+    b.new_block("entry")
+    return b
+
+
+class TestBuilder:
+    def test_fresh_registers_unique(self):
+        b = minimal()
+        regs = {b.fresh_reg(DataType.S32).name for _ in range(100)}
+        assert len(regs) == 100
+
+    def test_fresh_labels_unique(self):
+        b = minimal()
+        labels = {b.fresh_label() for _ in range(50)}
+        assert len(labels) == 50
+
+    def test_duplicate_block_label_rejected(self):
+        b = minimal()
+        with pytest.raises(ValueError, match="duplicate"):
+            b.new_block("entry")
+
+    def test_dtype_inference(self):
+        b = minimal()
+        n = b.ld_param("n")
+        r = b.add(n, 1)
+        assert r.dtype is DataType.S32
+        f = b.mul(b.imm(1.0, DataType.F32), 2.0)
+        assert f.dtype is DataType.F32
+
+    def test_literal_only_requires_dtype(self):
+        b = minimal()
+        with pytest.raises(ValueError, match="infer"):
+            b.add(1, 2)
+
+    def test_region_and_role_tags(self):
+        b = minimal()
+        n = b.ld_param("n")
+        with b.region("TL"), b.role("check"):
+            r = b.add(n, 1)
+        del r
+        b.exit()
+        tagged = [i for i in b.function.instructions() if i.region == "TL"]
+        assert len(tagged) == 1
+        assert tagged[0].role == "check"
+
+    def test_emit_after_terminator_fails(self):
+        b = minimal()
+        b.exit()
+        with pytest.raises(ValueError, match="terminated"):
+            b.exit()
+
+    def test_special_register_read(self):
+        b = minimal()
+        t = b.special(SpecialReg.TID_X)
+        assert t.dtype is DataType.S32
+        instr = b.function.entry.instructions[-1]
+        assert instr.op is Opcode.MOV and instr.special is SpecialReg.TID_X
+
+
+class TestVerifier:
+    def test_accepts_wellformed(self):
+        b = minimal()
+        n = b.ld_param("n")
+        p = b.setp(CmpOp.GT, n, 0)
+        b.cbr(p, "pos", "done")
+        b.new_block("pos")
+        b.br("done")
+        b.new_block("done")
+        b.exit()
+        verify(b.finish())  # no raise
+
+    def test_missing_terminator(self):
+        b = minimal()
+        b.ld_param("n")
+        with pytest.raises(IRVerificationError, match="terminator"):
+            verify(b.finish())
+
+    def test_branch_to_unknown_label(self):
+        b = minimal()
+        b.br("nowhere")
+        with pytest.raises(IRVerificationError, match="unknown label"):
+            verify(b.finish())
+
+    def test_unknown_parameter(self):
+        b = minimal()
+        from repro.ir import Instruction, Register
+
+        b.block.append(
+            Instruction(Opcode.LDPARAM, DataType.S32,
+                        Register("x", DataType.S32), [], param="missing")
+        )
+        b.exit()
+        with pytest.raises(IRVerificationError, match="unknown parameter"):
+            verify(b.finish())
+
+    def test_undefined_register_use(self):
+        from repro.ir import Register
+
+        b = minimal()
+        ghost = Register("ghost", DataType.S32)
+        b.add(ghost, 1)
+        b.exit()
+        with pytest.raises(IRVerificationError, match="undefined register"):
+            verify(b.finish())
+
+    def test_register_type_conflict(self):
+        from repro.ir import Instruction, Register
+
+        b = minimal()
+        b.mov(b.imm(1, DataType.S32))
+        # Manually forge a reuse of the same name at a different type.
+        name = b.function.entry.instructions[-1].dst.name
+        b.block.append(
+            Instruction(Opcode.MOV, DataType.F32, Register("other", DataType.F32),
+                        [Register(name, DataType.F32)])
+        )
+        b.exit()
+        with pytest.raises(IRVerificationError, match="used as"):
+            verify(b.finish())
+
+    def test_unreachable_block(self):
+        b = minimal()
+        b.exit()
+        b.new_block("orphan")
+        b.exit()
+        with pytest.raises(IRVerificationError, match="unreachable"):
+            verify(b.finish())
+
+    def test_load_address_type(self):
+        b = minimal()
+        n = b.ld_param("n")  # s32, not a valid address
+        from repro.ir import Instruction, Register
+
+        b.block.append(
+            Instruction(Opcode.LD, DataType.F32, Register("v", DataType.F32), [n])
+        )
+        b.exit()
+        with pytest.raises(IRVerificationError, match="address must be u32"):
+            verify(b.finish())
+
+    def test_selp_selector_must_be_pred(self):
+        from repro.ir import Instruction, Register
+
+        b = minimal()
+        n = b.ld_param("n")
+        b.block.append(
+            Instruction(Opcode.SELP, DataType.S32, Register("d", DataType.S32),
+                        [n, n, n])
+        )
+        b.exit()
+        with pytest.raises(IRVerificationError, match="selector"):
+            verify(b.finish())
+
+    def test_empty_function(self):
+        b = IRBuilder("empty", [])
+        with pytest.raises(IRVerificationError, match="no blocks"):
+            verify(b.finish())
+
+    def test_conditional_branch_needs_else(self):
+        from repro.ir import Instruction
+
+        b = minimal()
+        n = b.ld_param("n")
+        p = b.setp(CmpOp.GT, n, 0)
+        b.block.append(
+            Instruction(Opcode.BRA, DataType.S32, pred=p, target="entry")
+        )
+        with pytest.raises(IRVerificationError, match="else"):
+            verify(b.finish())

@@ -1,0 +1,132 @@
+"""Unit tests for CFG analyses, instruction statistics, and the printer."""
+
+from repro.ir import (
+    CmpOp,
+    DataType,
+    IRBuilder,
+    Param,
+    build_cfg,
+    count_by_region,
+    count_by_role,
+    count_function,
+    format_instruction,
+    has_loops,
+    immediate_postdominators,
+    print_function,
+)
+from repro.ir.cfg import VIRTUAL_EXIT, back_edges
+from repro.ir.stats import ordered_categories, total
+
+
+def diamond():
+    """entry -> (then|else) -> join -> exit."""
+    b = IRBuilder("diamond", [Param("n", DataType.S32)])
+    b.new_block("entry")
+    n = b.ld_param("n")
+    p = b.setp(CmpOp.GT, n, 0)
+    b.cbr(p, "then", "els")
+    b.new_block("then")
+    b.br("join")
+    b.new_block("els")
+    b.br("join")
+    b.new_block("join")
+    b.exit()
+    return b.finish()
+
+
+def loop():
+    b = IRBuilder("loop", [Param("n", DataType.S32)])
+    b.new_block("entry")
+    n = b.ld_param("n")
+    x = b.fresh_reg(DataType.S32, "x")
+    b.mov_to(x, 0)
+    b.br("head")
+    b.new_block("head")
+    p = b.setp(CmpOp.LT, x, n)
+    b.cbr(p, "body", "after")
+    b.new_block("body")
+    b.mov_to(x, b.add(x, 1))
+    b.br("head")
+    b.new_block("after")
+    b.exit()
+    return b.finish()
+
+
+class TestCfg:
+    def test_diamond_edges(self):
+        g = build_cfg(diamond())
+        assert set(g.successors("entry")) == {"then", "els"}
+        assert set(g.successors("join")) == {VIRTUAL_EXIT}
+
+    def test_diamond_ipdom(self):
+        ipd = immediate_postdominators(diamond())
+        assert ipd["entry"] == "join"
+        assert ipd["then"] == "join"
+        assert ipd["els"] == "join"
+        assert ipd["join"] is None
+
+    def test_loop_ipdom_and_backedges(self):
+        f = loop()
+        ipd = immediate_postdominators(f)
+        assert ipd["head"] == "after"
+        assert back_edges(f) == {("body", "head")}
+        assert has_loops(f)
+        assert not has_loops(diamond())
+
+
+class TestStats:
+    def test_count_function(self):
+        counts = count_function(diamond())
+        assert counts["bra"] == 3
+        assert counts["exit"] == 1
+        assert counts["setp"] == 1
+        assert counts["ld"] == 1  # ld.param counts as ld
+
+    def test_total_and_order(self):
+        counts = count_function(diamond())
+        assert total(counts) == sum(counts.values())
+        cats = ordered_categories([counts])
+        # setp should come before ld before bra in Table-I order
+        assert cats.index("setp") < cats.index("ld") < cats.index("bra")
+
+    def test_region_role_grouping(self):
+        b = IRBuilder("t", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        n = b.ld_param("n")
+        with b.region("Body"), b.role("kernel"):
+            b.add(n, 1)
+        with b.region("L"), b.role("check"):
+            b.max(n, 0)
+        b.exit()
+        f = b.finish()
+        by_region = count_by_region(f)
+        assert by_region["Body"]["add"] == 1
+        assert by_region["L"]["max"] == 1
+        assert "(shared)" in by_region
+        by_role = count_by_role(f)
+        assert by_role["check"]["max"] == 1
+
+
+class TestPrinter:
+    def test_roundtrip_text_shape(self):
+        text = print_function(diamond())
+        assert ".visible .entry diamond(" in text
+        assert "entry:" in text and "join:" in text
+        assert "setp.gt.s32" in text
+        assert "exit;" in text
+
+    def test_annotated_output(self):
+        b = IRBuilder("t", [Param("n", DataType.S32)])
+        b.new_block("entry")
+        n = b.ld_param("n")
+        with b.region("TL"), b.role("check"):
+            b.max(n, 0)
+        b.exit()
+        text = print_function(b.finish(), annotate=True)
+        assert "region=TL role=check" in text
+
+    def test_format_specific_instructions(self):
+        f = loop()
+        texts = [format_instruction(i) for i in f.instructions()]
+        assert any(t.startswith("@") and "bra" in t for t in texts)  # cond branch
+        assert any("ld.param.s32" in t for t in texts)

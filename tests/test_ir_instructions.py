@@ -1,0 +1,83 @@
+"""Unit tests for instruction construction and validation."""
+
+import pytest
+
+from repro.ir import CmpOp, Immediate, Instruction, Opcode, Register
+from repro.ir.instructions import SFU_OPS, TERMINATORS
+from repro.ir.types import DataType
+
+R = lambda name, dt=DataType.S32: Register(name, dt)
+I = lambda v, dt=DataType.S32: Immediate(v, dt)
+
+
+class TestInstruction:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError, match="expects 2"):
+            Instruction(Opcode.ADD, DataType.S32, R("d"), [R("a")])
+        with pytest.raises(ValueError, match="expects 3"):
+            Instruction(Opcode.MAD, DataType.S32, R("d"), [R("a"), R("b")])
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(ValueError, match="comparison"):
+            Instruction(Opcode.SETP, DataType.S32, R("p", DataType.PRED),
+                        [R("a"), R("b")])
+
+    def test_cvt_requires_src_dtype(self):
+        with pytest.raises(ValueError, match="src_dtype"):
+            Instruction(Opcode.CVT, DataType.F32, R("d", DataType.F32), [R("a")])
+
+    def test_ldparam_requires_name(self):
+        with pytest.raises(ValueError, match="parameter name"):
+            Instruction(Opcode.LDPARAM, DataType.S32, R("d"), [])
+
+    def test_keywords_match_paper_categories(self):
+        instr = Instruction(Opcode.LD, DataType.F32, R("d", DataType.F32),
+                            [R("a", DataType.U32)])
+        assert instr.keyword == "ld"
+        instr = Instruction(Opcode.LDPARAM, DataType.S32, R("d"), [], param="w")
+        assert instr.keyword == "ld"  # ld.param counts as 'ld'
+        instr = Instruction(
+            Opcode.SETP, DataType.S32, R("p", DataType.PRED),
+            [R("a"), I(0)], cmp=CmpOp.LT,
+        )
+        assert instr.keyword == "setp"
+
+    def test_terminator_flags(self):
+        bra = Instruction(Opcode.BRA, DataType.S32, target="somewhere")
+        assert bra.is_terminator
+        ext = Instruction(Opcode.EXIT, DataType.S32)
+        assert ext.is_terminator
+        add = Instruction(Opcode.ADD, DataType.S32, R("d"), [R("a"), I(1)])
+        assert not add.is_terminator
+        assert TERMINATORS == {Opcode.BRA, Opcode.EXIT}
+
+    def test_used_and_defined_registers(self):
+        p = R("p", DataType.PRED)
+        instr = Instruction(
+            Opcode.BRA, DataType.S32, pred=p, target="a", target_else="b"
+        )
+        assert instr.used_registers() == [p]
+        assert instr.defined_register() is None
+
+        add = Instruction(Opcode.ADD, DataType.S32, R("d"), [R("a"), I(1)])
+        assert [r.name for r in add.used_registers()] == ["a"]
+        assert add.defined_register().name == "d"
+
+    def test_sfu_classification(self):
+        assert Opcode.EX2 in SFU_OPS
+        assert Opcode.SQRT in SFU_OPS
+        assert Opcode.ADD not in SFU_OPS
+
+
+class TestImmediate:
+    def test_immediates_precoerced(self):
+        imm = Immediate(2**33 + 5, DataType.S32)
+        assert imm.value == 5
+        imm = Immediate(0.1, DataType.F32)
+        import numpy as np
+
+        assert imm.value == float(np.float32(0.1))
+
+    def test_str(self):
+        assert str(Immediate(7, DataType.S32)) == "7"
+        assert "0F" in str(Immediate(1.5, DataType.F32))

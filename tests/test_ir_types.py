@@ -1,0 +1,69 @@
+"""Unit tests for the virtual ISA's type system."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.types import DataType, coerce_immediate
+
+
+class TestDataType:
+    def test_suffixes(self):
+        assert DataType.S32.suffix == "s32"
+        assert DataType.U32.suffix == "u32"
+        assert DataType.F32.suffix == "f32"
+        assert DataType.PRED.suffix == "pred"
+
+    def test_numpy_dtypes(self):
+        assert DataType.S32.numpy_dtype == np.int32
+        assert DataType.U32.numpy_dtype == np.uint32
+        assert DataType.F32.numpy_dtype == np.float32
+        assert DataType.PRED.numpy_dtype == np.bool_
+
+    def test_classification(self):
+        assert DataType.S32.is_integer and DataType.U32.is_integer
+        assert not DataType.F32.is_integer
+        assert DataType.F32.is_float
+        assert DataType.PRED.is_predicate
+        assert not DataType.S32.is_predicate
+
+    def test_size_bytes(self):
+        for dt in (DataType.S32, DataType.U32, DataType.F32):
+            assert dt.size_bytes == 4
+
+    def test_predicate_not_addressable(self):
+        with pytest.raises(ValueError):
+            _ = DataType.PRED.size_bytes
+
+
+class TestCoerceImmediate:
+    def test_f32_rounding(self):
+        # 0.1 is not exactly representable; coercion snaps to float32.
+        v = coerce_immediate(0.1, DataType.F32)
+        assert v == float(np.float32(0.1))
+        assert v != 0.1
+
+    def test_s32_wraps(self):
+        assert coerce_immediate(2**31, DataType.S32) == -(2**31)
+        assert coerce_immediate(-1, DataType.S32) == -1
+
+    def test_u32_wraps(self):
+        assert coerce_immediate(-1, DataType.U32) == 2**32 - 1
+        assert coerce_immediate(2**32, DataType.U32) == 0
+
+    def test_pred(self):
+        assert coerce_immediate(1, DataType.PRED) is True
+        assert coerce_immediate(0, DataType.PRED) is False
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_s32_matches_numpy(self, value):
+        assert coerce_immediate(value, DataType.S32) == int(
+            np.int64(value).astype(np.int32)
+        )
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_fixed_point(self, value):
+        # Coercing an exact float32 value is the identity.
+        once = coerce_immediate(value, DataType.F32)
+        assert coerce_immediate(once, DataType.F32) == once

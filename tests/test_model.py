@@ -1,0 +1,167 @@
+"""Tests of the analytic model (paper Eqs. 1-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import Region, RegionGeometry, Variant, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import bilateral, gaussian
+from repro.gpu import GTX680, RTX2080
+from repro.model import (
+    block_counts,
+    body_fraction_series,
+    calibrate,
+    estimate_instructions,
+    index_bounds,
+    predict_kernel,
+    region_cost_per_pixel,
+    switch_cost,
+)
+from tests.conftest import make_conv_kernel
+
+
+class TestBlocksModel:
+    @settings(max_examples=150)
+    @given(
+        s=st.integers(64, 1024),
+        m=st.sampled_from([3, 5, 9, 13, 17]),
+        tx=st.sampled_from([16, 32, 64]),
+        ty=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_matches_exact_geometry(self, s, m, tx, ty):
+        """The paper-style closed form must agree with the compiler's exact
+        geometry for non-degenerate configurations."""
+        geom = RegionGeometry.compute(s, s, m // 2, m // 2, (tx, ty))
+        if geom.degenerate:
+            return
+        model = block_counts(s, s, m, m, tx, ty)
+        assert model.counts == geom.block_counts()
+        assert (model.bh_l, model.bh_r, model.bh_t, model.bh_b) == (
+            geom.bh_l, geom.bh_r, geom.bh_t, geom.bh_b,
+        )
+
+    def test_figure3_monotone_in_size(self):
+        """Paper Figure 3: body-block percentage grows with image size."""
+        series = body_fraction_series(
+            [128, 256, 512, 1024, 2048, 4096], 5, 5, 32, 4
+        )
+        values = [v for _, v in series]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] > 95.0
+
+    def test_figure3_block_size_effect(self):
+        """Bigger blocks -> lower body fraction at the same image size
+        (paper: 'When small images are computed using a large block size,
+        there are not many blocks left to execute the body region')."""
+        small_block = block_counts(256, 256, 5, 5, 32, 4).body_fraction
+        large_block = block_counts(256, 256, 5, 5, 64, 8).body_fraction
+        assert large_block < small_block
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            index_bounds(512, 512, 4, 3, 32, 4)
+
+
+class TestCalibration:
+    def test_check_cost_orders_by_pattern(self):
+        costs = {}
+        for b in (Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT):
+            desc = trace_kernel(make_conv_kernel(
+                256, 256, b, np.ones((3, 3), np.float32)))
+            costs[b] = calibrate(desc).check_per_pixel
+        assert costs[Boundary.CLAMP] < costs[Boundary.MIRROR]
+        assert costs[Boundary.MIRROR] < costs[Boundary.REPEAT]
+
+    def test_kernel_cost_scales_with_window(self):
+        small = calibrate(trace_kernel(make_conv_kernel(
+            256, 256, Boundary.CLAMP, np.ones((3, 3), np.float32))))
+        big = calibrate(trace_kernel(make_conv_kernel(
+            256, 256, Boundary.CLAMP, np.ones((5, 5), np.float32))))
+        assert big.kernel_per_pixel > 2 * small.kernel_per_pixel
+        # but roughly constant per tap
+        assert big.kernel_per_tap == pytest.approx(small.kernel_per_tap, rel=0.35)
+
+    def test_switch_cost_monotone_in_chain_position(self):
+        """Listing 3: later regions pay for more tests; Body pays most."""
+        from repro.compiler.regions import SWITCH_ORDER
+
+        costs = [switch_cost(r) for r in SWITCH_ORDER]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+        assert switch_cost(Region.TL) < switch_cost(Region.BODY)
+
+
+class TestInstructionModel:
+    def _cal(self, boundary=Boundary.CLAMP, mask=5):
+        desc = trace_kernel(make_conv_kernel(
+            512, 512, boundary, np.ones((mask, mask), np.float32)))
+        return calibrate(desc)
+
+    def test_region_costs_eq6(self):
+        """Eq. 6: corner > edge > body per-pixel cost."""
+        cal = self._cal()
+        corner = region_cost_per_pixel(cal, Region.TL)
+        edge = region_cost_per_pixel(cal, Region.L)
+        body = region_cost_per_pixel(cal, Region.BODY)
+        assert corner > edge > body
+        assert body == cal.kernel_per_pixel
+        assert corner == pytest.approx(cal.kernel_per_pixel + cal.check_per_pixel / 2)
+
+    def test_isp_reduces_instructions_for_large_images(self):
+        cal = self._cal()
+        est = estimate_instructions(cal, 2048, 2048, 32, 4)
+        assert est.r_reduced > 1.0
+        assert est.n_isp < est.n_naive
+
+    def test_r_reduced_grows_with_size(self):
+        cal = self._cal()
+        rs = [estimate_instructions(cal, s, s, 32, 4).r_reduced
+              for s in (256, 512, 1024, 2048, 4096)]
+        assert all(b >= a for a, b in zip(rs, rs[1:]))
+
+    def test_per_region_breakdown_sums(self):
+        cal = self._cal()
+        est = estimate_instructions(cal, 1024, 1024, 32, 4)
+        assert sum(est.per_region.values()) == pytest.approx(est.n_isp)
+
+
+class TestPrediction:
+    def test_bilateral_gtx680_occupancy_discount(self):
+        pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+        desc = trace_kernel(pipe.kernels[0])
+        p = predict_kernel(desc, device=GTX680)
+        assert p.occupancy_isp < p.occupancy_naive
+        assert p.gain < p.r_reduced  # Eq. 10 discount applied
+
+    def test_turing_no_discount(self):
+        pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+        desc = trace_kernel(pipe.kernels[0])
+        p = predict_kernel(desc, device=RTX2080)
+        assert p.occupancy_isp == p.occupancy_naive
+        assert p.gain == pytest.approx(p.r_reduced)
+
+    def test_repeat_gains_most(self):
+        """Paper Fig. 6: Repeat benefits more than Clamp at equal geometry."""
+        gains = {}
+        for b in (Boundary.CLAMP, Boundary.REPEAT):
+            pipe = gaussian.build_pipeline(2048, 2048, b)
+            desc = trace_kernel(pipe.kernels[0])
+            gains[b] = predict_kernel(desc, device=GTX680).gain
+        assert gains[Boundary.REPEAT] > gains[Boundary.CLAMP]
+
+    def test_degenerate_forces_naive(self):
+        desc = trace_kernel(make_conv_kernel(
+            16, 16, Boundary.CLAMP, np.ones((13, 13), np.float32)))
+        p = predict_kernel(desc, block=(32, 4), device=GTX680)
+        assert not p.use_isp
+        assert p.choice is Variant.NAIVE
+
+    def test_point_operator_neutral(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(256, 256, Boundary.CLAMP)
+        mag = trace_kernel(pipe.kernels[2])
+        p = predict_kernel(mag, device=GTX680)
+        assert p.gain == 1.0
+        assert not p.use_isp  # G > 1 strictly required

@@ -1,0 +1,144 @@
+"""Tests for reporting helpers (stats cross-checked against SciPy)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reporting import format_series, format_table, geometric_mean, pearson, speedup
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e3)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    @settings(deadline=None)
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_matches_scipy(self, values):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        assert geometric_mean(values) == pytest.approx(
+            float(scipy_stats.gmean(values)), rel=1e-9
+        )
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-12 <= g <= max(values) + 1e-12
+
+    def test_rejects_nonpositive_and_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [-1, -2, -3]) == pytest.approx(-1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    @settings(deadline=None)
+    def test_matches_scipy(self, pairs):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        if len(set(xs)) < 2 or len(set(ys)) < 2:
+            return
+        # Skip inputs whose variance underflows float64 (e.g. values around
+        # 1e-193 square to ~1e-386 == 0.0) — both implementations reject them.
+        mx, my = sum(xs) / len(xs), sum(ys) / len(ys)
+        if sum((x - mx) ** 2 for x in xs) == 0 or sum((y - my) ** 2 for y in ys) == 0:
+            return
+        ours = pearson(xs, ys)
+        theirs = float(scipy_stats.pearsonr(xs, ys).statistic)
+        if math.isnan(theirs):
+            return
+        assert ours == pytest.approx(theirs, abs=1e-6)
+
+    def test_bounds_and_errors(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+        with pytest.raises(ValueError):
+            pearson([1, 2], [3])
+        with pytest.raises(ValueError):
+            pearson([1, 1], [2, 3])
+
+
+class TestSpeedup:
+    def test_direction(self):
+        assert speedup(2.0, 1.0) == 2.0  # improved is 2x faster
+        assert speedup(1.0, 2.0) == 0.5
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestTables:
+    def test_basic_render(self):
+        text = format_table(
+            ["app", "speedup"],
+            [["gaussian", 1.438], ["sobel", 1.877]],
+            title="Table IV",
+        )
+        assert "Table IV" in text
+        assert "1.438" in text and "1.877" in text
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # aligned columns
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_series(self):
+        text = format_series("body%", [(512, 84.8), (4096, 98.0)])
+        assert "512" in text and "84.800" in text
+
+
+class TestExport:
+    def test_roundtrip(self, tmp_path):
+        from repro.reporting import export_json, load_json
+
+        payload = {"rows": [[1, 2.5, "x"]], "meta": {"device": "GTX680"}}
+        out = export_json(tmp_path, "t1", payload)
+        assert out.exists()
+        assert load_json(tmp_path, "t1") == payload
+
+    def test_converts_enums_and_dataclasses(self, tmp_path):
+        import numpy as np
+
+        from repro.compiler import Variant
+        from repro.gpu import compute_occupancy, GTX680
+        from repro.reporting import export_json, load_json
+
+        occ = compute_occupancy(GTX680, 128, 46)
+        export_json(tmp_path, "t2", {
+            "variant": Variant.ISP,
+            "occ": occ,
+            "speed": np.float32(1.5),
+        })
+        data = load_json(tmp_path, "t2")
+        assert data["variant"] == "isp"
+        assert data["occ"]["occupancy"] == 0.625
+        assert data["speed"] == 1.5
+
+    def test_deterministic_output(self, tmp_path):
+        from repro.reporting import export_json
+
+        a = export_json(tmp_path, "t3", {"b": 1, "a": 2}).read_text()
+        b = export_json(tmp_path, "t3", {"a": 2, "b": 1}).read_text()
+        assert a == b

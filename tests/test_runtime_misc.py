@@ -1,0 +1,151 @@
+"""Runtime odds and ends: default-bound inputs, policy overrides, timing
+monotonicity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import Variant, trace_kernel
+from repro.dsl import Boundary, Image, Pipeline
+from repro.filters import gaussian
+from repro.gpu import GTX680, RTX2080, estimate_time
+from repro.runtime import measure_pipeline, run_pipeline_simt
+from tests.conftest import make_conv_kernel
+
+
+class TestSimulationInputs:
+    def test_bound_image_used_when_no_inputs_given(self, rng):
+        src = rng.random((32, 32)).astype(np.float32)
+        inp = Image.from_array(src, "inp")
+        pipe = gaussian.build_pipeline(32, 32, Boundary.CLAMP, input_image=inp)
+        res = run_pipeline_simt(pipe, variant=Variant.NAIVE, block=(16, 4))
+        from repro.filters.reference import gaussian_reference
+
+        assert np.abs(res.output - gaussian_reference(src, Boundary.CLAMP)).max() < 1e-6
+
+    def test_unbound_image_without_inputs_raises(self):
+        pipe = gaussian.build_pipeline(32, 32, Boundary.CLAMP)
+        with pytest.raises(ValueError, match="no bound host data"):
+            run_pipeline_simt(pipe, variant=Variant.NAIVE, block=(16, 4))
+
+    def test_intermediate_images_exposed(self, rng):
+        from repro.filters import sobel
+
+        src = rng.random((32, 32)).astype(np.float32)
+        pipe = sobel.build_pipeline(32, 32, Boundary.CLAMP)
+        res = run_pipeline_simt(pipe, variant=Variant.NAIVE, block=(16, 4),
+                                inputs={"inp": src})
+        assert set(res.images) >= {"inp", "dx", "dy", "out"}
+        assert len(res.compiled) == 3
+        assert len(res.profilers) == 3
+
+
+class TestPolicyOverrides:
+    def test_per_kernel_override_applied(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(256, 256, Boundary.CLAMP)
+        m = measure_pipeline(
+            pipe, variant=Variant.NAIVE, device=GTX680,
+            per_kernel_variants={"sobel_dx": Variant.ISP},
+        )
+        assert m.kernels[0].requested_variant is Variant.ISP
+        assert m.kernels[1].requested_variant is Variant.NAIVE
+
+    def test_mixed_policy_total_between_pure_policies(self):
+        """A mixed naive/ISP pipeline's time lies between the pure ones."""
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(512, 512, Boundary.REPEAT)
+        t_naive = measure_pipeline(pipe, variant=Variant.NAIVE,
+                                   device=GTX680).total_us
+        t_isp = measure_pipeline(pipe, variant=Variant.ISP,
+                                 device=GTX680).total_us
+        t_mixed = measure_pipeline(
+            pipe, variant=Variant.NAIVE, device=GTX680,
+            per_kernel_variants={"sobel_dx": Variant.ISP},
+        ).total_us
+        lo, hi = sorted((t_naive, t_isp))
+        assert lo <= t_mixed <= hi
+
+
+class TestTimingMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cycles=st.floats(min_value=100.0, max_value=1e6),
+        blocks=st.integers(8, 100000),
+        extra=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_more_work_never_faster(self, cycles, blocks, extra):
+        for dev in (GTX680, RTX2080):
+            t1 = estimate_time(
+                dev, total_blocks=blocks, block_threads=128, regs_per_thread=32,
+                class_block_cycles={"a": cycles}, class_block_counts={"a": blocks},
+                mem_issue_fraction=0.2,
+            )
+            t2 = estimate_time(
+                dev, total_blocks=blocks, block_threads=128, regs_per_thread=32,
+                class_block_cycles={"a": cycles * extra},
+                class_block_counts={"a": blocks},
+                mem_issue_fraction=0.2,
+            )
+            assert t2.time_us >= t1.time_us - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        regs1=st.integers(16, 120),
+        delta=st.integers(0, 80),
+        mem=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_more_registers_never_meaningfully_faster(self, regs1, delta, mem):
+        """The paper's cost direction: register growth can only slow down.
+
+        Strict monotonicity does not hold — wave *quantization* can make a
+        lower-occupancy kernel tile its waves slightly more evenly (a real
+        GPU effect too) — so the contract is: occupancy and stall factor are
+        monotone, and time never improves beyond the one-wave tail slack.
+        """
+        for dev in (GTX680, RTX2080):
+            common = dict(
+                total_blocks=4096, block_threads=128,
+                class_block_cycles={"a": 1000.0},
+                class_block_counts={"a": 4096},
+                mem_issue_fraction=mem,
+            )
+            t1 = estimate_time(dev, regs_per_thread=regs1, **common)
+            t2 = estimate_time(dev, regs_per_thread=regs1 + delta, **common)
+            assert t2.occupancy.occupancy <= t1.occupancy.occupancy + 1e-12
+            assert t2.stall_factor >= t1.stall_factor - 1e-12
+            tail_slack = t1.time_us / max(t1.waves, 1.0)
+            assert t2.time_us >= t1.time_us - tail_slack - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(shared1=st.integers(0, 8192), delta=st.integers(0, 32768))
+    def test_more_shared_memory_never_faster(self, shared1, delta):
+        common = dict(
+            total_blocks=4096, block_threads=128, regs_per_thread=32,
+            class_block_cycles={"a": 1000.0}, class_block_counts={"a": 4096},
+            mem_issue_fraction=0.2,
+        )
+        t1 = estimate_time(GTX680, shared_bytes=shared1, **common)
+        t2 = estimate_time(GTX680, shared_bytes=shared1 + delta, **common)
+        assert t2.time_us >= t1.time_us - 1e-9
+
+
+class TestMeasurementDeterminism:
+    def test_measure_is_deterministic(self):
+        pipe = gaussian.build_pipeline(512, 512, Boundary.MIRROR)
+        a = measure_pipeline(pipe, variant=Variant.ISP, device=GTX680).total_us
+        b = measure_pipeline(pipe, variant=Variant.ISP, device=GTX680).total_us
+        assert a == b
+
+    def test_simulation_is_deterministic(self, rng):
+        src = rng.random((32, 32)).astype(np.float32)
+        k = make_conv_kernel(32, 32, Boundary.REPEAT, np.ones((3, 3), np.float32))
+        outs = [
+            run_pipeline_simt(Pipeline("p", [k]), variant=Variant.ISP,
+                              block=(16, 4), inputs={"inp": src}).output
+            for _ in range(2)
+        ]
+        assert np.array_equal(outs[0], outs[1])

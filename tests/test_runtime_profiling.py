@@ -1,0 +1,196 @@
+"""Representative-block profiling tests.
+
+The central soundness claim (DESIGN.md decision 2): simulating one block per
+fine class and scaling by class counts must reproduce the counters of a full
+launch exactly — for every border pattern, including Repeat's loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import Variant, trace_kernel
+from repro.dsl import Boundary
+from repro.gpu import GTX680, RTX2080, GlobalMemory, Profiler, cost_table_for, launch
+from repro.runtime import (
+    clear_profile_cache,
+    fine_block_classes,
+    measure_pipeline,
+    profile_kernel,
+    select_variants,
+)
+from tests.conftest import make_conv_kernel
+
+PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
+
+
+def full_launch_counters(desc, variant, block, device):
+    """Ground truth: run every block and profile."""
+    from repro.compiler import compile_kernel
+
+    ck = compile_kernel(desc, variant=variant, block=block, device=device)
+    mem = GlobalMemory(1 << 22)
+    bases = {}
+    for acc in desc.accessors:
+        if acc.image.name not in bases:
+            bases[acc.image.name] = mem.alloc(acc.image.width * acc.image.height * 4)
+    bases[desc.output_name] = mem.alloc(desc.width * desc.height * 4)
+    prof = Profiler(cost_table_for(device))
+    launch(ck.func, ck.launch_config, mem, ck.param_values(bases), prof)
+    return prof
+
+
+class TestRepresentativeSampling:
+    @pytest.mark.parametrize("boundary", PATTERNS)
+    @pytest.mark.parametrize("variant", [Variant.NAIVE, Variant.ISP])
+    def test_exactly_matches_full_launch(self, boundary, variant):
+        desc = trace_kernel(make_conv_kernel(
+            64, 48, boundary, np.ones((5, 5), np.float32)))
+        block = (16, 4)
+        full = full_launch_counters(desc, variant, block, GTX680)
+        prof = profile_kernel(desc, variant=variant, block=block,
+                              device=GTX680, use_cache=False)
+        scaled_warp_instrs = sum(
+            prof.profiles[c.name].warp_instructions * c.count
+            for c in prof.classes
+        )
+        scaled_cycles = sum(
+            prof.profiles[c.name].cycles_on(cost_table_for(GTX680)) * c.count
+            for c in prof.classes
+        )
+        assert scaled_warp_instrs == full.warp_instructions
+        assert scaled_cycles == pytest.approx(full.issue_cycles)
+
+    def test_warp_isp_also_exact(self):
+        desc = trace_kernel(make_conv_kernel(
+            128, 32, Boundary.REPEAT, np.ones((3, 3), np.float32)))
+        block = (64, 2)
+        full = full_launch_counters(desc, Variant.ISP_WARP, block, GTX680)
+        prof = profile_kernel(desc, variant=Variant.ISP_WARP, block=block,
+                              device=GTX680, use_cache=False)
+        scaled = sum(prof.profiles[c.name].warp_instructions * c.count
+                     for c in prof.classes)
+        assert scaled == full.warp_instructions
+
+
+class TestFineClasses:
+    def test_counts_cover_grid(self):
+        from repro.compiler import RegionGeometry
+
+        geom = RegionGeometry.compute(512, 512, 6, 6, (32, 4))
+        classes = fine_block_classes(geom)
+        assert sum(c.count for c in classes) == geom.grid[0] * geom.grid[1]
+
+    def test_class_count_small(self):
+        """Fine classes stay O(border depth), not O(grid)."""
+        from repro.compiler import RegionGeometry
+
+        geom = RegionGeometry.compute(4096, 4096, 8, 8, (32, 4))
+        classes = fine_block_classes(geom)
+        assert len(classes) <= 25
+
+    def test_representatives_unique_and_in_class(self):
+        from repro.compiler import RegionGeometry
+
+        geom = RegionGeometry.compute(256, 256, 6, 6, (32, 4))
+        classes = fine_block_classes(geom)
+        reps = [c.representative for c in classes]
+        assert len(set(reps)) == len(reps)
+        for c in classes:
+            assert geom.classify(*c.representative) is c.region
+
+
+class TestProfileCache:
+    def test_cache_reused_across_sizes(self):
+        clear_profile_cache()
+        desc1 = trace_kernel(make_conv_kernel(
+            128, 128, Boundary.CLAMP, np.ones((5, 5), np.float32)))
+        desc2 = trace_kernel(make_conv_kernel(
+            256, 256, Boundary.CLAMP, np.ones((5, 5), np.float32)))
+        p1 = profile_kernel(desc1, variant=Variant.ISP, block=(16, 4))
+        p2 = profile_kernel(desc2, variant=Variant.ISP, block=(16, 4))
+        # Same fine-class profiles object reused.
+        shared = set(p1.profiles) & set(p2.profiles)
+        assert shared
+        for name in shared:
+            assert p1.profiles[name] is p2.profiles[name]
+
+    def test_cached_equals_uncached(self):
+        clear_profile_cache()
+        desc_small = trace_kernel(make_conv_kernel(
+            96, 96, Boundary.REPEAT, np.ones((5, 5), np.float32)))
+        profile_kernel(desc_small, variant=Variant.ISP, block=(16, 4))
+        desc_big = trace_kernel(make_conv_kernel(
+            192, 192, Boundary.REPEAT, np.ones((5, 5), np.float32)))
+        cached = profile_kernel(desc_big, variant=Variant.ISP, block=(16, 4))
+        fresh = profile_kernel(desc_big, variant=Variant.ISP, block=(16, 4),
+                               use_cache=False)
+        t = cost_table_for(GTX680)
+        assert cached.total_issue_cycles(GTX680) == pytest.approx(
+            fresh.total_issue_cycles(GTX680)
+        )
+        del t
+
+
+class TestMeasurement:
+    def test_pipeline_times_positive_and_summed(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(256, 256, Boundary.CLAMP)
+        m = measure_pipeline(pipe, variant=Variant.NAIVE, block=(32, 4),
+                             device=GTX680)
+        assert len(m.kernels) == 3
+        assert all(k.timing.time_us > 0 for k in m.kernels)
+        assert m.total_us == pytest.approx(sum(k.timing.time_us for k in m.kernels))
+
+    def test_point_kernel_variant_collapses(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(256, 256, Boundary.CLAMP)
+        m = measure_pipeline(pipe, variant=Variant.ISP, device=GTX680)
+        mag = m.kernels[2]
+        assert mag.effective_variant is Variant.NAIVE
+
+    def test_select_variants_returns_per_kernel_choice(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(512, 512, Boundary.REPEAT)
+        choices = select_variants(pipe, block=(32, 4), device=GTX680)
+        assert set(choices) == {"sobel_dx", "sobel_dy", "sobel_mag"}
+        assert choices["sobel_mag"] is Variant.NAIVE  # point op
+        # Repeat on cheap kernels: the model should want ISP.
+        assert choices["sobel_dx"] is Variant.ISP
+
+    def test_isp_model_policy_runs(self):
+        from repro.filters import gaussian
+
+        pipe = gaussian.build_pipeline(512, 512, Boundary.REPEAT)
+        choices = select_variants(pipe, block=(32, 4), device=GTX680)
+        m = measure_pipeline(pipe, variant=Variant.ISP_MODEL, block=(32, 4),
+                             device=GTX680, per_kernel_variants=choices)
+        assert m.total_us > 0
+
+    def test_repeat_speedup_exceeds_clamp(self):
+        """Paper Fig. 6: 'the Repeat border handling pattern benefits more
+        from the ISP approach than the other three patterns'."""
+        from repro.filters import gaussian
+
+        speedups = {}
+        for b in (Boundary.CLAMP, Boundary.REPEAT):
+            pipe = gaussian.build_pipeline(1024, 1024, b)
+            mn = measure_pipeline(pipe, variant=Variant.NAIVE, device=GTX680)
+            mi = measure_pipeline(pipe, variant=Variant.ISP, device=GTX680)
+            speedups[b] = mn.total_us / mi.total_us
+        assert speedups[Boundary.REPEAT] > speedups[Boundary.CLAMP]
+
+    def test_turing_speedups_at_least_kepler_for_bilateral(self):
+        """No occupancy loss on Turing -> ISP looks relatively better there
+        (paper Section VI-A)."""
+        from repro.filters import bilateral
+
+        pipe = bilateral.build_pipeline(512, 512, Boundary.CLAMP)
+        ratios = {}
+        for dev in (GTX680, RTX2080):
+            mn = measure_pipeline(pipe, variant=Variant.NAIVE, device=dev)
+            mi = measure_pipeline(pipe, variant=Variant.ISP, device=dev)
+            ratios[dev.name] = mn.total_us / mi.total_us
+        assert ratios["RTX2080"] > ratios["GTX680"]

@@ -1,0 +1,131 @@
+"""Tests for the texture variant and the padding baseline (paper Section I's
+alternative border strategies)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileError, Variant, compile_kernel, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import bilateral, gaussian
+from repro.filters.reference import bilateral_reference, gaussian_reference
+from repro.gpu import GTX680, RTX2080
+from repro.ir import Opcode
+from repro.runtime import (
+    measure_padding_kernel,
+    measure_pipeline,
+    pad_copy_time_us,
+    run_pipeline_simt,
+)
+from tests.conftest import make_conv_kernel
+
+
+class TestTextureCorrectness:
+    @pytest.mark.parametrize("boundary,const", [
+        (Boundary.CLAMP, 0.0),
+        (Boundary.CONSTANT, 0.4),
+    ])
+    def test_matches_reference(self, boundary, const, rng):
+        src = rng.random((48, 48)).astype(np.float32)
+        pipe = gaussian.build_pipeline(48, 48, boundary, const)
+        res = run_pipeline_simt(pipe, variant=Variant.TEXTURE, block=(16, 4),
+                                inputs={"inp": src})
+        ref = gaussian_reference(src, boundary, const)
+        assert np.abs(res.output - ref).max() < 1e-6
+
+    def test_bilateral_texture(self, rng):
+        src = rng.random((32, 32)).astype(np.float32)
+        pipe = bilateral.build_pipeline(32, 32, Boundary.CLAMP, radius=3)
+        res = run_pipeline_simt(pipe, variant=Variant.TEXTURE, block=(16, 4),
+                                inputs={"inp": src})
+        ref = bilateral_reference(src, Boundary.CLAMP, radius=3)
+        assert np.abs(res.output - ref).max() < 1e-4
+
+    def test_matches_other_variants_bitexact(self, rng):
+        src = rng.random((48, 48)).astype(np.float32)
+        pipe = gaussian.build_pipeline(48, 48, Boundary.CLAMP)
+        a = run_pipeline_simt(pipe, variant=Variant.NAIVE, block=(16, 4),
+                              inputs={"inp": src})
+        b = run_pipeline_simt(pipe, variant=Variant.TEXTURE, block=(16, 4),
+                              inputs={"inp": src})
+        assert np.array_equal(a.output, b.output)
+
+
+class TestTextureLimitations:
+    """The paper's point: texture hardware is fast but inflexible."""
+
+    @pytest.mark.parametrize("boundary", [Boundary.MIRROR, Boundary.REPEAT])
+    def test_unsupported_patterns_rejected(self, boundary):
+        desc = trace_kernel(make_conv_kernel(
+            64, 64, boundary, np.ones((3, 3), np.float32)))
+        with pytest.raises(CompileError, match="cannot express"):
+            compile_kernel(desc, variant=Variant.TEXTURE)
+
+    def test_no_checks_no_address_arithmetic(self):
+        desc = trace_kernel(make_conv_kernel(
+            64, 64, Boundary.CLAMP, np.ones((3, 3), np.float32)))
+        ck = compile_kernel(desc, variant=Variant.TEXTURE)
+        ops = [i.op for i in ck.func.instructions()]
+        assert Opcode.TEX in ops
+        assert Opcode.LD not in ops  # reads go through the TMU
+        assert all(i.role != "check" for i in ck.func.instructions())
+        # Far fewer instructions than naive (no checks, no address chain).
+        naive = compile_kernel(desc, variant=Variant.NAIVE)
+        assert ck.func.static_size() < 0.8 * naive.func.static_size()
+
+    def test_point_operator_allowed(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(64, 64, Boundary.CLAMP)
+        mag = trace_kernel(pipe.kernels[2])
+        ck = compile_kernel(mag, variant=Variant.TEXTURE)
+        assert ck.effective_variant is Variant.TEXTURE
+
+    def test_measured_beats_naive_for_stencils(self):
+        pipe = gaussian.build_pipeline(512, 512, Boundary.CLAMP)
+        t_naive = measure_pipeline(pipe, variant=Variant.NAIVE,
+                                   device=GTX680).total_us
+        t_tex = measure_pipeline(pipe, variant=Variant.TEXTURE,
+                                 device=GTX680).total_us
+        assert t_tex < t_naive
+
+
+class TestPaddingBaseline:
+    def test_copy_cost_scales_with_image(self):
+        small, _ = pad_copy_time_us(GTX680, 512, 512, 6, 6)
+        large, _ = pad_copy_time_us(GTX680, 2048, 2048, 6, 6)
+        assert large > 10 * small  # ~16x the pixels
+
+    def test_faster_memory_cheaper_copy(self):
+        kepler, _ = pad_copy_time_us(GTX680, 1024, 1024, 6, 6)
+        turing, _ = pad_copy_time_us(RTX2080, 1024, 1024, 6, 6)
+        assert turing < kepler
+
+    def test_padded_bytes(self):
+        _, nbytes = pad_copy_time_us(GTX680, 100, 50, 3, 2)
+        assert nbytes == (100 + 6) * (50 + 4) * 4
+
+    def test_total_includes_copy_and_kernel(self):
+        pipe = gaussian.build_pipeline(512, 512, Boundary.CLAMP)
+        desc = trace_kernel(pipe.kernels[0])
+        est = measure_padding_kernel(desc, device=GTX680)
+        assert est.copy_us > 0
+        assert est.kernel_us > 0
+        assert est.total_us == pytest.approx(est.copy_us + est.kernel_us)
+
+    def test_point_operator_needs_no_copy(self):
+        from repro.filters import sobel
+
+        pipe = sobel.build_pipeline(256, 256, Boundary.CLAMP)
+        mag = trace_kernel(pipe.kernels[2])
+        est = measure_padding_kernel(mag, device=GTX680)
+        assert est.copy_us == 0.0
+
+    def test_padding_kernel_cheaper_than_naive_kernel(self):
+        """The padded kernel is check-free, so its *kernel* time must beat
+        the naive kernel's; the copy is what it pays for that."""
+        pipe = gaussian.build_pipeline(1024, 1024, Boundary.REPEAT)
+        desc = trace_kernel(pipe.kernels[0])
+        est = measure_padding_kernel(desc, device=GTX680)
+        t_naive = measure_pipeline(pipe, variant=Variant.NAIVE,
+                                   device=GTX680).total_us
+        assert est.kernel_us < t_naive
