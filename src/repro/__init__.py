@@ -14,6 +14,8 @@ Public API tour
 * :mod:`repro.filters` — the five evaluated applications.
 * :mod:`repro.runtime` — functional simulation, representative-block
   profiling, and the vectorized host executor.
+* :mod:`repro.serve` — the batched execution service: plan cache, worker
+  pool, timeouts/backpressure, and metrics (docs/serving.md).
 * :mod:`repro.reporting` — stats/tables used by the benchmark harness.
 
 Quickstart
@@ -29,7 +31,7 @@ Image(...)
 (64, 64)
 """
 
-from . import compiler, dsl, filters, gpu, model, reporting, runtime
+from . import compiler, dsl, filters, gpu, model, reporting, runtime, serve
 from .compiler import CompiledKernel, Region, RegionGeometry, Variant, compile_kernel
 from .dsl import (
     Accessor,
@@ -84,4 +86,5 @@ __all__ = [
     "run_pipeline_vectorized",
     "runtime",
     "select_variants",
+    "serve",
 ]

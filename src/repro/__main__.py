@@ -11,6 +11,12 @@ Subcommands
 * ``codegen``  — dump the generated CUDA C for a variant.
 * ``regions``  — print the ISP region map and index bounds for a geometry.
 * ``devices``  — list the simulated GPUs.
+* ``serve-bench`` — drive a synthetic mixed workload through the
+                 ``repro.serve`` engine and report throughput / latency /
+                 plan-cache hit rate vs. the cold-compile baseline.
+
+``measure`` and ``predict`` accept a comma-separated size list
+(``--size 512,1024``) and evaluate every size.
 """
 
 from __future__ import annotations
@@ -21,12 +27,41 @@ import sys
 import numpy as np
 
 
-def _add_common(p: argparse.ArgumentParser, *, size_default: int = 512) -> None:
+def _parse_sizes(text: str) -> list[int]:
+    try:
+        sizes = [int(v) for v in text.split(",")]
+        if not sizes or any(s <= 0 for s in sizes):
+            raise ValueError
+        return sizes
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --size {text!r}; expected e.g. 512 or 512,1024"
+        )
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+        if value < 1:
+            raise ValueError
+        return value
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+
+
+def _add_common(p: argparse.ArgumentParser, *, size_default: int = 512,
+                multi_size: bool = False) -> None:
     p.add_argument("--app", default="gaussian",
                    choices=["gaussian", "laplace", "bilateral", "sobel", "night"])
     p.add_argument("--pattern", default="clamp",
                    choices=["clamp", "mirror", "repeat", "constant"])
-    p.add_argument("--size", type=int, default=size_default)
+    if multi_size:
+        p.add_argument("--size", type=_parse_sizes, default=[size_default],
+                       help="image size(s), e.g. 512 or 512,1024,2048")
+    else:
+        p.add_argument("--size", type=int, default=size_default)
     p.add_argument("--block", default="32x4",
                    help="threadblock shape, e.g. 32x4 or 128x1")
     p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
@@ -68,10 +103,14 @@ def cmd_run(args) -> int:
     ref = REFERENCES[args.app](src, _boundary(args.pattern), args.constant)
     err = float(np.abs(result.output - ref).max())
     total_warp = sum(p.warp_instructions for p in result.profilers)
+    ok = err < args.tolerance
     print(f"{args.app}/{args.pattern}/{args.variant} {args.size}x{args.size}: "
           f"max|err| vs reference = {err:.2e}, "
           f"{total_warp} warp instructions executed")
-    return 0 if err < 1e-3 else 1
+    if not ok:
+        print(f"verification FAILED: max|err| {err:.2e} >= "
+              f"tolerance {args.tolerance:.2e}", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_measure(args) -> int:
@@ -83,36 +122,37 @@ def cmd_measure(args) -> int:
     device = get_device(args.device)
     block = _parse_block(args.block)
     boundary = _boundary(args.pattern)
-    pipe_for = lambda: PIPELINES[args.app](args.size, args.size, boundary,
-                                           args.constant)
-    variants = [Variant.NAIVE, Variant.ISP]
-    if args.all_variants:
-        variants += [Variant.ISP_WARP, Variant.TEXTURE, Variant.SHARED,
-                     Variant.SHARED_ISP]
-    times = {}
-    for v in variants:
-        try:
-            times[v] = measure_pipeline(pipe_for(), variant=v, block=block,
-                                        device=device).total_us
-        except CompileError as e:
-            times[v] = None
-            print(f"  {v.value:10s}: unsupported ({e})", file=sys.stderr)
-    choices = select_variants(pipe_for(), block=block, device=device)
-    times[Variant.ISP_MODEL] = measure_pipeline(
-        pipe_for(), variant=Variant.ISP_MODEL, block=block, device=device,
-        per_kernel_variants=choices,
-    ).total_us
+    for size in args.size:
+        pipe_for = lambda: PIPELINES[args.app](size, size, boundary,
+                                               args.constant)
+        variants = [Variant.NAIVE, Variant.ISP]
+        if args.all_variants:
+            variants += [Variant.ISP_WARP, Variant.TEXTURE, Variant.SHARED,
+                         Variant.SHARED_ISP]
+        times = {}
+        for v in variants:
+            try:
+                times[v] = measure_pipeline(pipe_for(), variant=v, block=block,
+                                            device=device).total_us
+            except CompileError as e:
+                times[v] = None
+                print(f"  {v.value:10s}: unsupported ({e})", file=sys.stderr)
+        choices = select_variants(pipe_for(), block=block, device=device)
+        times[Variant.ISP_MODEL] = measure_pipeline(
+            pipe_for(), variant=Variant.ISP_MODEL, block=block, device=device,
+            per_kernel_variants=choices,
+        ).total_us
 
-    base = times[Variant.NAIVE]
-    print(f"{args.app}/{args.pattern} {args.size}x{args.size} on {device.name} "
-          f"(block {block[0]}x{block[1]}):")
-    for v, t in times.items():
-        if t is None:
-            continue
-        print(f"  {v.value:10s}: {t:10.1f} pseudo-us   "
-              f"speedup {base / t:5.3f}x")
-    picks = ", ".join(f"{k}->{v.value}" for k, v in choices.items())
-    print(f"  isp+m choices: {picks}")
+        base = times[Variant.NAIVE]
+        print(f"{args.app}/{args.pattern} {size}x{size} on {device.name} "
+              f"(block {block[0]}x{block[1]}):")
+        for v, t in times.items():
+            if t is None:
+                continue
+            print(f"  {v.value:10s}: {t:10.1f} pseudo-us   "
+                  f"speedup {base / t:5.3f}x")
+        picks = ", ".join(f"{k}->{v.value}" for k, v in choices.items())
+        print(f"  isp+m choices: {picks}")
     return 0
 
 
@@ -124,15 +164,39 @@ def cmd_predict(args) -> int:
 
     device = get_device(args.device)
     block = _parse_block(args.block)
-    pipe = PIPELINES[args.app](args.size, args.size, _boundary(args.pattern),
-                               args.constant)
-    print(f"analytic model (paper Eqs. 1-10) on {device.name}:")
-    for kernel in pipe:
-        desc = trace_kernel(kernel)
-        p = predict_kernel(desc, block=block, device=device)
-        print(f"  {desc.name:12s}: R={p.r_reduced:6.3f}  "
-              f"occ {p.occupancy_naive:.0%}->{p.occupancy_isp:.0%}  "
-              f"G={p.gain:6.3f}  -> {p.choice.value}")
+    for size in args.size:
+        pipe = PIPELINES[args.app](size, size, _boundary(args.pattern),
+                                   args.constant)
+        print(f"analytic model (paper Eqs. 1-10) on {device.name}, "
+              f"{size}x{size}:")
+        for kernel in pipe:
+            desc = trace_kernel(kernel)
+            p = predict_kernel(desc, block=block, device=device)
+            print(f"  {desc.name:12s}: R={p.r_reduced:6.3f}  "
+                  f"occ {p.occupancy_naive:.0%}->{p.occupancy_isp:.0%}  "
+                  f"G={p.gain:6.3f}  -> {p.choice.value}")
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.gpu import get_device
+    from repro.serve import format_report, run_serve_bench
+
+    report = run_serve_bench(
+        requests=args.requests,
+        size=args.size,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        plan_cache_size=args.cache_size,
+        baseline_requests=args.baseline_requests,
+        seed=args.seed,
+        variant=args.variant,
+        device=get_device(args.device),
+    )
+    print(format_report(report))
+    if report["errors"]:
+        print(f"{report['errors']} request(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -195,16 +259,36 @@ def main(argv=None) -> int:
                    choices=["naive", "isp", "isp_warp", "texture", "shared",
                             "shared_isp"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tolerance", type=float, default=1e-3,
+                   help="max|err| allowed before verification fails")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("measure", help="estimate variant times/speedups")
-    _add_common(p)
+    _add_common(p, multi_size=True)
     p.add_argument("--all-variants", action="store_true")
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("predict", help="evaluate the analytic model")
-    _add_common(p)
+    _add_common(p, multi_size=True)
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="throughput/latency report for the repro.serve engine",
+    )
+    p.add_argument("--requests", type=_positive_int, default=200)
+    p.add_argument("--size", type=_positive_int, default=128)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument("--cache-size", type=int, default=64,
+                   help="plan-cache capacity (0 disables caching)")
+    p.add_argument("--baseline-requests", type=int, default=None,
+                   help="cold-baseline sample size (default: scaled)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--variant", default="isp+m",
+                   choices=["naive", "isp", "isp+m"])
+    p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("codegen", help="dump generated CUDA C")
     _add_common(p)

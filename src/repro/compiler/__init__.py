@@ -10,7 +10,7 @@ and ``driver`` orchestrates.
 from .border import instructions_per_side
 from .codegen_cuda import emit_cuda
 from .driver import DEFAULT_BLOCK, CompiledKernel, compile_kernel
-from .frontend import FrontendError, KernelDescription, trace_kernel
+from .frontend import FrontendError, KernelDescription, canonical_expr, trace_kernel
 from .isp import CompileError, Variant, generate_isp, generate_naive, generate_texture
 from .passes import (
     eliminate_dead_code,
@@ -34,6 +34,7 @@ __all__ = [
     "RegionGeometry",
     "RegisterEstimate",
     "Variant",
+    "canonical_expr",
     "compile_kernel",
     "emit_cuda",
     "eliminate_dead_code",

@@ -10,6 +10,7 @@ extent, access set, and per-accessor boundary conditions.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 from ..dsl.accessor import Accessor
 from ..dsl.boundary import Boundary
@@ -19,6 +20,38 @@ from ..dsl.kernel import Kernel
 
 class FrontendError(Exception):
     """Raised when a user kernel is malformed."""
+
+
+def canonical_expr(expr: Expr) -> str:
+    """Deterministic serialization of an expression tree.
+
+    Two independently-traced kernels that build the same computation produce
+    the same string: nodes are labelled in first-visit order (never by
+    ``id()``), shared subexpressions serialize once and are referenced as
+    ``@<label>`` afterwards — so CSE structure is part of the canonical form.
+    """
+    labels: dict[int, int] = {}
+
+    def rec(node: Expr) -> str:
+        key = id(node)
+        if key in labels:
+            return f"@{labels[key]}"
+        labels[key] = len(labels)
+        if isinstance(node, Const):
+            return f"c({node.value!r}:{node.dtype.name})"
+        if isinstance(node, BinOp):
+            return f"({node.op} {rec(node.lhs)} {rec(node.rhs)})"
+        if isinstance(node, UnOp):
+            return f"({node.op} {rec(node.operand)})"
+        if isinstance(node, PixelAccess):
+            a = node.accessor
+            return (
+                f"px({a.image.name}:{a.image.width}x{a.image.height}:"
+                f"{a.boundary.value}:{a.constant!r}:{node.dx:+d}{node.dy:+d})"
+            )
+        raise TypeError(f"cannot serialize {node!r}")
+
+    return rec(expr)
 
 
 @dataclasses.dataclass
@@ -51,6 +84,33 @@ class KernelDescription:
         if self.is_point_operator:
             return False
         return any(a.boundary.needs_checks for a in self.accessors)
+
+    def stable_digest(self) -> str:
+        """Content hash of the traced kernel (sha256 hex, first 16 bytes).
+
+        Identical for two independent traces of the same kernel and stable
+        across processes — unlike ``id()``-derived keys — so it can key
+        caches that outlive a single compilation (the serve plan cache).
+        Covers everything compilation depends on: the canonical expression
+        (which embeds every access's image geometry, boundary pattern and
+        constant), the iteration-space geometry, and the output binding.
+        """
+        accs = ",".join(
+            f"{a.image.name}:{a.image.width}x{a.image.height}:"
+            f"{a.boundary.value}:{a.constant!r}"
+            for a in self.accessors
+        )
+        payload = "|".join(
+            [
+                self.name,
+                f"{self.width}x{self.height}",
+                f"ext{self.extent[0]},{self.extent[1]}",
+                f"out:{self.output_name}",
+                accs,
+                canonical_expr(self.expr),
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
 def trace_kernel(kernel: Kernel) -> KernelDescription:

@@ -204,16 +204,41 @@ class _RegionEvaluator:
         return values
 
 
+def _split_rows(rects: list[_RegionRect], tile_rows: int) -> list[_RegionRect]:
+    """Split tall rectangles into row bands of at most ``tile_rows`` rows.
+
+    The checks set of a band equals its parent's (checks depend only on
+    which true image borders a rectangle touches, and coordinates stay
+    absolute), so banding never changes results — it only bounds the peak
+    temporary-array footprint, which is what lets a serve worker stream a
+    large request instead of materializing whole-image intermediates per tap.
+    """
+    if tile_rows <= 0:
+        raise ValueError("tile_rows must be positive")
+    out = []
+    for rect in rects:
+        for y0 in range(rect.y0, rect.y1, tile_rows):
+            out.append(
+                _RegionRect(
+                    rect.x0, rect.x1, y0, min(y0 + tile_rows, rect.y1), rect.checks
+                )
+            )
+    return out
+
+
 def run_kernel_vectorized(
     desc: KernelDescription,
     images: dict[str, np.ndarray],
     *,
     variant: str = "isp",
+    tile_rows: Optional[int] = None,
 ) -> np.ndarray:
     """Evaluate one kernel over its full iteration space.
 
     ``variant`` is ``"naive"`` (single region, full checks) or ``"isp"``
-    (nine pixel-granularity regions, Body check-free).
+    (nine pixel-granularity regions, Body check-free). ``tile_rows`` caps the
+    height of any evaluated rectangle (memory-bounded streaming for large
+    images); ``None`` evaluates each region in one shot.
     """
     h, w = desc.height, desc.width
     hx, hy = desc.extent
@@ -233,6 +258,8 @@ def run_kernel_vectorized(
             rects = _pixel_regions(w, h, hx, hy)
     else:
         raise ValueError(f"unknown vectorized variant {variant!r}")
+    if tile_rows is not None:
+        rects = _split_rows(rects, tile_rows)
     for rect in rects:
         ev = _RegionEvaluator(desc, images, rect)
         value = ev.eval(desc.expr)
@@ -247,6 +274,7 @@ def run_pipeline_vectorized(
     inputs: Optional[dict[str, np.ndarray]] = None,
     *,
     variant: str = "isp",
+    tile_rows: Optional[int] = None,
 ) -> dict[str, np.ndarray]:
     """Run all pipeline stages; returns every produced image by name."""
     images: dict[str, np.ndarray] = {}
@@ -258,6 +286,6 @@ def run_pipeline_vectorized(
     for kernel in pipeline:
         desc = trace_kernel(kernel)
         images[desc.output_name] = run_kernel_vectorized(
-            desc, images, variant=variant
+            desc, images, variant=variant, tile_rows=tile_rows
         )
     return images

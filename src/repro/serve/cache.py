@@ -1,0 +1,131 @@
+"""LRU cache of :class:`~repro.serve.plan.ExecutionPlan` objects.
+
+Thread-safe, capacity-bounded, and *single-flight*: when several workers
+miss on the same key at once, exactly one builds the plan and the others
+wait for the result instead of duplicating the (expensive) build. A
+capacity of 0 disables caching entirely — ``serve-bench`` uses that as the
+cold-compile-per-request baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from .plan import ExecutionPlan, PlanKey
+
+
+class PlanCache:
+    """LRU mapping ``PlanKey -> ExecutionPlan`` with hit/miss/eviction stats."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._pending: dict[PlanKey, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def keys(self) -> list[PlanKey]:
+        """Current keys in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._plans)
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        """Plain lookup; counts a hit or a miss and refreshes recency."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return plan
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        with self._lock:
+            self._insert_locked(key, plan)
+
+    def _insert_locked(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        if self.capacity == 0:
+            return
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_build(
+        self, key: PlanKey, factory: Callable[[], ExecutionPlan]
+    ) -> tuple[ExecutionPlan, bool]:
+        """Return ``(plan, was_hit)``; on a miss, build via ``factory``.
+
+        Concurrent misses on one key coalesce: the first caller builds, the
+        rest block until the build lands and then count as hits. A factory
+        that raises releases the waiters (one of them becomes the next
+        builder), so failures do not wedge the key. With ``capacity == 0``
+        every call builds its own plan (the uncached baseline).
+        """
+        if self.capacity == 0:
+            plan = factory()
+            with self._lock:
+                self._misses += 1
+            return plan, False
+
+        while True:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self._plans.move_to_end(key)
+                    self._hits += 1
+                    return plan, True
+                event = self._pending.get(key)
+                if event is None:
+                    self._pending[key] = threading.Event()
+                    break
+            event.wait()
+
+        try:
+            plan = factory()
+        except BaseException:
+            self._release(key)
+            raise
+        with self._lock:
+            self._misses += 1
+            self._insert_locked(key, plan)
+        self._release(key)
+        return plan, False
+
+    def _release(self, key: PlanKey) -> None:
+        with self._lock:
+            event = self._pending.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._plans),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+            }

@@ -1,0 +1,459 @@
+"""The serve engine: bounded queue -> micro-batcher -> worker pool.
+
+Request lifecycle::
+
+    submit() --[bounded deque, backpressure]--> worker dequeues a batch of
+    requests sharing one workload signature --> plan cache (build on miss)
+    --> per-request execution (vectorized host path, tiled for large images;
+    or SIMT simulation under a timeout with vectorized fallback) --> Response.
+
+Robustness decisions, per DESIGN "production-shaped" goals:
+
+* **Backpressure** — ``submit`` raises :class:`EngineSaturated` when the
+  queue is full instead of buffering unboundedly (callers can also opt into
+  blocking submits).
+* **Timeouts** — a request carries a wall-clock budget measured from
+  enqueue. A request that exceeds it while still queued fails fast; a SIMT
+  execution that exceeds it is abandoned and degrades to the vectorized
+  path (recorded in ``Response.fallbacks`` and the fallback counters).
+* **Graceful degradation** — a plan that fails to build with
+  ``variant="isp"`` (degenerate geometry raises ``CompileError``) is rebuilt
+  as ``"naive"`` rather than failing the request.
+
+Every stage records metrics; ``stats()`` returns one merged snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..compiler.isp import CompileError
+from ..gpu.device import DeviceSpec, GTX680
+from .cache import PlanCache
+from .metrics import MetricsRegistry
+from .plan import (
+    EXEC_MODES,
+    PLAN_VARIANTS,
+    ExecutionPlan,
+    build_plan,
+    plan_key,
+    trace_app,
+)
+
+
+class EngineSaturated(RuntimeError):
+    """The bounded request queue is full (backpressure signal)."""
+
+
+class EngineClosed(RuntimeError):
+    """submit() after close()."""
+
+
+_REQUEST_IDS = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Request:
+    """One unit of work: run ``app`` over ``image`` under a border pattern."""
+
+    app: str
+    image: np.ndarray
+    pattern: str = "clamp"
+    variant: str = "isp+m"
+    exec_mode: str = "vectorized"
+    constant: float = 0.0
+    #: wall-clock budget in seconds, measured from enqueue; None = unlimited
+    timeout_s: Optional[float] = None
+    #: row-band height for tiled evaluation; None = engine decides
+    tile_rows: Optional[int] = None
+    request_id: int = dataclasses.field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self):
+        if self.variant not in PLAN_VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; have {PLAN_VARIANTS}"
+            )
+        if self.exec_mode not in EXEC_MODES:
+            raise ValueError(
+                f"unknown exec_mode {self.exec_mode!r}; have {EXEC_MODES}"
+            )
+        self.image = np.asarray(self.image, dtype=np.float32)
+        if self.image.ndim != 2:
+            raise ValueError(f"expected a 2-D image, got shape {self.image.shape}")
+
+    @property
+    def signature(self) -> tuple:
+        """Cheap grouping key for micro-batching (no tracing needed): two
+        requests with equal signatures are guaranteed to resolve to the same
+        plan key."""
+        h, w = self.image.shape
+        return (self.app, self.pattern, self.variant, w, h, self.constant,
+                self.exec_mode)
+
+
+@dataclasses.dataclass
+class Response:
+    """Outcome of one request."""
+
+    request_id: int
+    app: str
+    output: Optional[np.ndarray] = None
+    plan_key: Optional[object] = None
+    cache_hit: bool = False
+    #: degradations applied, e.g. "compile:isp->naive", "timeout:simt->vectorized"
+    fallbacks: list[str] = dataclasses.field(default_factory=list)
+    error: Optional[str] = None
+    queue_seconds: float = 0.0
+    build_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    worker: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _Pending:
+    """A submitted request plus its completion latch."""
+
+    __slots__ = ("request", "enqueued_at", "event", "response")
+
+    def __init__(self, request: Request):
+        self.request = request
+        self.enqueued_at = time.perf_counter()
+        self.event = threading.Event()
+        self.response: Optional[Response] = None
+
+    def deadline(self) -> Optional[float]:
+        if self.request.timeout_s is None:
+            return None
+        return self.enqueued_at + self.request.timeout_s
+
+
+class ResponseHandle:
+    """Future-like handle returned by :meth:`ServeEngine.submit`."""
+
+    def __init__(self, pending: _Pending):
+        self._pending = pending
+
+    def done(self) -> bool:
+        return self._pending.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        if not self._pending.event.wait(timeout):
+            raise TimeoutError(
+                f"request {self._pending.request.request_id} still in flight"
+            )
+        assert self._pending.response is not None
+        return self._pending.response
+
+
+class ServeEngine:
+    """Batched execution service over the compiler/runtime stack."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        queue_depth: int = 64,
+        batch_size: int = 8,
+        plan_cache_size: int = 64,
+        device: DeviceSpec = GTX680,
+        block: tuple[int, int] = (32, 4),
+        default_timeout_s: Optional[float] = None,
+        tile_threshold_rows: int = 1024,
+        tile_rows: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.device = device
+        self.block = tuple(block)
+        self.batch_size = batch_size
+        self.queue_depth = queue_depth
+        self.default_timeout_s = default_timeout_s
+        self.tile_threshold_rows = tile_threshold_rows
+        self.tile_rows = tile_rows
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = PlanCache(plan_cache_size)
+
+        m = self.metrics
+        self._c_submitted = m.counter("engine.requests_submitted")
+        self._c_rejected = m.counter("engine.requests_rejected",
+                                     "backpressure: queue was full")
+        self._c_ok = m.counter("engine.responses_ok")
+        self._c_error = m.counter("engine.responses_error")
+        self._c_queue_timeout = m.counter("engine.timeouts_queue",
+                                          "deadline passed while queued")
+        self._c_fb_timeout = m.counter("engine.fallbacks_timeout",
+                                       "simt -> vectorized on exec timeout")
+        self._c_fb_compile = m.counter("engine.fallbacks_compile",
+                                       "isp -> naive on CompileError")
+        self._c_batches = m.counter("engine.batches")
+        self._c_cache_hits = m.counter("engine.plan_cache_hits")
+        self._c_cache_misses = m.counter("engine.plan_cache_misses")
+        self._h_queue = m.histogram("engine.queue_seconds")
+        self._h_build = m.histogram("engine.plan_build_seconds")
+        self._h_execute = m.histogram("engine.execute_seconds")
+
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._space_free = threading.Condition(self._lock)
+        self._queue: deque[_Pending] = deque()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop, name=f"serve-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ----------------------------------------------------------- submission
+
+    def submit(self, request: Request, *, block: bool = False) -> ResponseHandle:
+        """Enqueue one request; raises :class:`EngineSaturated` when the
+        queue is full (or waits for space with ``block=True``)."""
+        if request.timeout_s is None and self.default_timeout_s is not None:
+            request.timeout_s = self.default_timeout_s
+        pending = _Pending(request)
+        with self._lock:
+            if self._closed:
+                raise EngineClosed("engine is closed")
+            while len(self._queue) >= self.queue_depth:
+                if not block:
+                    self._c_rejected.inc()
+                    raise EngineSaturated(
+                        f"queue full ({self.queue_depth} requests waiting)"
+                    )
+                self._space_free.wait()
+                if self._closed:
+                    raise EngineClosed("engine is closed")
+            pending.enqueued_at = time.perf_counter()
+            self._queue.append(pending)
+            self._c_submitted.inc()
+            self._not_empty.notify()
+        return ResponseHandle(pending)
+
+    def run(self, requests: list[Request]) -> list[Response]:
+        """Submit a list (blocking on backpressure) and wait for all results,
+        returned in submission order."""
+        handles = [self.submit(r, block=True) for r in requests]
+        return [h.result() for h in handles]
+
+    # -------------------------------------------------------------- workers
+
+    def _take_batch(self) -> Optional[list[_Pending]]:
+        """Block for the next request, then greedily drain queued requests
+        sharing its workload signature (micro-batching)."""
+        with self._lock:
+            while not self._queue and not self._closed:
+                self._not_empty.wait()
+            if not self._queue:
+                return None  # closed and drained
+            head = self._queue.popleft()
+            batch = [head]
+            sig = head.request.signature
+            if self.batch_size > 1:
+                rest = deque()
+                while self._queue and len(batch) < self.batch_size:
+                    cand = self._queue.popleft()
+                    if cand.request.signature == sig:
+                        batch.append(cand)
+                    else:
+                        rest.append(cand)
+                rest.extend(self._queue)
+                self._queue = rest
+            self._space_free.notify(len(batch))
+            return batch
+
+    def _worker_loop(self) -> None:
+        name = threading.current_thread().name
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._c_batches.inc()
+            self._process_batch(batch, name)
+
+    # ------------------------------------------------------------- planning
+
+    def _resolve_plan(
+        self, request: Request
+    ) -> tuple[ExecutionPlan, bool, list[str], float]:
+        """Plan for one workload signature: trace (cheap), look up the cache
+        by content digest, build on miss; degrade isp -> naive on
+        CompileError. Returns (plan, was_hit, fallbacks, build_seconds)."""
+        t0 = time.perf_counter()
+        h, w = request.image.shape
+        descs = trace_app(request.app, request.pattern, w, h, request.constant)
+        fallbacks: list[str] = []
+        variant = request.variant
+
+        def factory_for(v: str) -> Callable[[], ExecutionPlan]:
+            return lambda: build_plan(
+                request.app, request.pattern, w, h, variant=v,
+                device=self.device, block=self.block,
+                constant=request.constant, descs=descs,
+            )
+
+        key = plan_key(descs, variant=variant, pattern=request.pattern,
+                       device=self.device, block=self.block)
+        try:
+            plan, hit = self.cache.get_or_build(key, factory_for(variant))
+        except CompileError:
+            # Graceful degradation: the requested code shape is not
+            # expressible for this geometry — serve the naive plan instead.
+            self._c_fb_compile.inc()
+            fallbacks.append("compile:isp->naive")
+            key = plan_key(descs, variant="naive", pattern=request.pattern,
+                           device=self.device, block=self.block)
+            plan, hit = self.cache.get_or_build(key, factory_for("naive"))
+        return plan, hit, fallbacks, time.perf_counter() - t0
+
+    # ------------------------------------------------------------ execution
+
+    def _tile_rows_for(self, request: Request) -> Optional[int]:
+        if request.tile_rows is not None:
+            return request.tile_rows
+        if request.image.shape[0] >= self.tile_threshold_rows:
+            return self.tile_rows
+        return None
+
+    def _execute(
+        self, plan: ExecutionPlan, pending: _Pending, response: Response
+    ) -> np.ndarray:
+        request = pending.request
+        deadline = pending.deadline()
+        if request.exec_mode == "simt":
+            remaining = None if deadline is None else deadline - time.perf_counter()
+            output = self._execute_simt_with_timeout(plan, request, remaining)
+            if output is not None:
+                return output
+            # Timed out: degrade to the vectorized path, which always answers.
+            self._c_fb_timeout.inc()
+            response.fallbacks.append("timeout:simt->vectorized")
+        return plan.execute(request.image, tile_rows=self._tile_rows_for(request))
+
+    def _execute_simt_with_timeout(
+        self, plan: ExecutionPlan, request: Request, budget_s: Optional[float]
+    ) -> Optional[np.ndarray]:
+        """Run the SIMT simulation; ``None`` means the budget expired.
+
+        Python threads cannot be killed, so an over-budget simulation is
+        *abandoned* (it finishes in the background and its result is
+        discarded) — acceptable for a simulator, and the reason the engine
+        bounds its queue: abandoned work cannot pile up faster than requests
+        are admitted.
+        """
+        if budget_s is not None and budget_s <= 0:
+            return None
+        box: dict[str, object] = {}
+
+        def run():
+            try:
+                box["output"] = plan.execute_simt(request.image)
+            except Exception as exc:  # surfaced by the caller below
+                box["error"] = exc
+
+        t = threading.Thread(target=run, daemon=True,
+                             name=f"simt-{request.request_id}")
+        t.start()
+        t.join(budget_s)
+        if t.is_alive():
+            return None
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["output"]  # type: ignore[return-value]
+
+    def _process_batch(self, batch: list[_Pending], worker: str) -> None:
+        leader = batch[0]
+        responses = [
+            Response(request_id=p.request.request_id, app=p.request.app,
+                     worker=worker)
+            for p in batch
+        ]
+        now = time.perf_counter()
+        for p, r in zip(batch, responses):
+            r.queue_seconds = now - p.enqueued_at
+            self._h_queue.observe(r.queue_seconds)
+
+        try:
+            plan, hit, fallbacks, build_s = self._resolve_plan(leader.request)
+        except Exception as exc:
+            for p, r in zip(batch, responses):
+                r.error = f"plan build failed: {exc}"
+                self._finish(p, r)
+            return
+
+        self._h_build.observe(build_s)
+        # The leader's resolution outcome; followers were served without a
+        # build of their own, so they count as hits.
+        self._c_cache_hits.inc(len(batch) - 1 + (1 if hit else 0))
+        if not hit:
+            self._c_cache_misses.inc()
+
+        for p, r in zip(batch, responses):
+            r.plan_key = plan.key
+            r.cache_hit = hit if p is leader else True
+            r.build_seconds = build_s if p is leader else 0.0
+            r.fallbacks.extend(fallbacks)
+            deadline = p.deadline()
+            if (deadline is not None and time.perf_counter() > deadline
+                    and p.request.exec_mode != "simt"):
+                self._c_queue_timeout.inc()
+                r.error = (f"timed out after {p.request.timeout_s:.3f}s "
+                           "while queued")
+                self._finish(p, r)
+                continue
+            t0 = time.perf_counter()
+            try:
+                r.output = self._execute(plan, p, r)
+            except Exception as exc:
+                r.error = f"execution failed: {exc}"
+            r.execute_seconds = time.perf_counter() - t0
+            self._h_execute.observe(r.execute_seconds)
+            self._finish(p, r)
+
+    def _finish(self, pending: _Pending, response: Response) -> None:
+        (self._c_ok if response.ok else self._c_error).inc()
+        pending.response = response
+        pending.event.set()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def stats(self) -> dict:
+        """Merged snapshot: engine counters/latencies + plan-cache stats."""
+        snap = self.metrics.snapshot()
+        return {
+            "engine": snap["counters"],
+            "latency": snap["histograms"],
+            "plan_cache": self.cache.stats(),
+        }
+
+    def close(self, *, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting work, drain the queue, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._not_empty.notify_all()
+            self._space_free.notify_all()
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

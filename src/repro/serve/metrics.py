@@ -1,0 +1,143 @@
+"""Built-in metrics for the serve engine: counters and latency histograms.
+
+Deliberately tiny and dependency-free (the container has no prometheus
+client): a :class:`Counter` is a locked integer, a :class:`Histogram` keeps a
+bounded sample window and reports count/mean/percentiles, and the
+:class:`MetricsRegistry` names them and renders one snapshot dict that
+``ServeEngine.stats()`` and ``serve-bench`` consume.
+
+All operations are thread-safe; workers record from many threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Latency distribution over a bounded window of recent observations.
+
+    Keeps the most recent ``window`` samples (count/sum are exact over the
+    whole lifetime; percentiles are over the window). Percentiles use the
+    nearest-rank method on a sorted copy — fine at these sample counts.
+    """
+
+    def __init__(self, name: str, help: str = "", window: int = 8192):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+            self._count += 1
+            self._sum += float(value)
+            if self._max is None or value > self._max:
+                self._max = float(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the sample window, q in [0, 100]."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = max(0, min(len(samples) - 1, round(q / 100.0 * len(samples)) - 1))
+        return samples[rank]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total, peak = self._count, self._sum, self._max
+        if not samples:
+            return {"count": count, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "max": 0.0}
+
+        def rank(q: float) -> float:
+            idx = max(0, min(len(samples) - 1, round(q / 100.0 * len(samples)) - 1))
+            return samples[idx]
+
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "p50": rank(50.0),
+            "p90": rank(90.0),
+            "p99": rank(99.0),
+            "max": peak if peak is not None else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named collection of counters and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, help)
+            return self._counters[name]
+
+    def histogram(self, name: str, help: str = "", window: int = 8192) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, help, window)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """One nested dict: {"counters": {...}, "histograms": {...}}."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line dump (used by ``serve-bench``)."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"{name} = {value}")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"{name}: n={h['count']} mean={h['mean'] * 1e3:.2f}ms "
+                f"p50={h['p50'] * 1e3:.2f}ms p90={h['p90'] * 1e3:.2f}ms "
+                f"max={h['max'] * 1e3:.2f}ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,276 @@
+"""Execution plans: everything per-workload planning produces, made reusable.
+
+A *plan* is the artifact the serve engine caches: the traced kernel
+descriptions of one application pipeline plus the per-kernel variant decision
+(the paper's ``isp+m`` model choice), bound to one geometry/pattern/device.
+Building a plan is the expensive part of a request — tracing, geometry
+validation, and for ``isp+m`` the analytic model (which compiles *both* the
+naive and the ISP variants of every bordered kernel to get register counts,
+Eq. 10) — while executing one is a handful of NumPy region evaluations.
+The whole point of :mod:`repro.serve` is to pay the former once per distinct
+workload and the latter once per request.
+
+Plan keys are content hashes (:meth:`KernelDescription.stable_digest`), not
+``id()``-derived: two requests that describe the same computation hit the
+same cache line even though every trace builds fresh AST objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+import time
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..compiler.driver import CompiledKernel, compile_kernel
+from ..compiler.frontend import KernelDescription, trace_kernel
+from ..compiler.isp import CompileError, Variant
+from ..compiler.regions import RegionGeometry
+from ..dsl.boundary import Boundary
+from ..gpu.device import DeviceSpec, GTX680
+from ..runtime.vectorized import run_kernel_vectorized
+
+#: Variant policies a request may ask for (mirrors the measurement harness).
+PLAN_VARIANTS = ("naive", "isp", "isp+m")
+
+#: Execution backends the engine can dispatch to.
+EXEC_MODES = ("vectorized", "simt")
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanKey:
+    """Cache key: kernel-description hash x variant x pattern x geometry x device."""
+
+    digest: str
+    variant: str
+    pattern: str
+    width: int
+    height: int
+    device: str
+    block: tuple[int, int]
+
+    def short(self) -> str:
+        return (f"{self.digest[:10]}/{self.variant}/{self.pattern}/"
+                f"{self.width}x{self.height}/{self.device}")
+
+
+def combined_digest(descs: list[KernelDescription]) -> str:
+    """Stable digest of a whole pipeline (order-sensitive)."""
+    payload = "|".join(d.stable_digest() for d in descs)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def trace_app(
+    app: str, pattern: str, width: int, height: int, constant: float = 0.0
+) -> list[KernelDescription]:
+    """Build + trace one registered application pipeline (the cheap step)."""
+    from ..filters import PIPELINES
+
+    if app not in PIPELINES:
+        raise KeyError(f"unknown app {app!r}; have {sorted(PIPELINES)}")
+    pipe = PIPELINES[app](width, height, Boundary(pattern), constant)
+    return [trace_kernel(k) for k in pipe]
+
+
+def plan_key(
+    descs: list[KernelDescription],
+    *,
+    variant: str,
+    pattern: str,
+    device: DeviceSpec = GTX680,
+    block: tuple[int, int] = (32, 4),
+) -> PlanKey:
+    if variant not in PLAN_VARIANTS:
+        raise ValueError(f"unknown plan variant {variant!r}; have {PLAN_VARIANTS}")
+    return PlanKey(
+        digest=combined_digest(descs),
+        variant=variant,
+        pattern=pattern,
+        width=descs[-1].width,
+        height=descs[-1].height,
+        device=device.name,
+        block=tuple(block),
+    )
+
+
+@dataclasses.dataclass
+class ExecutionPlan:
+    """One cached unit of planning: traced descs + per-kernel variant choices.
+
+    ``kernel_variants`` maps each stage's output name (unique within a
+    pipeline) to the *vectorized* variant string ``"naive"`` or ``"isp"``.
+    SIMT artifacts are compiled lazily on first SIMT execution and memoized
+    on the plan (guarded by ``_simt_lock`` — plans are shared across worker
+    threads).
+    """
+
+    key: PlanKey
+    app: str
+    descs: list[KernelDescription]
+    kernel_variants: dict[str, str]
+    build_seconds: float
+    device: DeviceSpec
+    _simt_lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False
+    )
+    _simt_compiled: Optional[list[CompiledKernel]] = dataclasses.field(
+        default=None, repr=False
+    )
+
+    @property
+    def input_names(self) -> list[str]:
+        """External input images: read by some stage, produced by none."""
+        produced = {d.output_name for d in self.descs}
+        seen: list[str] = []
+        for d in self.descs:
+            for acc in d.accessors:
+                if acc.image.name not in produced and acc.image.name not in seen:
+                    seen.append(acc.image.name)
+        return seen
+
+    @property
+    def output_name(self) -> str:
+        return self.descs[-1].output_name
+
+    def stages(self) -> list[tuple[str, str]]:
+        """(kernel name, chosen variant) per stage, for reporting."""
+        return [(d.name, self.kernel_variants[d.output_name]) for d in self.descs]
+
+    # ------------------------------------------------------------- execution
+
+    def _bind_input(self, image: np.ndarray) -> dict[str, np.ndarray]:
+        names = self.input_names
+        if len(names) != 1:
+            raise ValueError(
+                f"plan {self.key.short()} has inputs {names}; serve requests "
+                "carry exactly one image"
+            )
+        arr = np.asarray(image, dtype=np.float32)
+        expected = (self.key.height, self.key.width)
+        if arr.shape != expected:
+            raise ValueError(
+                f"request image shape {arr.shape} != plan geometry {expected}"
+            )
+        return {names[0]: arr}
+
+    def execute(
+        self, image: np.ndarray, *, tile_rows: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized host execution of every stage under the plan's choices."""
+        images = self._bind_input(image)
+        for desc in self.descs:
+            images[desc.output_name] = run_kernel_vectorized(
+                desc,
+                images,
+                variant=self.kernel_variants[desc.output_name],
+                tile_rows=tile_rows,
+            )
+        return images[self.output_name]
+
+    def execute_simt(self, image: np.ndarray) -> np.ndarray:
+        """Full functional SIMT simulation (slow; the engine guards it with a
+        timeout and falls back to :meth:`execute`)."""
+        from ..gpu.cost import cost_table_for
+        from ..gpu.launch import launch
+        from ..gpu.memory import GlobalMemory
+        from ..gpu.profiler import Profiler
+        from ..ir.types import DataType
+
+        images = self._bind_input(image)
+        compiled = self._compiled_simt()
+
+        n_images = len(self.descs) + len(images)
+        px = max(d.width * d.height for d in self.descs)
+        mem = GlobalMemory(
+            1 << max(16, math.ceil(math.log2((n_images + 2) * px * 4 + 4096)))
+        )
+        bases: dict[str, int] = {}
+        for name, arr in images.items():
+            bases[name] = mem.alloc(arr.size * 4)
+            mem.write_array(bases[name], arr)
+        for desc, ck in zip(self.descs, compiled):
+            out_base = mem.alloc(desc.width * desc.height * 4)
+            bases[desc.output_name] = out_base
+            prof = Profiler(cost_table_for(self.device))
+            launch(ck.func, ck.launch_config, mem, ck.param_values(bases), prof)
+            images[desc.output_name] = mem.read_array(
+                out_base, (desc.height, desc.width), DataType.F32
+            )
+        return images[self.output_name]
+
+    def _compiled_simt(self) -> list[CompiledKernel]:
+        with self._simt_lock:
+            if self._simt_compiled is None:
+                mapping = {"naive": Variant.NAIVE, "isp": Variant.ISP}
+                self._simt_compiled = [
+                    compile_kernel(
+                        desc,
+                        variant=mapping[self.kernel_variants[desc.output_name]],
+                        block=self.key.block,
+                        device=self.device,
+                    )
+                    for desc in self.descs
+                ]
+            return self._simt_compiled
+
+
+def build_plan(
+    app: str,
+    pattern: str,
+    width: int,
+    height: int,
+    *,
+    variant: str = "isp+m",
+    device: DeviceSpec = GTX680,
+    block: tuple[int, int] = (32, 4),
+    constant: float = 0.0,
+    descs: Optional[list[KernelDescription]] = None,
+) -> ExecutionPlan:
+    """Trace, validate and variant-select one workload (the slow path).
+
+    For ``variant="isp"`` a degenerate region geometry raises
+    :class:`~repro.compiler.isp.CompileError` — the engine's graceful
+    degradation catches it and rebuilds the plan as ``"naive"`` (the
+    compiler's own silent fallback would hide the event from metrics).
+    ``variant="isp+m"`` invokes the analytic model per bordered kernel.
+    """
+    t0 = time.perf_counter()
+    if descs is None:
+        descs = trace_app(app, pattern, width, height, constant)
+    key = plan_key(descs, variant=variant, pattern=pattern, device=device,
+                   block=block)
+
+    choices: dict[str, str] = {}
+    for desc in descs:
+        if not desc.needs_border_handling:
+            choices[desc.output_name] = "naive"
+            continue
+        if variant == "naive":
+            choices[desc.output_name] = "naive"
+        elif variant == "isp":
+            hx, hy = desc.extent
+            geom = RegionGeometry.compute(desc.width, desc.height, hx, hy, block)
+            if geom.degenerate:
+                raise CompileError(
+                    f"{desc.name}: degenerate ISP geometry for "
+                    f"{desc.width}x{desc.height} with block {block[0]}x{block[1]}"
+                )
+            choices[desc.output_name] = "isp"
+        else:  # isp+m — the model decides per kernel (paper Eq. 10)
+            from ..model.prediction import predict_kernel
+
+            prediction = predict_kernel(desc, block=block, device=device)
+            choices[desc.output_name] = "isp" if prediction.use_isp else "naive"
+
+    return ExecutionPlan(
+        key=key,
+        app=app,
+        descs=descs,
+        kernel_variants=choices,
+        build_seconds=time.perf_counter() - t0,
+        device=device,
+    )

@@ -59,3 +59,42 @@ class TestCli:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--app", "unsharp"])
+
+    def test_run_failed_verification_returns_nonzero(self, capsys):
+        # An impossible tolerance forces the verification branch to fail;
+        # the CLI must propagate that as a non-zero exit code.
+        rc = main(["run", "--app", "gaussian", "--pattern", "clamp",
+                   "--variant", "naive", "--size", "32", "--block", "16x4",
+                   "--tolerance", "0"])
+        assert rc == 1
+        assert "verification FAILED" in capsys.readouterr().err
+
+    def test_measure_size_list(self, capsys):
+        assert main(["measure", "--app", "gaussian", "--pattern", "repeat",
+                     "--size", "128,256"]) == 0
+        out = capsys.readouterr().out
+        assert "128x128" in out and "256x256" in out
+        assert out.count("isp+m choices") == 2
+
+    def test_predict_size_list(self, capsys):
+        assert main(["predict", "--app", "gaussian", "--pattern", "clamp",
+                     "--size", "256,512"]) == 0
+        out = capsys.readouterr().out
+        assert "256x256" in out and "512x512" in out
+
+    def test_invalid_size_list_rejected(self):
+        for bad in ("banana", "512,", "0", "128,-4"):
+            with pytest.raises(SystemExit):
+                main(["predict", "--app", "gaussian", "--size", bad])
+
+
+class TestServeBenchCli:
+    def test_serve_bench_reports_cache_and_throughput(self, capsys):
+        rc = main(["serve-bench", "--requests", "12", "--size", "48",
+                   "--workers", "2", "--variant", "isp",
+                   "--baseline-requests", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan-cache hit rate" in out
+        assert "speedup over cold baseline" in out
+        assert "errors" in out

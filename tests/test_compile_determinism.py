@@ -52,6 +52,45 @@ class TestDeterminism:
         assert extents() == extents()
 
 
+class TestStableDigest:
+    """The KernelDescription content hash that keys the serve plan cache."""
+
+    def test_digest_stable_across_independent_traces(self):
+        # Fresh kernel/accessor/mask objects each time: the digest must hash
+        # content, not object identity.
+        a = trace_kernel(make_conv_kernel(128, 128, Boundary.MIRROR, MASK))
+        b = trace_kernel(make_conv_kernel(128, 128, Boundary.MIRROR, MASK))
+        assert a.stable_digest() == b.stable_digest()
+        assert len(a.stable_digest()) == 32
+        assert int(a.stable_digest(), 16) >= 0  # hex string
+
+    def test_digest_distinguishes_boundary(self):
+        a = trace_kernel(make_conv_kernel(128, 128, Boundary.CLAMP, MASK))
+        b = trace_kernel(make_conv_kernel(128, 128, Boundary.REPEAT, MASK))
+        assert a.stable_digest() != b.stable_digest()
+
+    def test_digest_distinguishes_constant_value(self):
+        a = trace_kernel(make_conv_kernel(64, 64, Boundary.CONSTANT, MASK, 0.0))
+        b = trace_kernel(make_conv_kernel(64, 64, Boundary.CONSTANT, MASK, 1.0))
+        assert a.stable_digest() != b.stable_digest()
+
+    def test_digest_distinguishes_size_and_mask(self):
+        a = trace_kernel(make_conv_kernel(128, 128, Boundary.MIRROR, MASK))
+        b = trace_kernel(make_conv_kernel(256, 256, Boundary.MIRROR, MASK))
+        other = np.ones((3, 3), np.float32) / 9.0
+        c = trace_kernel(make_conv_kernel(128, 128, Boundary.MIRROR, other))
+        assert len({a.stable_digest(), b.stable_digest(), c.stable_digest()}) == 3
+
+    def test_digest_sees_sharing_structure(self):
+        # Pipelines with several kernels: every stage digests differently.
+        pipe = night.build_pipeline(128, 128, Boundary.CLAMP)
+        digests = [trace_kernel(k).stable_digest() for k in pipe]
+        assert len(set(digests)) == len(digests)
+        again = [trace_kernel(k).stable_digest()
+                 for k in night.build_pipeline(128, 128, Boundary.CLAMP)]
+        assert digests == again
+
+
 class TestOptimizeIdempotent:
     def test_second_pass_is_noop(self):
         for variant in (Variant.NAIVE, Variant.ISP, Variant.SHARED):

@@ -42,6 +42,12 @@ class TestFastExamples:
         out = capsys.readouterr().out
         assert "while (" in out
 
+    def test_serve_throughput(self, capsys, monkeypatch):
+        _run_example("serve_throughput.py", ["8", "48"], monkeypatch)
+        out = capsys.readouterr().out
+        assert "plan cache on" in out
+        assert "served from cache" in out
+
 
 @pytest.mark.slow
 class TestSlowExamples:

@@ -122,7 +122,11 @@ class TestTimingMonotonicity:
 
     @settings(max_examples=30, deadline=None)
     @given(shared1=st.integers(0, 8192), delta=st.integers(0, 32768))
-    def test_more_shared_memory_never_faster(self, shared1, delta):
+    def test_more_shared_memory_never_meaningfully_faster(self, shared1, delta):
+        # Like registers (above), shared-memory growth is subject to wave
+        # quantization: e.g. shared_bytes 3073 -> 3585 on GTX680 drops
+        # occupancy 0.875 -> 0.75 yet tiles 4096 blocks into slightly more
+        # even waves. Occupancy must be monotone; time gets one-wave slack.
         common = dict(
             total_blocks=4096, block_threads=128, regs_per_thread=32,
             class_block_cycles={"a": 1000.0}, class_block_counts={"a": 4096},
@@ -130,7 +134,9 @@ class TestTimingMonotonicity:
         )
         t1 = estimate_time(GTX680, shared_bytes=shared1, **common)
         t2 = estimate_time(GTX680, shared_bytes=shared1 + delta, **common)
-        assert t2.time_us >= t1.time_us - 1e-9
+        assert t2.occupancy.occupancy <= t1.occupancy.occupancy + 1e-12
+        tail_slack = t1.time_us / max(t1.waves, 1.0)
+        assert t2.time_us >= t1.time_us - tail_slack - 1e-9
 
 
 class TestMeasurementDeterminism:

@@ -1,0 +1,287 @@
+"""Serve engine: correctness under concurrency, timeouts, backpressure.
+
+The engine must be a *transparent* performance layer: whatever it serves has
+to be bit-identical to calling the vectorized executor directly, no matter
+how requests are batched, cached, or raced across workers.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dsl import Boundary
+from repro.filters import PIPELINES
+from repro.runtime import run_pipeline_vectorized
+from repro.serve import (
+    EngineClosed,
+    EngineSaturated,
+    Request,
+    ServeEngine,
+)
+
+
+def _direct(app: str, image, pattern: str, variant: str = "isp"):
+    pipe = PIPELINES[app](image.shape[1], image.shape[0], Boundary(pattern))
+    images = run_pipeline_vectorized(pipe, {pipe.inputs[0].name: image},
+                                     variant=variant)
+    return images[pipe.output.name]
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((64, 64), dtype=np.float32)
+
+
+class TestBasicServing:
+    def test_single_request_matches_direct_execution(self, image):
+        with ServeEngine(workers=2) as engine:
+            resp = engine.run([Request(app="gaussian", image=image,
+                                       pattern="mirror", variant="isp")])[0]
+        assert resp.ok, resp.error
+        assert np.array_equal(resp.output, _direct("gaussian", image, "mirror"))
+        assert resp.worker.startswith("serve-")
+
+    def test_all_apps_and_patterns_serve_correctly(self, image):
+        reqs, refs = [], []
+        for app in ("gaussian", "laplace", "bilateral", "sobel", "night"):
+            for pattern in ("clamp", "repeat"):
+                reqs.append(Request(app=app, image=image, pattern=pattern,
+                                    variant="isp"))
+                refs.append(_direct(app, image, pattern))
+        with ServeEngine(workers=4) as engine:
+            responses = engine.run(reqs)
+        for resp, ref in zip(responses, refs):
+            assert resp.ok, resp.error
+            assert np.array_equal(resp.output, ref)
+
+    def test_cache_hits_accumulate_for_repeated_workloads(self, image):
+        with ServeEngine(workers=2) as engine:
+            engine.run([Request(app="sobel", image=image, variant="isp")
+                        for _ in range(10)])
+            stats = engine.stats()
+        assert stats["engine"]["engine.plan_cache_misses"] == 1
+        assert stats["engine"]["engine.plan_cache_hits"] == 9
+        assert stats["engine"]["engine.responses_ok"] == 10
+        assert stats["latency"]["engine.execute_seconds"]["count"] == 10
+
+    def test_tiled_execution_is_bit_identical(self, image):
+        with ServeEngine(workers=1) as engine:
+            plain, tiled = engine.run([
+                Request(app="laplace", image=image, variant="isp"),
+                Request(app="laplace", image=image, variant="isp",
+                        tile_rows=7),
+            ])
+        assert np.array_equal(plain.output, tiled.output)
+
+    def test_request_validation(self, image):
+        with pytest.raises(ValueError):
+            Request(app="gaussian", image=image, variant="warp11")
+        with pytest.raises(ValueError):
+            Request(app="gaussian", image=image, exec_mode="fpga")
+        with pytest.raises(ValueError):
+            Request(app="gaussian", image=np.zeros(16, np.float32))
+
+    def test_submit_after_close_raises(self, image):
+        engine = ServeEngine(workers=1)
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.submit(Request(app="gaussian", image=image))
+
+
+class TestConcurrency:
+    def test_concurrent_submitters_get_bit_identical_outputs(self, rng):
+        """≥4 threads hammer one engine; every response must equal the
+        single-threaded direct execution bit for bit."""
+        images = [rng.random((48, 48), dtype=np.float32) for _ in range(4)]
+        cases = [("gaussian", "clamp"), ("laplace", "mirror"),
+                 ("sobel", "repeat"), ("night", "clamp")]
+        refs = {
+            (app, pattern, i): _direct(app, img, pattern)
+            for app, pattern in cases
+            for i, img in enumerate(images)
+        }
+        failures: list[str] = []
+
+        with ServeEngine(workers=4, queue_depth=256) as engine:
+            def submitter(app: str, pattern: str):
+                for rep in range(3):
+                    for i, img in enumerate(images):
+                        resp = engine.submit(
+                            Request(app=app, image=img, pattern=pattern,
+                                    variant="isp"),
+                            block=True,
+                        ).result(timeout=60)
+                        if not resp.ok:
+                            failures.append(resp.error)
+                        elif not np.array_equal(resp.output,
+                                                refs[(app, pattern, i)]):
+                            failures.append(f"{app}/{pattern}/{i}: mismatch")
+
+            threads = [threading.Thread(target=submitter, args=case)
+                       for case in cases]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            stats = engine.stats()
+
+        assert not failures, failures[:3]
+        total = stats["engine"]["engine.responses_ok"]
+        assert total == 4 * 3 * 4
+        # 4 distinct workloads -> at most 4 cold builds for 48 requests.
+        assert stats["engine"]["engine.plan_cache_misses"] <= 4
+        assert stats["engine"]["engine.plan_cache_hits"] >= total - 4
+
+    def test_micro_batching_groups_same_signature(self, image):
+        gate = threading.Event()
+        original = ServeEngine._execute
+
+        def gated(self, plan, pending, response):
+            gate.wait(10.0)
+            return original(self, plan, pending, response)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ServeEngine, "_execute", gated)
+            with ServeEngine(workers=1, batch_size=8) as engine:
+                handles = [
+                    engine.submit(Request(app="gaussian", image=image,
+                                          variant="isp"))
+                    for _ in range(6)
+                ]
+                time.sleep(0.1)  # let the worker take the first request
+                gate.set()
+                responses = [h.result(timeout=30) for h in handles]
+                stats = engine.stats()
+
+        assert all(r.ok for r in responses)
+        # First dequeue grabs whatever is queued (1 request); the remaining 5
+        # coalesce into at most one more batch.
+        assert stats["engine"]["engine.batches"] <= 3
+        assert stats["engine"]["engine.plan_cache_misses"] == 1
+
+
+class TestDegradation:
+    def test_compile_error_falls_back_to_naive(self, rng):
+        # bilateral (5x5 window) on a 16x16 image with 32x4 blocks has a
+        # degenerate ISP geometry: strict "isp" planning raises CompileError
+        # and the engine must degrade to the naive plan, not fail.
+        img = rng.random((16, 16), dtype=np.float32)
+        with ServeEngine(workers=1) as engine:
+            resp = engine.run([Request(app="bilateral", image=img,
+                                       variant="isp")])[0]
+            stats = engine.stats()
+        assert resp.ok, resp.error
+        assert "compile:isp->naive" in resp.fallbacks
+        assert stats["engine"]["engine.fallbacks_compile"] == 1
+        assert np.array_equal(resp.output,
+                              _direct("bilateral", img, "clamp", "naive"))
+
+    def test_simt_timeout_falls_back_to_vectorized(self, rng):
+        # Full SIMT simulation of 48x48 gaussian takes far longer than 50ms;
+        # the engine must abandon it and serve the vectorized answer.
+        img = rng.random((48, 48), dtype=np.float32)
+        with ServeEngine(workers=1) as engine:
+            resp = engine.run([Request(app="gaussian", image=img,
+                                       variant="naive", exec_mode="simt",
+                                       timeout_s=0.05)])[0]
+            stats = engine.stats()
+        assert resp.ok, resp.error
+        assert "timeout:simt->vectorized" in resp.fallbacks
+        assert stats["engine"]["engine.fallbacks_timeout"] == 1
+        assert np.array_equal(resp.output,
+                              _direct("gaussian", img, "clamp", "naive"))
+
+    def test_simt_within_budget_serves_simulated_result(self, rng):
+        img = rng.random((16, 16), dtype=np.float32)
+        with ServeEngine(workers=1) as engine:
+            resp = engine.run([Request(app="gaussian", image=img,
+                                       variant="naive", exec_mode="simt")])[0]
+        assert resp.ok, resp.error
+        assert resp.fallbacks == []
+        # The SIMT simulator and the vectorized path agree closely (they are
+        # different arithmetic orders, so allow float slack).
+        ref = _direct("gaussian", img, "clamp", "naive")
+        assert np.abs(resp.output - ref).max() < 1e-4
+
+    def test_queue_timeout_fails_fast(self, image):
+        gate = threading.Event()
+        original = ServeEngine._execute
+
+        def gated(self, plan, pending, response):
+            gate.wait(10.0)
+            return original(self, plan, pending, response)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ServeEngine, "_execute", gated)
+            with ServeEngine(workers=1, batch_size=1) as engine:
+                first = engine.submit(Request(app="gaussian", image=image,
+                                              variant="isp"))
+                time.sleep(0.05)  # worker is now gated on the first request
+                late = engine.submit(Request(app="gaussian", image=image,
+                                             variant="isp", timeout_s=0.01))
+                time.sleep(0.1)  # let the deadline lapse while queued
+                gate.set()
+                assert first.result(timeout=30).ok
+                resp = late.result(timeout=30)
+                stats = engine.stats()
+        assert not resp.ok
+        assert "queued" in resp.error
+        assert stats["engine"]["engine.timeouts_queue"] == 1
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects_submissions(self, image):
+        gate = threading.Event()
+        original = ServeEngine._execute
+
+        def gated(self, plan, pending, response):
+            gate.wait(10.0)
+            return original(self, plan, pending, response)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ServeEngine, "_execute", gated)
+            with ServeEngine(workers=1, queue_depth=2, batch_size=1) as engine:
+                held = engine.submit(Request(app="gaussian", image=image,
+                                             variant="isp"))
+                time.sleep(0.05)  # worker holds request 1; queue is empty
+                fillers = [
+                    engine.submit(Request(app="gaussian", image=image,
+                                          variant="isp"))
+                    for _ in range(2)
+                ]
+                with pytest.raises(EngineSaturated):
+                    engine.submit(Request(app="gaussian", image=image,
+                                          variant="isp"))
+                gate.set()
+                responses = [h.result(timeout=30)
+                             for h in [held] + fillers]
+                stats = engine.stats()
+        assert all(r.ok for r in responses)
+        assert stats["engine"]["engine.requests_rejected"] == 1
+        assert stats["engine"]["engine.responses_ok"] == 3
+
+    def test_blocking_submit_waits_for_space(self, image):
+        with ServeEngine(workers=2, queue_depth=2) as engine:
+            responses = engine.run([
+                Request(app="gaussian", image=image, variant="isp")
+                for _ in range(12)
+            ])
+        assert len(responses) == 12
+        assert all(r.ok for r in responses)
+
+
+class TestStatsShape:
+    def test_stats_exposes_engine_cache_and_latency(self, image):
+        with ServeEngine(workers=1) as engine:
+            engine.run([Request(app="gaussian", image=image, variant="isp")])
+            stats = engine.stats()
+        assert {"engine", "latency", "plan_cache"} <= set(stats)
+        assert stats["plan_cache"]["size"] == 1
+        for name in ("engine.queue_seconds", "engine.plan_build_seconds",
+                     "engine.execute_seconds"):
+            assert name in stats["latency"]
+            assert {"count", "mean", "p50", "p90", "p99", "max"} <= set(
+                stats["latency"][name]
+            )

@@ -1,0 +1,79 @@
+"""Metrics registry: counters, histogram percentiles, snapshots."""
+
+import threading
+
+import pytest
+
+from repro.serve import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap == {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                        "p99": 0.0, "max": 0.0}
+
+    def test_percentiles_and_mean(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["p50"] == pytest.approx(50.0)
+        assert snap["p90"] == pytest.approx(90.0)
+        assert snap["max"] == 100.0
+        assert h.percentile(99) == pytest.approx(99.0)
+
+    def test_window_bounds_memory_but_count_is_exact(self):
+        h = Histogram("h", window=16)
+        for v in range(100):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100          # lifetime count
+        assert snap["max"] == 99.0           # lifetime max
+        assert snap["p50"] >= 84.0           # window holds the last 16 only
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("y") is reg.histogram("y")
+
+    def test_snapshot_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.histogram("lat").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"requests": 3}
+        assert snap["histograms"]["lat"]["count"] == 1
+        text = reg.render()
+        assert "requests = 3" in text
+        assert "lat:" in text
