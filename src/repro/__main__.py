@@ -14,6 +14,10 @@ Subcommands
 * ``serve-bench`` — drive a synthetic mixed workload through the
                  ``repro.serve`` engine and report throughput / latency /
                  plan-cache hit rate vs. the cold-compile baseline.
+* ``sanitize`` — run the static IR bounds sanitizer over the filter corpus
+                 (every app x pattern x variant), and optionally the
+                 cross-variant differential harness; exits non-zero on any
+                 finding.
 
 ``measure`` and ``predict`` accept a comma-separated size list
 (``--size 512,1024``) and evaluate every size.
@@ -200,6 +204,42 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_sanitize(args) -> int:
+    from repro.compiler import Variant
+    from repro.sanitize import run_differential, sanitize_corpus
+
+    apps = args.apps.split(",") if args.apps else None
+    sizes = args.size
+    reports = sanitize_corpus(
+        **({"apps": apps} if apps else {}),
+        sizes=sizes,
+        variants=tuple(Variant(v) for v in args.variants.split(",")),
+        block=_parse_block(args.block),
+    )
+    findings = [f for r in reports for f in r.findings]
+    proved = sum(r.loads_proved + r.stores_proved for r in reports)
+    print(f"static: {len(reports)} kernel variant(s) over sizes "
+          f"{','.join(str(s) for s in sizes)}: {proved} accesses proved, "
+          f"{len(findings)} finding(s)")
+    if args.verbose or findings:
+        for r in reports:
+            if args.verbose or not r.ok:
+                print(" ", r.summary())
+            for f in r.findings:
+                print("   ", f)
+
+    ok = not findings
+    if args.differential:
+        diff = run_differential(block=_parse_block(args.block))
+        print(diff.summary())
+        for m in diff.mismatches:
+            print("  ", m)
+        ok = ok and diff.ok
+    if not ok:
+        print("sanitize FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_codegen(args) -> int:
     from repro.compiler import Variant, emit_cuda, trace_kernel
     from repro.filters import PIPELINES
@@ -289,6 +329,25 @@ def main(argv=None) -> int:
                    choices=["naive", "isp", "isp+m"])
     p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="prove every compiled kernel's memory accesses in-bounds",
+    )
+    p.add_argument("--apps", default=None,
+                   help="comma list (default: all five filters)")
+    p.add_argument("--size", type=_parse_sizes, default=[64, 9],
+                   help="image sizes; small ones exercise the degenerate "
+                        "naive fallback")
+    p.add_argument("--variants", default="naive,isp,isp_warp",
+                   help="comma list of compile variants")
+    p.add_argument("--block", default="32x4")
+    p.add_argument("--differential", action="store_true",
+                   help="also run the cross-variant differential harness "
+                        "(tiny images x large windows vs NumPy reference)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per sanitized kernel variant")
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("codegen", help="dump generated CUDA C")
     _add_common(p)

@@ -6,7 +6,10 @@ checks the enclosing region requires — the per-region specialization at the
 heart of ISP. The emitted instruction shapes follow Listing 1:
 
 * **Clamp**: ``min``/``max`` — branchless, 1 instruction per checked side.
-* **Mirror**: compare + reflected index + select per checked side.
+* **Mirror**: single compare + reflect + select when only one side needs a
+  check; when both sides are checked the closed-form *total* triangular
+  reflection (period ``2*size``) is emitted instead, so coordinates
+  arbitrarily far outside the image still map in-bounds.
 * **Repeat**: a ``while`` loop per checked side (the paper notes this is
   "required ... when small images are computed using a large filter window"),
   making Repeat the costliest pattern — which is why it benefits most from
@@ -91,8 +94,29 @@ def emit_axis_checks(
 
         if boundary is Boundary.MIRROR:
             c = coord
+            if check_low and check_high:
+                # Total triangular reflection with period 2*size: correct at
+                # any depth past the edge, which matters whenever the window
+                # half-extent exceeds the image size (e.g. a 13x13 bilateral
+                # window on a 3x3 image).  A single reflection per side is
+                # NOT total: c=-7, size=3 reflects to 6, then to -1 — still
+                # out of bounds.
+                #   r = c mod 2*size   (floored: rem then +period if negative)
+                #   c' = r < size ? r : 2*size - 1 - r
+                period = cached("twice", lambda: b.add(size, size))
+                r = b.rem(c, period)
+                p = b.setp(CmpOp.LT, r, 0)
+                wrapped = b.add(r, period)
+                r = b.selp(p, wrapped, r)
+                q = b.setp(CmpOp.GE, r, size)
+                upper = cached("twice_m1", lambda: b.sub(b.add(size, size), 1))
+                refl = b.sub(upper, r)
+                c = b.selp(q, refl, r)
+                return BorderedCoord(c)
             if check_low:
-                # if (c < 0) c = -c - 1;
+                # if (c < 0) c = -c - 1;  — single reflection is exact here
+                # because a region that only checks the low side guarantees
+                # c >= -size (the sanitizer proves this per geometry).
                 p = b.setp(CmpOp.LT, c, 0)
                 refl = b.sub(b.imm(-1, DataType.S32), c)
                 c = b.selp(p, refl, c)
@@ -181,7 +205,8 @@ def instructions_per_side(boundary: Boundary) -> int:
     primary path measures these counts from real IR instead."""
     return {
         Boundary.CLAMP: 1,       # min or max
-        Boundary.MIRROR: 3,      # setp + reflected index (sub/sub) + selp ~ amortized
+        Boundary.MIRROR: 4,      # rem/setp/selp halves of the total mapping,
+                                 # amortized over the two sides it handles
         Boundary.REPEAT: 4,      # loop head compare + branch + add/sub + back-branch
         Boundary.CONSTANT: 2,    # setp + clamp (plus one selp per access, amortized)
         Boundary.UNDEFINED: 0,

@@ -132,9 +132,20 @@ class _BodyEmitter:
             if hi:
                 self.lines.append(f"{ind}if ({var} >= {size}) {var} = {size} - 1;")
         elif boundary is Boundary.MIRROR:  # Listing 1 (b)
-            if lo:
+            if lo and hi:
+                # Total triangular reflection (period 2*size): exact for taps
+                # arbitrarily far outside the image, unlike one reflection
+                # per side (c=-7, size=3 -> 6 -> -1).
+                self.lines.append(f"{ind}{var} = {var} % (2 * {size});")
+                self.lines.append(
+                    f"{ind}if ({var} < 0) {var} += 2 * {size};"
+                )
+                self.lines.append(
+                    f"{ind}if ({var} >= {size}) {var} = 2 * {size} - {var} - 1;"
+                )
+            elif lo:
                 self.lines.append(f"{ind}if ({var} < 0) {var} = -{var} - 1;")
-            if hi:
+            elif hi:
                 self.lines.append(
                     f"{ind}if ({var} >= {size}) {var} = 2 * {size} - {var} - 1;"
                 )

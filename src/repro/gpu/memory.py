@@ -10,6 +10,8 @@ and lead to corrupted pixels").
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..ir.types import DataType
@@ -24,14 +26,27 @@ class MemoryError_(Exception):
 
 
 class GlobalMemory:
-    """Flat simulated device memory with bump allocation."""
+    """Flat simulated device memory with bump allocation.
 
-    def __init__(self, size_bytes: int = 1 << 26):
+    With ``shadow=True`` the memory runs in shadow-OOB mode: every allocation
+    is recorded and followed by a :data:`SEGMENT_BYTES` redzone, and every
+    lane address of a kernel load/store must fall *inside a live allocation*
+    — not merely inside the flat memory.  This turns the silent cross-buffer
+    reads a real GPU would perform (the "corrupted pixels" failure mode of
+    paper Section I) into hard trap, the runtime complement of the static
+    bounds sanitizer in :mod:`repro.sanitize`.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 26, *, shadow: bool = False):
         if size_bytes % 4:
             raise ValueError("memory size must be a multiple of 4 bytes")
         self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
         # Address 0 is reserved so that a null pointer always traps.
         self._next = 4
+        self.shadow = shadow
+        self._alloc_bases: list[int] = []
+        self._alloc_ends: list[int] = []
+        self._alloc_arrays: Optional[tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def size_bytes(self) -> int:
@@ -45,11 +60,18 @@ class GlobalMemory:
             raise ValueError("allocation size must be positive")
         base = ((self._next + align - 1) // align) * align
         end = base + nbytes
-        if end > self.size_bytes:
+        # In shadow mode a redzone separates consecutive allocations so that
+        # an overflow of one buffer can never alias the next one's base.
+        reserve = end + SEGMENT_BYTES if self.shadow else end
+        if reserve > self.size_bytes:
             raise MemoryError_(
-                f"out of simulated memory: need {end} bytes, have {self.size_bytes}"
+                f"out of simulated memory: need {reserve} bytes, have {self.size_bytes}"
             )
-        self._next = end
+        self._next = reserve
+        if self.shadow:
+            self._alloc_bases.append(base)
+            self._alloc_ends.append(end)
+            self._alloc_arrays = None
         return base
 
     def alloc_array(self, shape: tuple[int, ...], dtype: DataType) -> int:
@@ -123,6 +145,22 @@ class GlobalMemory:
                 f"lane address {int(active[oob][0]):#x} out of bounds "
                 f"(memory is {self.size_bytes} bytes) — an unhandled border access?"
             )
+        if self.shadow and self._alloc_bases:
+            if self._alloc_arrays is None:
+                self._alloc_arrays = (
+                    np.asarray(self._alloc_bases, dtype=np.int64),
+                    np.asarray(self._alloc_ends, dtype=np.int64),
+                )
+            bases, ends = self._alloc_arrays
+            idx = np.searchsorted(bases, active, side="right") - 1
+            stray = (idx < 0) | (active + 4 > ends[np.maximum(idx, 0)])
+            if stray.any():
+                addr = int(active[stray][0])
+                raise MemoryError_(
+                    f"shadow OOB: lane address {addr:#x} is outside every live "
+                    f"allocation (redzone or cross-buffer access) — "
+                    f"an unhandled border access?"
+                )
 
 
 def transactions_for(addrs: np.ndarray, mask: np.ndarray) -> int:

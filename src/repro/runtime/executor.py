@@ -65,8 +65,15 @@ def run_pipeline_simt(
     device: DeviceSpec = GTX680,
     inputs: Optional[dict[str, np.ndarray]] = None,
     memory_bytes: Optional[int] = None,
+    shadow_oob: bool = False,
 ) -> SimulationResult:
-    """Functionally simulate every stage of ``pipeline`` on the GPU model."""
+    """Functionally simulate every stage of ``pipeline`` on the GPU model.
+
+    ``shadow_oob`` runs the simulated memory in shadow mode: allocations get
+    redzones and every lane address must hit a live allocation, so an
+    out-of-bounds border access traps even when it would land inside another
+    image's buffer (see :class:`repro.gpu.memory.GlobalMemory`).
+    """
     images: dict[str, np.ndarray] = {}
     for img in pipeline.inputs:
         if inputs is not None and img.name in inputs:
@@ -78,8 +85,11 @@ def run_pipeline_simt(
     if memory_bytes is None:
         n_images = len(descs) + len(images)
         px = max(d.width * d.height for d in descs)
-        memory_bytes = 1 << max(16, math.ceil(math.log2((n_images + 2) * px * 4 + 4096)))
-    mem = GlobalMemory(memory_bytes)
+        slack = (n_images + 2) * 256 + 4096  # alignment + shadow redzones
+        memory_bytes = 1 << max(
+            16, math.ceil(math.log2((n_images + 2) * px * 4 + slack))
+        )
+    mem = GlobalMemory(memory_bytes, shadow=shadow_oob)
 
     bases: dict[str, int] = {}
     for name, arr in images.items():

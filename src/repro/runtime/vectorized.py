@@ -113,6 +113,24 @@ def _map_axis(
         return np.minimum(coords, size - 1), None
     if boundary is Boundary.MIRROR:
         c = coords
+        need_total = check_low and check_high
+        if not need_total and c.size:
+            # The per-tap sign filter can leave only one side checked even
+            # though the tap reaches more than one image-size past the edge
+            # (degenerate geometry); a single reflection would then exit the
+            # opposite side, so promote to the total mapping.
+            if check_low and (c.min() < -size or c.max() >= size):
+                need_total = True
+            if check_high and (c.max() >= 2 * size or c.min() < 0):
+                need_total = True
+        if need_total:
+            # Total triangular reflection, bit-identical to the IR lowering
+            # in ``emit_axis_checks``: floored mod by the period, then
+            # reflect the upper half.  A single reflection per side is wrong
+            # for taps more than one image-size past the edge (c=-7, size=3
+            # -> 6 -> -1, which fancy indexing silently wraps).
+            r = np.mod(c, 2 * size)
+            return np.where(r < size, r, 2 * size - 1 - r), None
         if check_low:
             c = np.where(c < 0, -c - 1, c)
         if check_high:
@@ -148,21 +166,40 @@ class _RegionEvaluator:
         self._memo: dict[int, np.ndarray] = {}
 
     def eval(self, expr: Expr) -> np.ndarray:
-        hit = self._memo.get(id(expr))
-        if hit is not None:
-            return hit
-        value = self._eval_node(expr)
-        self._memo[id(expr)] = value
-        return value
+        # Iterative post-order evaluation: a convolution over a large window
+        # is one add-chain as deep as the tap count, which overflows Python's
+        # recursion limit exactly in the small-image / large-window corner
+        # the border tests care about.
+        memo = self._memo
+        stack = [expr]
+        while stack:
+            node = stack[-1]
+            if id(node) in memo:
+                stack.pop()
+                continue
+            if isinstance(node, BinOp):
+                deps = (node.lhs, node.rhs)
+            elif isinstance(node, UnOp):
+                deps = (node.operand,)
+            else:
+                deps = ()
+            pending = [d for d in deps if id(d) not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            memo[id(node)] = self._eval_node(node)
+            stack.pop()
+        return memo[id(expr)]
 
     def _eval_node(self, expr: Expr) -> np.ndarray:
+        """Evaluate one node whose children are already memoized."""
         if isinstance(expr, Const):
             return np.float32(expr.value)
         if isinstance(expr, BinOp):
-            lhs, rhs = self.eval(expr.lhs), self.eval(expr.rhs)
+            lhs, rhs = self._memo[id(expr.lhs)], self._memo[id(expr.rhs)]
             return _BIN_FUNCS[expr.op](lhs, rhs, dtype=np.float32)
         if isinstance(expr, UnOp):
-            src = self.eval(expr.operand)
+            src = self._memo[id(expr.operand)]
             return _UN_FUNCS[expr.op](src).astype(np.float32, copy=False)
         if isinstance(expr, PixelAccess):
             return self._eval_access(expr)
@@ -191,6 +228,17 @@ class _RegionEvaluator:
         ys = np.arange(rect.y0 + access.dy, rect.y1 + access.dy)
         xs, vx = _map_axis(xs, w, boundary, check_left, check_right)
         ys, vy = _map_axis(ys, h, boundary, check_top, check_bottom)
+        if boundary is not Boundary.UNDEFINED:
+            # A mapping applied on one side must never push the coordinate
+            # out the *opposite* side, and an axis the region does not check
+            # must already be in bounds — fancy indexing would silently wrap
+            # a violation to the wrong pixel instead of failing.
+            assert xs.size == 0 or (xs.min() >= 0 and xs.max() < w), (
+                f"{boundary.value} x-mapping out of bounds for {access!r}"
+            )
+            assert ys.size == 0 or (ys.min() >= 0 and ys.max() < h), (
+                f"{boundary.value} y-mapping out of bounds for {access!r}"
+            )
         values = img[np.ix_(ys, xs)]
         if vx is not None or vy is not None:
             valid = np.ones((ys.size, xs.size), dtype=bool)

@@ -1,0 +1,56 @@
+"""Bounds verification subsystem: prove, instrument, and cross-check.
+
+Three independent layers defend against out-of-bounds border accesses (the
+bug class behind the Mirror mapping fix this package shipped with):
+
+* :mod:`repro.sanitize.static` — a symbolic interval analysis over the IR
+  that *proves* every load/store of every compiled region variant in-bounds,
+  seeded per region from the paper's block-partition geometry;
+* :mod:`repro.sanitize.shadow` — runtime instrumentation (shadow allocation
+  tracking with redzones on the SIMT path, NaN canary rings on the
+  vectorized path) that traps anything the prover could miss;
+* :mod:`repro.sanitize.differential` — a cross-variant harness comparing
+  every execution path bit-exactly against the NumPy golden reference over
+  an adversarial tiny-image / large-window corpus.
+
+``python -m repro sanitize`` runs all three; the serve engine runs the
+static pass on every newly built plan.
+"""
+
+from .differential import (
+    DifferentialReport,
+    Mismatch,
+    make_conv_pipeline,
+    run_differential,
+)
+from .intervals import Interval
+from .shadow import ShadowReport, check_pipeline_simt, check_pipeline_vectorized
+from .static import (
+    Finding,
+    SanitizeError,
+    SanitizeReport,
+    sanitize_compiled,
+    sanitize_corpus,
+    sanitize_function,
+    sanitize_kernel,
+    sanitize_pipeline,
+)
+
+__all__ = [
+    "DifferentialReport",
+    "Finding",
+    "Interval",
+    "Mismatch",
+    "SanitizeError",
+    "SanitizeReport",
+    "ShadowReport",
+    "check_pipeline_simt",
+    "check_pipeline_vectorized",
+    "make_conv_pipeline",
+    "run_differential",
+    "sanitize_compiled",
+    "sanitize_corpus",
+    "sanitize_function",
+    "sanitize_kernel",
+    "sanitize_pipeline",
+]

@@ -1,0 +1,195 @@
+"""Integer interval domain for the static bounds sanitizer.
+
+A tiny abstract domain over signed integers extended with ``±inf``.  The
+analyzer (:mod:`repro.sanitize.static`) interprets the virtual ISA's integer
+arithmetic over this domain to bound every load/store address; everything
+here is deliberately closed-form — no widening is needed because the only
+loops in generated kernels (the Repeat pattern's ``while`` loops) are
+summarized by a bounded local fixpoint.
+
+All transfer functions are *sound over-approximations*: the concrete result
+of the operation on any members of the input intervals is contained in the
+returned interval.  ``rem`` models the C/PTX truncating remainder that the
+SIMT simulator implements (sign follows the dividend).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Union
+
+Num = Union[int, float]  # int or ±math.inf
+
+_INF = math.inf
+
+
+def _mul(a: Num, b: Num) -> Num:
+    """Product with the convention 0 * inf = 0 (sound for interval corners
+    where the zero factor is exact)."""
+    if a == 0 or b == 0:
+        return 0
+    return a * b
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """Closed interval [lo, hi]; ``lo > hi`` encodes the empty interval."""
+
+    lo: Num
+    hi: Num
+
+    # ------------------------------------------------------------- predicates
+
+    @property
+    def empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi and not isinstance(self.lo, float)
+
+    @property
+    def bounded(self) -> bool:
+        return not self.empty and self.lo > -_INF and self.hi < _INF
+
+    def __contains__(self, value: Num) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        if self.empty:
+            return "[]"
+        return f"[{self.lo}, {self.hi}]"
+
+    # ------------------------------------------------------------ lattice ops
+
+    def union(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    # -------------------------------------------------------------- transfer
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return EMPTY
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return EMPTY
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        if self.empty:
+            return EMPTY
+        return Interval(-self.hi, -self.lo)
+
+    def abs_(self) -> "Interval":
+        if self.empty:
+            return EMPTY
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return Interval(0, max(-self.lo, self.hi))
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return EMPTY
+        corners = [
+            _mul(self.lo, other.lo),
+            _mul(self.lo, other.hi),
+            _mul(self.hi, other.lo),
+            _mul(self.hi, other.hi),
+        ]
+        return Interval(min(corners), max(corners))
+
+    def min_(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return EMPTY
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return EMPTY
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def shl(self, bits: "Interval") -> "Interval":
+        if self.empty or bits.empty:
+            return EMPTY
+        if not bits.is_const or bits.lo < 0:
+            return TOP
+        k = 1 << int(bits.lo)
+        return Interval(_mul(self.lo, k), _mul(self.hi, k))
+
+    def shr(self, bits: "Interval") -> "Interval":
+        """Arithmetic right shift = floor division by 2**k (matches both the
+        simulator's ``>>`` on int64 and Python's floor semantics)."""
+        if self.empty or bits.empty:
+            return EMPTY
+        if not bits.is_const or bits.lo < 0:
+            return TOP
+        k = 1 << int(bits.lo)
+        lo = self.lo if self.lo == -_INF else math.floor(self.lo / k)
+        hi = self.hi if self.hi == _INF else math.floor(self.hi / k)
+        return Interval(lo, hi)
+
+    def rem_trunc(self, divisor: "Interval") -> "Interval":
+        """C/PTX truncating remainder: result sign follows the dividend and
+        ``|result| < |divisor|``."""
+        if self.empty or divisor.empty:
+            return EMPTY
+        d_mag = max(abs(divisor.lo), abs(divisor.hi))
+        if d_mag == 0:
+            return Interval(0, 0)  # simulator defines x % 0 == 0
+        if d_mag == _INF:
+            return TOP
+        bound = d_mag - 1
+        # A dividend interval entirely inside (-|d|, |d|) is untouched by the
+        # remainder (|x| < |d|  =>  x % d == x), for any divisor of that
+        # minimum magnitude.
+        if divisor.lo <= 0 <= divisor.hi:
+            d_min = 0  # divisor interval spans zero
+        else:
+            d_min = min(abs(divisor.lo), abs(divisor.hi))
+        if d_min > 0 and self.lo >= -(d_min - 1) and self.hi <= d_min - 1:
+            return self
+        lo = 0 if self.lo >= 0 else -bound
+        hi = 0 if self.hi <= 0 else bound
+        return Interval(lo, hi)
+
+    def div_trunc(self, divisor: "Interval") -> "Interval":
+        if self.empty or divisor.empty:
+            return EMPTY
+        if not divisor.is_const or divisor.lo == 0:
+            return TOP
+        d = int(divisor.lo)
+        corners = []
+        for v in (self.lo, self.hi):
+            if isinstance(v, float) and math.isinf(v):
+                corners.append(v if d > 0 else -v)
+            else:
+                corners.append(math.trunc(v / d))
+        return Interval(min(corners), max(corners))
+
+
+TOP = Interval(-_INF, _INF)
+EMPTY = Interval(1, 0)
+
+
+def const(value: int) -> Interval:
+    return Interval(value, value)
+
+
+def at_most(hi: Num) -> Interval:
+    return Interval(-_INF, hi)
+
+
+def at_least(lo: Num) -> Interval:
+    return Interval(lo, _INF)

@@ -1,0 +1,1091 @@
+"""Static IR bounds sanitizer: prove every load/store address in-bounds.
+
+The pass symbolically executes each compiled kernel variant over the integer
+interval domain of :mod:`repro.sanitize.intervals`:
+
+* **Per-region seeding.** Thread coordinates are seeded from the block-index
+  bounds of :class:`repro.compiler.regions.RegionGeometry` (paper Eq. 2):
+  for an ISP kernel the grid's block columns split into the classes
+  ``[0, BH_L)``, ``[BH_L, BH_R)``, ``[BH_R, gx)`` (rows analogously), and
+  every non-empty column x row class is analyzed as its own *context*.
+  Under a context every dispatch-chain comparison is decidable, so each
+  context flows into exactly the region clone that geometry assigns it —
+  the sanitizer checks region code under precisely the coordinate ranges
+  that region can observe, which is the whole soundness argument of ISP.
+* **Path-sensitive refinement.** At an undecided conditional branch the
+  path forks and each edge refines the registers named by the predicate
+  (``and``-true and ``or``-false distribute; the bounds-guard's
+  ``x >= out_w || y >= out_h`` false-edge yields ``x < out_w`` etc.).
+  Refinements propagate backwards through ``mov``/``add``/``sub``/shift
+  chains, so a constraint on ``warp_x = tid.x >> 5`` (warp-grained
+  re-routing, paper Listing 5) tightens ``tid.x`` and with it every
+  coordinate derived from it.
+* **Correlation through selp.** ``selp dst, a, b, p`` is evaluated by
+  re-evaluating each arm's def-chain under the corresponding refinement of
+  ``p`` and joining the results.  This is what lets the pass *prove* the
+  closed-form Mirror mapping in-bounds — and what made it flag the old
+  single-reflection-per-side lowering, whose reflected arm can exceed the
+  opposite border for taps more than one image size past the edge.
+* **Loop summarization.** The Repeat pattern's ``while`` loops are detected
+  structurally (a conditional branch whose taken block jumps straight back)
+  and summarized by a bounded local fixpoint that accumulates the union of
+  all exit states; no path explosion, no widening.
+
+Every ``ld.global``/``st.global`` whose address resolves to ``base + off``
+with a known buffer extent is then checked: ``off`` must lie within
+``[0, bytes - 4]``.  Anything not provable is a :class:`Finding`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import Counter
+from typing import Iterable, Optional, Union
+
+from ..compiler.driver import CompiledKernel, compile_kernel
+from ..compiler.frontend import KernelDescription
+from ..compiler.isp import Variant
+from ..compiler.regions import RegionGeometry
+from ..ir.function import BasicBlock, KernelFunction
+from ..ir.instructions import (
+    CmpOp,
+    Immediate,
+    Instruction,
+    Opcode,
+    Register,
+    SpecialReg,
+)
+from ..ir.types import DataType
+from .intervals import EMPTY, TOP, Interval, at_least, at_most, const
+
+#: iterations after which a while-loop summary gives up (far above any real
+#: Repeat trip count: trips scale with window-extent / image-size).
+LOOP_CAP = 256
+#: def-chain evaluation depth cap — address/predicate chains are shallow
+#: (~15); hitting this returns TOP, which can only *add* findings.
+MAX_DEPTH = 400
+#: per-context cap on forked paths (dispatch chains are decidable under the
+#: context seeds, so in practice a handful of paths suffice).
+PATH_CAP = 512
+
+
+class SanitizeError(Exception):
+    """Raised when sanitization rejects a kernel (used by serve/CLI)."""
+
+    def __init__(self, reports: "list[SanitizeReport]"):
+        self.reports = reports
+        findings = [f for r in reports for f in r.findings]
+        super().__init__(
+            f"{len(findings)} bounds finding(s) in "
+            + ", ".join(sorted({r.kernel for r in reports if not r.ok}))
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One unproven (or provably wrong) memory access."""
+
+    kernel: str
+    variant: str
+    region: Optional[str]
+    context: str
+    kind: str  # "load" / "store" / "analysis"
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.kernel}/{self.variant}"
+        if self.region:
+            where += f"/{self.region}"
+        return f"[{where}] ({self.context}) {self.kind}: {self.message}"
+
+
+@dataclasses.dataclass
+class SanitizeReport:
+    """Result of sanitizing one compiled kernel variant."""
+
+    kernel: str
+    variant: str
+    contexts: int = 0
+    loads_proved: int = 0
+    stores_proved: int = 0
+    findings: list[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.findings)} finding(s)"
+        return (
+            f"{self.kernel:24s} {self.variant:10s} "
+            f"{self.contexts:2d} context(s), "
+            f"{self.loads_proved} loads / {self.stores_proved} stores proved: "
+            f"{status}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class _Pointer:
+    """Abstract address: a named base pointer plus a byte-offset interval."""
+
+    base: str
+    off: Interval
+
+
+_Value = Union[Interval, _Pointer]
+
+
+# --------------------------------------------------------------- predicates
+
+
+@dataclasses.dataclass(frozen=True)
+class _Cmp:
+    cmp: CmpOp
+    lhs: object  # Register | Immediate
+    rhs: object
+
+
+@dataclasses.dataclass(frozen=True)
+class _And:
+    lhs: object
+    rhs: object
+
+
+@dataclasses.dataclass(frozen=True)
+class _Or:
+    lhs: object
+    rhs: object
+
+
+@dataclasses.dataclass(frozen=True)
+class _Not:
+    child: object
+
+
+_UNKNOWN_PRED = object()
+
+
+_NEGATE = {
+    CmpOp.EQ: CmpOp.NE,
+    CmpOp.NE: CmpOp.EQ,
+    CmpOp.LT: CmpOp.GE,
+    CmpOp.GE: CmpOp.LT,
+    CmpOp.LE: CmpOp.GT,
+    CmpOp.GT: CmpOp.LE,
+}
+
+
+class _Path:
+    """One symbolic execution path within a context."""
+
+    __slots__ = ("label", "index", "env", "cons", "memo", "visits", "steps")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.index = 0
+        #: eagerly tracked values of multiply-defined (loop-carried) registers
+        self.env: dict[str, _Value] = {}
+        #: active branch-edge refinements, register name -> Interval
+        self.cons: dict[str, Interval] = {}
+        #: def-chain evaluation cache (valid for the current cons/env)
+        self.memo: dict[str, _Value] = {}
+        self.visits: Counter = Counter()
+        self.steps = 0
+
+    def fork(self, label: str) -> "_Path":
+        child = _Path(label)
+        child.env = dict(self.env)
+        child.cons = dict(self.cons)
+        child.visits = Counter(self.visits)
+        child.steps = self.steps
+        return child
+
+
+class _Analyzer:
+    """Symbolic interval execution of one kernel function."""
+
+    def __init__(
+        self,
+        func: KernelFunction,
+        *,
+        grid: tuple[int, int],
+        block: tuple[int, int],
+        extents: dict[str, int],
+        scalars: dict[str, int],
+        geometry: Optional[RegionGeometry],
+        report: SanitizeReport,
+    ):
+        self.func = func
+        self.grid = grid
+        self.block = block
+        self.extents = extents
+        self.geometry = geometry
+        self.report = report
+        self.blocks = {b.label: b for b in func.blocks}
+        counts: Counter = Counter()
+        for ins in func.instructions():
+            if ins.dst is not None:
+                counts[ins.dst.name] += 1
+        self.multi = {name for name, n in counts.items() if n > 1}
+        self.defs: dict[str, Instruction] = {}
+        for ins in func.instructions():
+            if ins.dst is not None and ins.dst.name not in self.multi:
+                self.defs[ins.dst.name] = ins
+        self.params: dict[str, _Value] = {}
+        for p in func.params:
+            if p.is_pointer:
+                self.params[p.name] = _Pointer(p.name, const(0))
+            elif p.name in scalars:
+                self.params[p.name] = const(scalars[p.name])
+            else:
+                self.params[p.name] = TOP
+        self.seed: dict[SpecialReg, Interval] = {}
+        self.ctx_desc = ""
+        self._seen_findings: set[tuple] = set()
+
+    # ------------------------------------------------------------- contexts
+
+    def contexts(self) -> Iterable[tuple[dict[SpecialReg, Interval], str]]:
+        gx, gy = self.grid
+        tx, ty = self.block
+        base = {
+            SpecialReg.NTID_X: const(tx),
+            SpecialReg.NTID_Y: const(ty),
+            SpecialReg.NCTAID_X: const(gx),
+            SpecialReg.NCTAID_Y: const(gy),
+            SpecialReg.TID_X: Interval(0, tx - 1),
+            SpecialReg.TID_Y: Interval(0, ty - 1),
+            SpecialReg.LANEID: Interval(0, 31),
+            SpecialReg.WARPID: Interval(0, max(0, (tx * ty - 1) // 32)),
+        }
+        geom = self.geometry
+        if geom is None:
+            yield (
+                {
+                    **base,
+                    SpecialReg.CTAID_X: Interval(0, gx - 1),
+                    SpecialReg.CTAID_Y: Interval(0, gy - 1),
+                },
+                f"blocks [0,{gx - 1}]x[0,{gy - 1}]",
+            )
+            return
+
+        def classes(low: int, high: int, total: int) -> list[tuple[int, int]]:
+            out = []
+            if low > 0:
+                out.append((0, low - 1))
+            if high > low:
+                out.append((low, high - 1))
+            if total > high:
+                out.append((high, total - 1))
+            return out
+
+        cols = classes(geom.bh_l, geom.bh_r, gx)
+        rows = classes(geom.bh_t, geom.bh_b, gy)
+        for (cx0, cx1), (cy0, cy1) in itertools.product(cols, rows):
+            yield (
+                {
+                    **base,
+                    SpecialReg.CTAID_X: Interval(cx0, cx1),
+                    SpecialReg.CTAID_Y: Interval(cy0, cy1),
+                },
+                f"blocks [{cx0},{cx1}]x[{cy0},{cy1}]",
+            )
+
+    # ------------------------------------------------------------ evaluation
+
+    def _eval(self, opnd, path: _Path, cons: dict, memo, depth: int) -> _Value:
+        if isinstance(opnd, Immediate):
+            if opnd.dtype.is_integer or opnd.dtype is DataType.PRED:
+                return const(int(opnd.value))
+            return TOP
+        assert isinstance(opnd, Register)
+        name = opnd.name
+        if name in path.env:
+            return self._refine_val(path.env[name], cons.get(name))
+        if memo is not None and name in memo:
+            return memo[name]
+        if depth > MAX_DEPTH:
+            return TOP
+        ins = self.defs.get(name)
+        if ins is None:
+            return self._refine_val(TOP, cons.get(name))
+        val = self._compute(ins, path, cons, memo, depth + 1)
+        val = self._refine_val(val, cons.get(name))
+        if memo is not None:
+            memo[name] = val
+        return val
+
+    @staticmethod
+    def _refine_val(val: _Value, bound: Optional[Interval]) -> _Value:
+        if bound is None:
+            return val
+        if isinstance(val, _Pointer):
+            return val  # constraints never name pointer registers
+        return val.intersect(bound)
+
+    def _compute(
+        self, ins: Instruction, path: _Path, cons: dict, memo, depth: int
+    ) -> _Value:
+        op = ins.op
+        ev = lambda o: self._eval(o, path, cons, memo, depth)
+
+        if op is Opcode.MOV:
+            if ins.special is not None:
+                # All MOVs of the same special read the same hardware value,
+                # so constraints learned through any alias (recorded under the
+                # synthetic "@SPECIAL" key) apply here too.
+                val = self.seed.get(ins.special, TOP)
+                return self._refine_val(val, cons.get("@" + ins.special.name))
+            return ev(ins.srcs[0])
+        if op is Opcode.LDPARAM:
+            return self.params.get(ins.param, TOP)
+        if op in (Opcode.LD, Opcode.LDS, Opcode.TEX):
+            return TOP  # data, not addresses
+        if op is Opcode.SELP:
+            return self._compute_selp(ins, path, cons, depth)
+        if not ins.dtype.is_integer:
+            return TOP
+
+        if op is Opcode.CVT:
+            src = ev(ins.srcs[0])
+            return src if isinstance(src, Interval) else TOP
+
+        a = ev(ins.srcs[0]) if len(ins.srcs) > 0 else None
+        bv = ev(ins.srcs[1]) if len(ins.srcs) > 1 else None
+
+        if op is Opcode.ADD:
+            if isinstance(a, _Pointer) and isinstance(bv, Interval):
+                return _Pointer(a.base, a.off.add(bv))
+            if isinstance(bv, _Pointer) and isinstance(a, Interval):
+                return _Pointer(bv.base, bv.off.add(a))
+            if isinstance(a, Interval) and isinstance(bv, Interval):
+                return a.add(bv)
+            return TOP
+        if op is Opcode.SUB:
+            if isinstance(a, _Pointer) and isinstance(bv, Interval):
+                return _Pointer(a.base, a.off.sub(bv))
+            if isinstance(a, Interval) and isinstance(bv, Interval):
+                return a.sub(bv)
+            return TOP
+        if isinstance(a, _Pointer) or isinstance(bv, _Pointer):
+            return TOP
+
+        if op is Opcode.MUL:
+            return a.mul(bv)
+        if op is Opcode.MAD:
+            c = ev(ins.srcs[2])
+            if isinstance(c, _Pointer):
+                prod = a.mul(bv)
+                return _Pointer(c.base, c.off.add(prod))
+            if not isinstance(c, Interval):
+                return TOP
+            return a.mul(bv).add(c)
+        if op is Opcode.MIN:
+            return a.min_(bv)
+        if op is Opcode.MAX:
+            return a.max_(bv)
+        if op is Opcode.REM:
+            return a.rem_trunc(bv)
+        if op is Opcode.DIV:
+            return a.div_trunc(bv)
+        if op is Opcode.SHL:
+            return a.shl(bv)
+        if op is Opcode.SHR:
+            return a.shr(bv)
+        if op is Opcode.NEG:
+            return a.neg()
+        if op is Opcode.ABS:
+            return a.abs_()
+        if op is Opcode.AND:
+            if a.is_const and bv.is_const:
+                return const(int(a.lo) & int(bv.lo))
+            for mask in (a, bv):
+                other = bv if mask is a else a
+                if mask.is_const and mask.lo >= 0 and other.lo >= 0:
+                    return Interval(0, mask.lo)
+            return TOP
+        if op in (Opcode.OR, Opcode.XOR):
+            if a.is_const and bv.is_const:
+                v = int(a.lo) | int(bv.lo) if op is Opcode.OR else int(a.lo) ^ int(bv.lo)
+                return const(v)
+            return TOP
+        return TOP
+
+    def _compute_selp(
+        self, ins: Instruction, path: _Path, cons: dict, depth: int
+    ) -> _Value:
+        pred = self._build_pred(ins.srcs[2], path, depth)
+        dec = self._decide(pred, path, cons, depth)
+        if dec is True:
+            return self._eval(ins.srcs[0], path, cons, None, depth)
+        if dec is False:
+            return self._eval(ins.srcs[1], path, cons, None, depth)
+        # Undecided: evaluate each arm under the matching refinement of the
+        # predicate's registers and join.  Re-evaluating the arm's def chain
+        # under the refinement is what captures the arm/predicate correlation
+        # (e.g. "reflected = -1 - c" is only selected when "c < 0").
+        parts = []
+        for want, arm in ((True, ins.srcs[0]), (False, ins.srcs[1])):
+            ref = self._refine_pred(pred, want, path, cons, depth)
+            if ref is None:
+                continue  # this arm is infeasible under current constraints
+            merged = self._merge_cons(cons, ref)
+            if merged is None:
+                continue
+            parts.append(self._eval(arm, path, merged, None, depth))
+        if not parts:
+            return EMPTY
+        if all(isinstance(p, Interval) for p in parts):
+            out = parts[0]
+            for p in parts[1:]:
+                out = out.union(p)
+            return out
+        if (
+            all(isinstance(p, _Pointer) for p in parts)
+            and len({p.base for p in parts}) == 1
+        ):
+            off = parts[0].off
+            for p in parts[1:]:
+                off = off.union(p.off)
+            return _Pointer(parts[0].base, off)
+        return TOP
+
+    # ------------------------------------------------------------ predicates
+
+    def _build_pred(self, opnd, path: _Path, depth: int = 0):
+        if isinstance(opnd, Immediate):
+            return bool(opnd.value)
+        assert isinstance(opnd, Register)
+        if opnd.name in self.multi or depth > MAX_DEPTH:
+            return _UNKNOWN_PRED
+        ins = self.defs.get(opnd.name)
+        if ins is None:
+            return _UNKNOWN_PRED
+        if ins.op is Opcode.SETP:
+            return _Cmp(ins.cmp, ins.srcs[0], ins.srcs[1])
+        if ins.op is Opcode.AND:
+            return _And(
+                self._build_pred(ins.srcs[0], path, depth + 1),
+                self._build_pred(ins.srcs[1], path, depth + 1),
+            )
+        if ins.op is Opcode.OR:
+            return _Or(
+                self._build_pred(ins.srcs[0], path, depth + 1),
+                self._build_pred(ins.srcs[1], path, depth + 1),
+            )
+        if ins.op is Opcode.NOT:
+            return _Not(self._build_pred(ins.srcs[0], path, depth + 1))
+        if ins.op is Opcode.MOV and ins.special is None:
+            return self._build_pred(ins.srcs[0], path, depth + 1)
+        return _UNKNOWN_PRED
+
+    def _decide(self, pred, path: _Path, cons: dict, depth: int = 0):
+        """Three-valued truth of a predicate tree: True / False / None."""
+        if isinstance(pred, bool):
+            return pred
+        if pred is _UNKNOWN_PRED:
+            return None
+        if isinstance(pred, _Not):
+            d = self._decide(pred.child, path, cons, depth)
+            return None if d is None else (not d)
+        if isinstance(pred, _And):
+            l = self._decide(pred.lhs, path, cons, depth)
+            r = self._decide(pred.rhs, path, cons, depth)
+            if l is False or r is False:
+                return False
+            if l is True and r is True:
+                return True
+            return None
+        if isinstance(pred, _Or):
+            l = self._decide(pred.lhs, path, cons, depth)
+            r = self._decide(pred.rhs, path, cons, depth)
+            if l is True or r is True:
+                return True
+            if l is False and r is False:
+                return False
+            return None
+        assert isinstance(pred, _Cmp)
+        a = self._eval(pred.lhs, path, cons, path.memo, depth)
+        b = self._eval(pred.rhs, path, cons, path.memo, depth)
+        if not isinstance(a, Interval) or not isinstance(b, Interval):
+            return None
+        if a.empty or b.empty:
+            return None
+        cmp = pred.cmp
+        if cmp is CmpOp.LT:
+            if a.hi < b.lo:
+                return True
+            if a.lo >= b.hi:
+                return False
+        elif cmp is CmpOp.LE:
+            if a.hi <= b.lo:
+                return True
+            if a.lo > b.hi:
+                return False
+        elif cmp is CmpOp.GT:
+            if a.lo > b.hi:
+                return True
+            if a.hi <= b.lo:
+                return False
+        elif cmp is CmpOp.GE:
+            if a.lo >= b.hi:
+                return True
+            if a.hi < b.lo:
+                return False
+        elif cmp is CmpOp.EQ:
+            if a.is_const and b.is_const and a.lo == b.lo:
+                return True
+            if a.intersect(b).empty:
+                return False
+        elif cmp is CmpOp.NE:
+            if a.intersect(b).empty:
+                return True
+            if a.is_const and b.is_const and a.lo == b.lo:
+                return False
+        return None
+
+    def _refine_pred(
+        self, pred, want: bool, path: _Path, cons: dict, depth: int = 0
+    ) -> Optional[dict[str, Interval]]:
+        """Register refinements implied by ``pred == want``.
+
+        Returns ``None`` when the assumption is infeasible, an empty dict
+        when nothing can be refined (always sound).
+        """
+        if isinstance(pred, bool):
+            return {} if pred is want else None
+        if pred is _UNKNOWN_PRED:
+            return {}
+        if isinstance(pred, _Not):
+            return self._refine_pred(pred.child, not want, path, cons, depth)
+        if isinstance(pred, (_And, _Or)):
+            distribute = want if isinstance(pred, _And) else not want
+            if not distribute:
+                return {}  # !(a&&b) / (a||b): disjunction — no refinement
+            out: dict[str, Interval] = {}
+            for child in (pred.lhs, pred.rhs):
+                ref = self._refine_pred(child, want, path, cons, depth)
+                if ref is None:
+                    return None
+                merged = self._merge_into(out, ref)
+                if not merged:
+                    return None
+            return out
+        assert isinstance(pred, _Cmp)
+        cmp = pred.cmp if want else _NEGATE[pred.cmp]
+        a, b = pred.lhs, pred.rhs
+        ia = self._eval(a, path, cons, path.memo, depth)
+        ib = self._eval(b, path, cons, path.memo, depth)
+        if not isinstance(ia, Interval) or not isinstance(ib, Interval):
+            return {}
+        out: dict[str, Interval] = {}
+
+        def bound_for(side_val: Interval, other: Interval, flip: bool) -> Interval:
+            c = _NEGATE[cmp] if False else cmp
+            if flip:
+                swap = {
+                    CmpOp.LT: CmpOp.GT,
+                    CmpOp.GT: CmpOp.LT,
+                    CmpOp.LE: CmpOp.GE,
+                    CmpOp.GE: CmpOp.LE,
+                    CmpOp.EQ: CmpOp.EQ,
+                    CmpOp.NE: CmpOp.NE,
+                }
+                c = swap[c]
+            if c is CmpOp.LT:
+                return at_most(other.hi - 1)
+            if c is CmpOp.LE:
+                return at_most(other.hi)
+            if c is CmpOp.GT:
+                return at_least(other.lo + 1)
+            if c is CmpOp.GE:
+                return at_least(other.lo)
+            if c is CmpOp.EQ:
+                return other
+            return TOP  # NE refines nothing interval-wise
+
+        for opnd, own, other, flip in ((a, ia, ib, False), (b, ib, ia, True)):
+            if not isinstance(opnd, Register):
+                continue
+            bound = bound_for(own, other, flip)
+            if bound is TOP:
+                continue
+            refined = own.intersect(bound)
+            if refined.empty:
+                return None
+            ok = self._prop_back(opnd.name, bound, out, path, cons, 0)
+            if not ok:
+                return None
+        return out
+
+    def _merge_into(self, dst: dict, src: dict) -> bool:
+        for name, iv in src.items():
+            cur = dst.get(name)
+            nxt = iv if cur is None else cur.intersect(iv)
+            if nxt.empty:
+                return False
+            dst[name] = nxt
+        return True
+
+    def _merge_cons(self, cons: dict, extra: dict) -> Optional[dict]:
+        out = dict(cons)
+        if not self._merge_into(out, extra):
+            return None
+        return out
+
+    def _prop_back(
+        self,
+        name: str,
+        bound: Interval,
+        out: dict[str, Interval],
+        path: _Path,
+        cons: dict,
+        depth: int,
+    ) -> bool:
+        """Record ``name ∈ bound`` and propagate it backwards through simple
+        single-definition chains (mov / add-imm / sub-imm / shifts)."""
+        if not self._merge_into(out, {name: bound}):
+            return False
+        if depth > 24 or name in self.multi:
+            return True
+        ins = self.defs.get(name)
+        if ins is None:
+            return True
+        op = ins.op
+
+        def imm_of(o) -> Optional[int]:
+            if isinstance(o, Immediate) and o.dtype.is_integer:
+                return int(o.value)
+            if isinstance(o, Register):
+                v = self._eval(o, path, cons, path.memo, depth)
+                if isinstance(v, Interval) and v.is_const:
+                    return int(v.lo)
+            return None
+
+        if op is Opcode.MOV and ins.special is not None:
+            # Reached a special-register read.  Every MOV of this special is
+            # an alias for the same value, so record the bound under a
+            # synthetic per-special key that _compute consults for all of
+            # them — refining only this one register name would miss aliases
+            # (each b.special() call mints a fresh destination register).
+            return self._merge_into(out, {"@" + ins.special.name: bound})
+        if op is Opcode.MOV and ins.special is None and isinstance(ins.srcs[0], Register):
+            return self._prop_back(ins.srcs[0].name, bound, out, path, cons, depth + 1)
+        if op is Opcode.ADD:
+            for i, j in ((0, 1), (1, 0)):
+                c = imm_of(ins.srcs[j])
+                if c is not None and isinstance(ins.srcs[i], Register):
+                    shifted = bound.sub(const(c))
+                    return self._prop_back(
+                        ins.srcs[i].name, shifted, out, path, cons, depth + 1
+                    )
+        if op is Opcode.SUB:
+            c = imm_of(ins.srcs[1])
+            if c is not None and isinstance(ins.srcs[0], Register):
+                return self._prop_back(
+                    ins.srcs[0].name, bound.add(const(c)), out, path, cons, depth + 1
+                )
+            c = imm_of(ins.srcs[0])
+            if c is not None and isinstance(ins.srcs[1], Register):
+                return self._prop_back(
+                    ins.srcs[1].name, const(c).sub(bound), out, path, cons, depth + 1
+                )
+        if op is Opcode.SHR:
+            k = imm_of(ins.srcs[1])
+            src = ins.srcs[0]
+            if k is not None and k >= 0 and isinstance(src, Register):
+                cur = self._eval(src, path, cons, path.memo, depth)
+                if isinstance(cur, Interval) and cur.lo >= 0:
+                    scale = 1 << k
+                    lo = bound.lo if bound.lo == float("-inf") else bound.lo * scale
+                    hi = (
+                        bound.hi
+                        if bound.hi == float("inf")
+                        else (bound.hi + 1) * scale - 1
+                    )
+                    return self._prop_back(
+                        src.name, Interval(lo, hi), out, path, cons, depth + 1
+                    )
+        if op is Opcode.SHL:
+            k = imm_of(ins.srcs[1])
+            src = ins.srcs[0]
+            if k is not None and k >= 0 and isinstance(src, Register):
+                return self._prop_back(
+                    src.name, bound.shr(const(k)), out, path, cons, depth + 1
+                )
+        return True
+
+    # --------------------------------------------------------------- walking
+
+    def run(self) -> None:
+        for seed, desc in self.contexts():
+            self.seed = seed
+            self.ctx_desc = desc
+            self.report.contexts += 1
+            stack = [_Path(self.func.entry.label)]
+            spawned = 1
+            while stack:
+                path = stack.pop()
+                spawned += self._run_path(path, stack)
+                if spawned > PATH_CAP:
+                    self._finding(None, "analysis", "path budget exceeded")
+                    break
+
+    def _run_path(self, path: _Path, stack: list) -> int:
+        """Run one path to completion; pushes forks onto ``stack``.
+        Returns the number of forks created."""
+        forks = 0
+        while True:
+            block = self.blocks[path.label]
+            n = len(block.instructions)
+            while path.index < n:
+                ins = block.instructions[path.index]
+                path.index += 1
+                path.steps += 1
+                if path.steps > 200_000:
+                    self._finding(ins, "analysis", "instruction budget exceeded")
+                    return forks
+                if ins.is_terminator:
+                    nxt = self._terminator(ins, block, path, stack)
+                    if nxt is None:
+                        return forks
+                    if isinstance(nxt, int):
+                        forks += nxt
+                        return forks
+                    path.label, path.index = nxt, 0
+                    path.visits[nxt] += 1
+                    if path.visits[nxt] > LOOP_CAP:
+                        self._finding(ins, "analysis", "block revisit cap exceeded")
+                        return forks
+                    break
+                self._execute(ins, path)
+            else:
+                return forks  # block without terminator (verifier forbids)
+
+    def _execute(self, ins: Instruction, path: _Path) -> None:
+        if ins.op in (Opcode.LD, Opcode.ST):
+            which = 0  # address operand
+            addr = self._eval(ins.srcs[which], path, path.cons, path.memo, 0)
+            self._check_access(addr, ins, "load" if ins.op is Opcode.LD else "store")
+        elif ins.op in (Opcode.LDS, Opcode.STS):
+            addr = self._eval(ins.srcs[0], path, path.cons, path.memo, 0)
+            self._check_access(addr, ins, "shared-load" if ins.op is Opcode.LDS else "shared-store")
+        if ins.dst is not None and ins.dst.name in self.multi:
+            val = self._compute(ins, path, path.cons, None, 0)
+            path.env[ins.dst.name] = val
+            path.cons.pop(ins.dst.name, None)
+            path.memo.clear()
+
+    def _terminator(self, ins: Instruction, block: BasicBlock, path: _Path, stack):
+        if ins.op is Opcode.EXIT:
+            return None
+        assert ins.op is Opcode.BRA
+        if ins.pred is None:
+            return ins.target
+        pred = self._build_pred(ins.pred, path)
+        if ins.pred_negated:
+            pred = _Not(pred)
+
+        # While-loop idiom (the Repeat pattern): one edge goes to a simple
+        # block that branches straight back here — summarize instead of
+        # forking per iteration.
+        loop = self._match_loop(block, ins)
+        if loop is not None:
+            body_label, exit_label, body_cond = loop
+            if isinstance(body_cond, _Not):
+                cond = _Not(pred)
+            else:
+                cond = pred
+            self._summarize_loop(path, cond, self.blocks[body_label], ins)
+            return exit_label
+
+        dec = self._decide(pred, path, path.cons)
+        if dec is True:
+            return ins.target
+        if dec is False:
+            return ins.target_else
+        forks = 0
+        for want, label in ((True, ins.target), (False, ins.target_else)):
+            ref = self._refine_pred(pred, want, path, path.cons)
+            if ref is None:
+                continue
+            merged = self._merge_cons(path.cons, ref)
+            if merged is None:
+                continue
+            child = path.fork(label)
+            child.cons = merged
+            child.visits[label] += 1
+            stack.append(child)
+            forks += 1
+        return forks
+
+    def _match_loop(self, block: BasicBlock, ins: Instruction):
+        """Detect ``while (p) { simple body }``: the cbr's taken (or else)
+        target is a block ending in an unconditional branch back to us."""
+        for taken, label, other in (
+            (True, ins.target, ins.target_else),
+            (False, ins.target_else, ins.target),
+        ):
+            body = self.blocks.get(label)
+            if body is None:
+                continue
+            term = body.terminator
+            if term is None or term.op is not Opcode.BRA or term.pred is not None:
+                continue
+            if term.target != block.label:
+                continue
+            if any(
+                i.op in (Opcode.LD, Opcode.ST, Opcode.LDS, Opcode.STS, Opcode.TEX)
+                for i in body.instructions
+            ):
+                continue
+            # body_cond marker: _Not(...) when the *else* edge is the body
+            return label, other, (object() if taken else _Not(object()))
+        return None
+
+    def _summarize_loop(
+        self, path: _Path, cond, body: BasicBlock, ins: Instruction
+    ) -> None:
+        """Bounded local fixpoint over a single-block while loop."""
+        acc: dict[str, _Value] = {}
+        exited = False
+        for _ in range(LOOP_CAP):
+            path.memo.clear()
+            dec = self._decide(cond, path, path.cons)
+            if dec is not True:
+                ref = self._refine_pred(cond, False, path, path.cons)
+                if ref is not None:
+                    snap = dict(path.env)
+                    feasible = True
+                    for name, iv in ref.items():
+                        if name in snap and isinstance(snap[name], Interval):
+                            v = snap[name].intersect(iv)
+                            if v.empty:
+                                feasible = False
+                                break
+                            snap[name] = v
+                    if feasible:
+                        for name, v in snap.items():
+                            if name in acc and isinstance(v, Interval) and isinstance(
+                                acc[name], Interval
+                            ):
+                                acc[name] = acc[name].union(v)
+                            else:
+                                acc[name] = v
+                        exited = True
+                if dec is False:
+                    break
+            ref_t = self._refine_pred(cond, True, path, path.cons)
+            if ref_t is None:
+                break
+            dead = False
+            for name, iv in ref_t.items():
+                if name in path.env and isinstance(path.env[name], Interval):
+                    v = path.env[name].intersect(iv)
+                    if v.empty:
+                        dead = True
+                        break
+                    path.env[name] = v
+            if dead:
+                break
+            for body_ins in body.instructions:
+                if body_ins.is_terminator:
+                    break
+                if body_ins.dst is not None:
+                    path.env[body_ins.dst.name] = self._compute(
+                        body_ins, path, path.cons, None, 0
+                    )
+                    path.cons.pop(body_ins.dst.name, None)
+        else:
+            self._finding(ins, "analysis", "loop iteration cap exceeded")
+            # widen: keep only the exit refinement of whatever we know
+            ref = self._refine_pred(cond, False, path, path.cons) or {}
+            for name in {i.dst.name for i in body.instructions if i.dst is not None}:
+                iv = ref.get(name, TOP)
+                acc[name] = iv
+            exited = True
+        if exited:
+            path.env.update(acc)
+        path.memo.clear()
+
+    # --------------------------------------------------------------- findings
+
+    def _check_access(self, addr: _Value, ins: Instruction, kind: str) -> None:
+        if not isinstance(addr, _Pointer):
+            if isinstance(addr, Interval) and not addr.bounded:
+                self._finding(ins, kind, "address not derived from a base pointer")
+            return
+        nbytes = self.extents.get(addr.base)
+        if nbytes is None:
+            return  # unknown buffer — nothing to check against
+        off = addr.off
+        if off.empty:
+            return  # infeasible path
+        if off.lo >= 0 and off.hi <= nbytes - 4:
+            if kind == "load":
+                self.report.loads_proved += 1
+            elif kind == "store":
+                self.report.stores_proved += 1
+            return
+        self._finding(
+            ins,
+            kind,
+            f"offset {off} exceeds buffer {addr.base!r} of {nbytes} bytes",
+        )
+
+    def _finding(self, ins: Optional[Instruction], kind: str, message: str) -> None:
+        region = ins.region if ins is not None else None
+        key = (kind, region, message)
+        if key in self._seen_findings:
+            return
+        self._seen_findings.add(key)
+        self.report.findings.append(
+            Finding(
+                kernel=self.func.name,
+                variant=self.report.variant,
+                region=region,
+                context=self.ctx_desc,
+                kind=kind,
+                message=message,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def sanitize_function(
+    func: KernelFunction,
+    *,
+    grid: tuple[int, int],
+    block: tuple[int, int],
+    extents: dict[str, int],
+    scalars: Optional[dict[str, int]] = None,
+    geometry: Optional[RegionGeometry] = None,
+    variant: str = "custom",
+) -> SanitizeReport:
+    """Sanitize a raw :class:`KernelFunction` (testing / hand-built IR).
+
+    ``extents`` maps pointer parameter names to buffer sizes in bytes;
+    ``scalars`` maps scalar parameter names to their launch values.
+    """
+    report = SanitizeReport(kernel=func.name, variant=variant)
+    analyzer = _Analyzer(
+        func,
+        grid=grid,
+        block=block,
+        extents=extents,
+        scalars=scalars or {},
+        geometry=geometry,
+        report=report,
+    )
+    analyzer.run()
+    return report
+
+
+def sanitize_compiled(ck: CompiledKernel) -> SanitizeReport:
+    """Sanitize one compiled kernel variant against its image geometry."""
+    desc = ck.desc
+    extents: dict[str, int] = {}
+    scalars: dict[str, int] = {}
+    for acc in desc.accessors:
+        img = acc.image
+        extents[f"{img.name}_ptr"] = img.width * img.height * 4
+        scalars[f"{img.name}_w"] = img.width
+        scalars[f"{img.name}_h"] = img.height
+    extents["out_ptr"] = desc.width * desc.height * 4
+    scalars["out_w"] = desc.width
+    scalars["out_h"] = desc.height
+    shared_bytes = int(ck.func.metadata.get("shared_bytes", 0))
+    if shared_bytes:
+        extents["smem_base"] = shared_bytes
+    report = SanitizeReport(
+        kernel=ck.func.name, variant=ck.effective_variant.value
+    )
+    analyzer = _Analyzer(
+        ck.func,
+        grid=ck.launch_config.grid,
+        block=ck.block,
+        extents=extents,
+        scalars=scalars,
+        geometry=ck.geometry,
+        report=report,
+    )
+    analyzer.run()
+    return report
+
+
+def sanitize_kernel(
+    kernel,
+    *,
+    variant: Variant = Variant.ISP,
+    block: tuple[int, int] = (32, 4),
+    fallback_to_naive: bool = True,
+) -> SanitizeReport:
+    """Compile ``kernel`` (DSL kernel or description) and sanitize it."""
+    ck = compile_kernel(
+        kernel, variant=variant, block=block, fallback_to_naive=fallback_to_naive
+    )
+    return sanitize_compiled(ck)
+
+
+def sanitize_pipeline(
+    pipeline,
+    *,
+    variant: Variant = Variant.ISP,
+    block: tuple[int, int] = (32, 4),
+) -> list[SanitizeReport]:
+    """Sanitize every kernel of a DSL pipeline under one variant."""
+    from ..compiler.frontend import trace_kernel
+
+    return [
+        sanitize_kernel(trace_kernel(k), variant=variant, block=block)
+        for k in pipeline
+    ]
+
+
+DEFAULT_APPS = ("gaussian", "laplace", "bilateral", "sobel", "night")
+DEFAULT_PATTERNS = ("clamp", "mirror", "repeat", "constant")
+DEFAULT_VARIANTS = (Variant.NAIVE, Variant.ISP, Variant.ISP_WARP)
+DEFAULT_SIZES = (64, 9)
+
+
+def sanitize_corpus(
+    *,
+    apps: Iterable[str] = DEFAULT_APPS,
+    patterns: Iterable[str] = DEFAULT_PATTERNS,
+    variants: Iterable[Variant] = DEFAULT_VARIANTS,
+    sizes: Iterable[int] = DEFAULT_SIZES,
+    block: tuple[int, int] = (32, 4),
+    constant: float = 0.0,
+) -> list[SanitizeReport]:
+    """Run the static sanitizer over the filter corpus.
+
+    Every kernel of every app pipeline is compiled for every requested
+    variant/pattern/size and sanitized.  Identical (kernel digest, effective
+    variant, geometry) combinations are analyzed once.  The small sizes
+    exercise the degenerate-geometry naive fallback, where the total Mirror
+    mapping is load-bearing.
+    """
+    from ..compiler.frontend import trace_kernel
+    from ..dsl.boundary import Boundary
+    from ..filters import PIPELINES
+
+    seen: set[tuple] = set()
+    reports: list[SanitizeReport] = []
+    for app, pattern, size in itertools.product(apps, patterns, sizes):
+        pipe = PIPELINES[app](size, size, Boundary(pattern), constant)
+        for kernel in pipe:
+            desc = trace_kernel(kernel)
+            for variant in variants:
+                ck = compile_kernel(desc, variant=variant, block=block)
+                key = (desc.stable_digest(), ck.effective_variant, block)
+                if key in seen:
+                    continue
+                seen.add(key)
+                reports.append(sanitize_compiled(ck))
+    return reports

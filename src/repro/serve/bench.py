@@ -82,6 +82,9 @@ def run_baseline(requests: list[Request], *, device: DeviceSpec = GTX680,
         h, w = req.image.shape
         plan = build_plan(req.app, req.pattern, w, h, variant=req.variant,
                           device=device, block=block, constant=req.constant)
+        # The engine sanitizes every plan it builds; the cold baseline must
+        # price the same work or the speedup comparison is lopsided.
+        plan.sanitize()
         build_s += plan.build_seconds
         plan.execute(req.image)
     elapsed = time.perf_counter() - t0

@@ -19,6 +19,11 @@ Robustness decisions, per DESIGN "production-shaped" goals:
 * **Graceful degradation** — a plan that fails to build with
   ``variant="isp"`` (degenerate geometry raises ``CompileError``) is rebuilt
   as ``"naive"`` rather than failing the request.
+* **Plan sanitization** — every newly built plan runs the static bounds
+  sanitizer (:mod:`repro.sanitize`) on its compiled kernels before entering
+  the cache; a finding rejects the plan and fails its requests loudly
+  (``engine.plans_sanitize_rejected``), because an unprovable memory access
+  is a compiler bug, not something to degrade around.
 
 Every stage records metrics; ``stats()`` returns one merged snapshot.
 """
@@ -36,6 +41,7 @@ import numpy as np
 
 from ..compiler.isp import CompileError
 from ..gpu.device import DeviceSpec, GTX680
+from ..sanitize.static import SanitizeError
 from .cache import PlanCache
 from .metrics import MetricsRegistry
 from .plan import (
@@ -170,6 +176,7 @@ class ServeEngine:
         default_timeout_s: Optional[float] = None,
         tile_threshold_rows: int = 1024,
         tile_rows: int = 256,
+        sanitize_plans: bool = True,
         metrics: Optional[MetricsRegistry] = None,
     ):
         if workers < 1:
@@ -183,6 +190,7 @@ class ServeEngine:
         self.default_timeout_s = default_timeout_s
         self.tile_threshold_rows = tile_threshold_rows
         self.tile_rows = tile_rows
+        self.sanitize_plans = sanitize_plans
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = PlanCache(plan_cache_size)
@@ -199,6 +207,11 @@ class ServeEngine:
                                        "simt -> vectorized on exec timeout")
         self._c_fb_compile = m.counter("engine.fallbacks_compile",
                                        "isp -> naive on CompileError")
+        self._c_sanitized = m.counter("engine.plans_sanitized",
+                                      "plans bounds-checked on first build")
+        self._c_sanitize_rejected = m.counter(
+            "engine.plans_sanitize_rejected",
+            "plans rejected by the static bounds sanitizer")
         self._c_batches = m.counter("engine.batches")
         self._c_cache_hits = m.counter("engine.plan_cache_hits")
         self._c_cache_misses = m.counter("engine.plan_cache_misses")
@@ -301,16 +314,33 @@ class ServeEngine:
         variant = request.variant
 
         def factory_for(v: str) -> Callable[[], ExecutionPlan]:
-            return lambda: build_plan(
-                request.app, request.pattern, w, h, variant=v,
-                device=self.device, block=self.block,
-                constant=request.constant, descs=descs,
-            )
+            def build() -> ExecutionPlan:
+                plan = build_plan(
+                    request.app, request.pattern, w, h, variant=v,
+                    device=self.device, block=self.block,
+                    constant=request.constant, descs=descs,
+                )
+                if self.sanitize_plans:
+                    # Sanitize inside the single-flight build so every plan
+                    # is bounds-checked exactly once, before it is cached.
+                    reports = plan.sanitize()
+                    if any(not r.ok for r in reports):
+                        raise SanitizeError(reports)
+                    self._c_sanitized.inc()
+                return plan
+
+            return build
 
         key = plan_key(descs, variant=variant, pattern=request.pattern,
                        device=self.device, block=self.block)
         try:
             plan, hit = self.cache.get_or_build(key, factory_for(variant))
+        except SanitizeError:
+            # A bounds finding is a compiler bug, not a workload property:
+            # degrading to another variant would serve potentially corrupt
+            # pixels, so the request fails loudly instead.
+            self._c_sanitize_rejected.inc()
+            raise
         except CompileError:
             # Graceful degradation: the requested code shape is not
             # expressible for this geometry — serve the naive plan instead.
@@ -318,7 +348,11 @@ class ServeEngine:
             fallbacks.append("compile:isp->naive")
             key = plan_key(descs, variant="naive", pattern=request.pattern,
                            device=self.device, block=self.block)
-            plan, hit = self.cache.get_or_build(key, factory_for("naive"))
+            try:
+                plan, hit = self.cache.get_or_build(key, factory_for("naive"))
+            except SanitizeError:
+                self._c_sanitize_rejected.inc()
+                raise
         return plan, hit, fallbacks, time.perf_counter() - t0
 
     # ------------------------------------------------------------ execution

@@ -202,6 +202,19 @@ class ExecutionPlan:
             )
         return images[self.output_name]
 
+    def sanitize(self) -> list:
+        """Run the static bounds sanitizer over every stage's compiled SIMT
+        kernel (the code shape the plan's variant choices would execute).
+
+        Returns the per-kernel :class:`repro.sanitize.SanitizeReport` list;
+        the engine rejects the plan if any report carries findings.  The
+        compiled artifacts are memoized, so a later SIMT execution reuses
+        exactly the kernels that were sanitized.
+        """
+        from ..sanitize.static import sanitize_compiled
+
+        return [sanitize_compiled(ck) for ck in self._compiled_simt()]
+
     def _compiled_simt(self) -> list[CompiledKernel]:
         with self._simt_lock:
             if self._simt_compiled is None:

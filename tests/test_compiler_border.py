@@ -62,11 +62,12 @@ def run_mapper(boundary, check_low, check_high):
     return mapped, valid
 
 
-def in_contract(boundary: Boundary, coord: int) -> bool:
-    """Mirror uses Listing 1's single reflection, valid for excursions up to
-    one image size (always true for real kernels: windows are smaller than
-    images; larger combinations are rejected as degenerate geometry).
-    Clamp/Repeat/Constant are exact at any depth."""
+def in_single_side_contract(boundary: Boundary, coord: int) -> bool:
+    """A *single-sided* mirror check uses Listing 1's single reflection,
+    valid for excursions up to one image size — which is what a one-sided
+    region guarantees (the sanitizer proves it per geometry).  The
+    both-sides mapping is total, and Clamp/Repeat/Constant are exact at any
+    depth on either side."""
     if boundary is Boundary.MIRROR:
         return -SIZE <= coord < 2 * SIZE
     return True
@@ -75,11 +76,12 @@ def in_contract(boundary: Boundary, coord: int) -> bool:
 class TestBorderMapping:
     @pytest.mark.parametrize("boundary", CHECKED)
     def test_both_sides_match_reference(self, boundary):
+        """Every pattern's both-sides mapping is total: exact for every
+        coordinate in -24..39, including mirror taps more than one image
+        size past the edge (the bug this file regression-tests)."""
         mapped, valid = run_mapper(boundary, True, True)
         for gid in range(64):
             coord = gid - OFFSET
-            if not in_contract(boundary, coord):
-                continue
             ref = reference_index(coord, SIZE, boundary)
             if ref is None:  # CONSTANT out of bounds
                 assert valid[gid] == 0, (boundary, coord)
@@ -95,7 +97,7 @@ class TestBorderMapping:
         mapped, valid = run_mapper(boundary, True, False)
         for gid in range(64):
             coord = gid - OFFSET
-            if not in_contract(boundary, coord):
+            if not in_single_side_contract(boundary, coord):
                 continue
             if coord < 0:
                 ref = reference_index(coord, SIZE, boundary)
@@ -114,7 +116,7 @@ class TestBorderMapping:
         mapped, _ = run_mapper(boundary, False, True)
         for gid in range(64):
             coord = gid - OFFSET
-            if not in_contract(boundary, coord):
+            if not in_single_side_contract(boundary, coord):
                 continue
             if coord >= SIZE:
                 ref = reference_index(coord, SIZE, boundary)
@@ -179,3 +181,17 @@ class TestRepeatDeepWrap:
         # coord -24 with SIZE 16 needs two += iterations: -24+16+16 = 8
         gid = 0
         assert mapped[gid] == (-24) % SIZE == 8
+
+
+class TestMirrorDeepWrap:
+    def test_deep_excursions(self):
+        """Regression for the out-of-bounds mirror bug: a tap more than one
+        image size past the edge must reflect back in-bounds.  A single
+        reflection per side maps -24 (SIZE 16) to 23, then to 8 — but -7
+        with SIZE 3 would go 6 -> -1, out of bounds; the total triangular
+        mapping handles any depth."""
+        mapped, _ = run_mapper(Boundary.MIRROR, True, True)
+        assert mapped.min() >= 0 and mapped.max() < SIZE
+        for gid in (0, 1, 62, 63):  # deepest excursions on both sides
+            coord = gid - OFFSET
+            assert mapped[gid] == reference_index(coord, SIZE, Boundary.MIRROR)
