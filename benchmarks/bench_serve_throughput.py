@@ -18,9 +18,12 @@ from __future__ import annotations
 
 from repro.serve import format_report, run_serve_bench
 
+from harness import stable_seed
+
 
 def build():
-    return run_serve_bench(requests=120, size=96, workers=4, seed=0)
+    return run_serve_bench(requests=120, size=96, workers=4,
+                           seed=stable_seed("bench_serve_throughput"))
 
 
 def test_serve_throughput(benchmark, report):

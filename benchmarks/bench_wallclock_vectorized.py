@@ -21,6 +21,8 @@ from repro.dsl import Boundary
 from repro.filters import PIPELINES
 from repro.runtime import run_kernel_vectorized
 
+from harness import stable_seed
+
 CASES = [
     ("gaussian", Boundary.CLAMP, 1024),
     ("gaussian", Boundary.REPEAT, 1024),
@@ -30,7 +32,9 @@ CASES = [
 
 
 def _setup(app: str, boundary: Boundary, size: int):
-    rng = np.random.default_rng(42)
+    rng = np.random.default_rng(
+        stable_seed("bench_wallclock", app, boundary.value, size)
+    )
     src = rng.random((size, size)).astype(np.float32)
     pipe = PIPELINES[app](size, size, boundary)
     desc = trace_kernel(pipe.kernels[0])

@@ -24,6 +24,18 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.fixture
+def case_rng(request):
+    """Per-case deterministic RNG: seeded from the pytest node id, so every
+    parametrization gets its own fixed, reproducible stream (see
+    :func:`harness.stable_seed`)."""
+    import numpy as np
+
+    from harness import stable_seed
+
+    return np.random.default_rng(stable_seed(request.node.nodeid))
+
+
 @pytest.fixture(scope="session")
 def report(results_dir):
     """Save + print a named report artifact (text + JSON record)."""

@@ -13,6 +13,7 @@ full grid is tractable.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Optional
 
 from repro.compiler import Variant, trace_kernel
@@ -42,6 +43,21 @@ class Config:
     @property
     def dev(self) -> DeviceSpec:
         return DEVICES[self.device]
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 63-bit RNG seed derived from the case name.
+
+    Every benchmark that draws random data seeds from its own identifiers
+    (``stable_seed("bench_x", app, pattern, size)`` or the pytest node id),
+    so autotuner trial timings and differential sweeps see the *same* inputs
+    run-to-run and case-to-case collisions cannot alias two measurements —
+    unlike module-level constants, which silently share one stream across
+    cases, or unseeded generators, which are irreproducible.
+    """
+    text = "::".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 _TIME_CACHE: dict[tuple, float] = {}

@@ -204,6 +204,73 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    """Drive ``auto`` requests through the engine, then print the learned
+    table next to the model's prediction — a live version of the paper's
+    Table III, with measurement standing in for the 'measured best' column.
+    """
+    from repro.gpu import get_device
+    from repro.reporting import format_table
+    from repro.serve import AutoTuner, Request, ServeEngine
+
+    apps = args.apps.split(",")
+    patterns = args.patterns.split(",")
+    device = get_device(args.device)
+    block = _parse_block(args.block)
+    tuner = AutoTuner(trials_per_variant=args.trials,
+                      path=args.cache)
+    rng = np.random.default_rng(args.seed)
+
+    # batch_size=1: every request is its own tuning decision — micro-batching
+    # would otherwise collapse a config's whole trial phase into one choice.
+    with ServeEngine(workers=args.workers, device=device, block=block,
+                     batch_size=1, autotune=tuner) as engine:
+        for size in args.size:
+            image = rng.random((size, size), dtype=np.float32)
+            for app in apps:
+                for pattern in patterns:
+                    engine.run([
+                        Request(app=app, image=image, pattern=pattern,
+                                variant="auto", constant=args.constant)
+                        for _ in range(args.requests)
+                    ])
+        rows = []
+        for row in tuner.table():
+            key = row["key"]
+            obs = "/".join(
+                str(row["stats"][c].observations)
+                for c in ("naive", "isp", "isp_warp")
+            )
+            agree = {True: "yes", False: "NO", None: "?"}[row["agrees"]]
+            rows.append([
+                key.short(),
+                f"{row['model_gain']:.3f}",
+                row["model_choice"],
+                row["committed"] or "(trialing)",
+                obs,
+                agree,
+            ])
+        rate = tuner.agreement_rate()
+        counters = tuner.metrics.snapshot()["counters"]
+
+    print(format_table(
+        ["config", "model G", "model pick", "learned pick",
+         "obs n/i/w", "agree"],
+        rows,
+        title=(f"tune: learned variant table vs analytic model "
+               f"(Eq. 10) on {device.name}"),
+    ))
+    print(f"\ntrials={counters['tuner.trials']} "
+          f"commits={counters['tuner.commits']} "
+          f"switches={counters['tuner.switches']} "
+          f"penalties={counters['tuner.penalties']}")
+    print("model agreement rate: "
+          + (f"{rate:.0%}" if rate is not None else "n/a (nothing committed)"))
+    if args.cache:
+        print(f"learned table saved to {args.cache}")
+    return 0
+
+
 def cmd_sanitize(args) -> int:
     from repro.compiler import Variant
     from repro.sanitize import run_differential, sanitize_corpus
@@ -329,6 +396,31 @@ def main(argv=None) -> int:
                    choices=["naive", "isp", "isp+m"])
     p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="learn per-config variant choices online and compare them to "
+             "the analytic model (a live Table III)",
+    )
+    p.add_argument("--apps", default="gaussian,laplace,bilateral,sobel,night",
+                   help="comma list of applications")
+    p.add_argument("--patterns", default="clamp,mirror",
+                   help="comma list of border patterns")
+    p.add_argument("--size", type=_parse_sizes, default=[96],
+                   help="image size(s), e.g. 96 or 64,128")
+    p.add_argument("--requests", type=_positive_int, default=16,
+                   help="auto requests per configuration")
+    p.add_argument("--trials", type=_positive_int, default=2,
+                   help="measured trials per candidate variant")
+    p.add_argument("--workers", type=_positive_int, default=2)
+    p.add_argument("--block", default="32x4")
+    p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
+    p.add_argument("--constant", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache", default=None,
+                   help="JSON path to load/persist the learned table "
+                        "(warm restarts skip trials)")
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser(
         "sanitize",

@@ -7,7 +7,7 @@ from .instructions import (
     estimate_instructions,
     region_cost_per_pixel,
 )
-from .prediction import Prediction, clear_model_cache, predict_kernel
+from .prediction import Prediction, clear_model_cache, predict_for, predict_kernel
 
 __all__ = [
     "Calibration",
@@ -20,6 +20,7 @@ __all__ = [
     "clear_model_cache",
     "estimate_instructions",
     "index_bounds",
+    "predict_for",
     "predict_kernel",
     "region_cost_per_pixel",
     "switch_cost",

@@ -11,6 +11,7 @@ used, fed by the compiler's register estimates for each variant.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from ..compiler.driver import compile_kernel
 from ..compiler.frontend import KernelDescription
@@ -73,11 +74,57 @@ def predict_kernel(
     device: DeviceSpec = GTX680,
 ) -> Prediction:
     """Evaluate the model for one kernel (paper Eqs. 3-10)."""
+    return _predict(desc, desc.width, desc.height, block, device)
+
+
+def predict_for(
+    desc: KernelDescription,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    *,
+    pattern: Optional[str] = None,
+    block: tuple[int, int] = (32, 4),
+    device: DeviceSpec = GTX680,
+) -> Prediction:
+    """Cheap model evaluation for the serve-side autotuner.
+
+    Calibration and register estimates are size-independent and cached by
+    artifact key, so after the first call for a kernel shape only the
+    block-count arithmetic of Eqs. 7-8 is redone — no recompilation. ``width``
+    / ``height`` default to the traced geometry; ``pattern`` is a consistency
+    check (a description is traced *under* a pattern, so predicting a
+    different one requires re-tracing, not this entry point).
+    """
+    if pattern is not None:
+        traced = {
+            a.boundary.value
+            for a in desc.accessors
+            if a.boundary.value != "undefined"
+        }
+        if traced and traced != {pattern}:
+            raise ValueError(
+                f"{desc.name} was traced under pattern(s) {sorted(traced)}, "
+                f"not {pattern!r}; re-trace the pipeline to predict it"
+            )
+    return _predict(
+        desc,
+        desc.width if width is None else width,
+        desc.height if height is None else height,
+        block,
+        device,
+    )
+
+
+def _predict(
+    desc: KernelDescription,
+    width: int,
+    height: int,
+    block: tuple[int, int],
+    device: DeviceSpec,
+) -> Prediction:
     if not desc.needs_border_handling:
         occ = 1.0
-        est = estimate_instructions(
-            calibrate(desc, block), desc.width, desc.height, *block
-        )
+        est = estimate_instructions(calibrate(desc, block), width, height, *block)
         return Prediction(
             kernel=desc.name, device=device.name,
             r_reduced=1.0, occupancy_naive=occ, occupancy_isp=occ, gain=1.0,
@@ -87,9 +134,7 @@ def predict_kernel(
     from ..compiler.regions import RegionGeometry
 
     hx, hy = desc.extent
-    degenerate = RegionGeometry.compute(
-        desc.width, desc.height, hx, hy, block
-    ).degenerate
+    degenerate = RegionGeometry.compute(width, height, hx, hy, block).degenerate
 
     key = _artifact_key(desc, block, device, degenerate)
     cached = _ARTIFACT_CACHE.get(key)
@@ -104,14 +149,20 @@ def predict_kernel(
         if degenerate:
             regs_isp = None
         else:
-            ck_isp = compile_kernel(
-                desc, variant=Variant.ISP, block=block, device=device,
-                fallback_to_naive=False,
-            )
-            regs_isp = ck_isp.registers.allocated
+            try:
+                ck_isp = compile_kernel(
+                    desc, variant=Variant.ISP, block=block, device=device,
+                    fallback_to_naive=False,
+                )
+                regs_isp = ck_isp.registers.allocated
+            except CompileError:
+                # The *traced* geometry is degenerate even though the target
+                # size is not (predict_for with an enlarged size): no ISP
+                # artifact exists to estimate registers from.
+                regs_isp = None
         _ARTIFACT_CACHE[key] = (cal, regs_naive, regs_isp)
 
-    est = estimate_instructions(cal, desc.width, desc.height, *block)
+    est = estimate_instructions(cal, width, height, *block)
 
     threads = block[0] * block[1]
     if regs_isp is None:

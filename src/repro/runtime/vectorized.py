@@ -70,6 +70,42 @@ class _RegionRect:
         return self.x1 <= self.x0 or self.y1 <= self.y0
 
 
+#: Warp width of the simulated GPUs — the x-granularity of the warp-grained
+#: re-routing in paper Listing 5.
+WARP_WIDTH = 32
+
+
+def _axis_strips(
+    lo_cut: int, hi_cut: int, size: int, lo_check: str, hi_check: str
+) -> list[tuple[int, int, frozenset[str]]]:
+    """Three strips [0,lo_cut)/[lo_cut,hi_cut)/[hi_cut,size) with their checks.
+
+    ``lo_cut > hi_cut`` (over-wide rounding) collapses the axis to a single
+    both-checked strip — always safe, because checking a side a coordinate
+    never crosses is the identity mapping.
+    """
+    if lo_cut > hi_cut:
+        return [(0, size, frozenset({lo_check, hi_check}))]
+    return [
+        (0, lo_cut, frozenset({lo_check})),
+        (lo_cut, hi_cut, frozenset()),
+        (hi_cut, size, frozenset({hi_check})),
+    ]
+
+
+def _regions_from_cuts(
+    xs: list[tuple[int, int, frozenset[str]]],
+    ys: list[tuple[int, int, frozenset[str]]],
+) -> list[_RegionRect]:
+    rects = []
+    for y0, y1, cy in ys:
+        for x0, x1, cx in xs:
+            rect = _RegionRect(x0, x1, y0, y1, cx | cy)
+            if not rect.empty:
+                rects.append(rect)
+    return rects
+
+
 def _pixel_regions(width: int, height: int, hx: int, hy: int) -> list[_RegionRect]:
     """Nine pixel-granularity regions (paper Eq. 1 generalized to all sides).
 
@@ -79,17 +115,32 @@ def _pixel_regions(width: int, height: int, hx: int, hy: int) -> list[_RegionRec
     """
     if width < 2 * hx or height < 2 * hy:
         raise ValueError("degenerate pixel-region geometry")
-    xl, xr = hx, width - hx
-    yt, yb = hy, height - hy
-    xs = [(0, xl, frozenset({"left"})), (xl, xr, frozenset()), (xr, width, frozenset({"right"}))]
-    ys = [(0, yt, frozenset({"top"})), (yt, yb, frozenset()), (yb, height, frozenset({"bottom"}))]
-    rects = []
-    for y0, y1, cy in ys:
-        for x0, x1, cx in xs:
-            rect = _RegionRect(x0, x1, y0, y1, cx | cy)
-            if not rect.empty:
-                rects.append(rect)
-    return rects
+    xs = _axis_strips(hx, width - hx, width, "left", "right")
+    ys = _axis_strips(hy, height - hy, height, "top", "bottom")
+    return _regions_from_cuts(xs, ys)
+
+
+def _warp_regions(
+    width: int, height: int, hx: int, hy: int, warp: int = WARP_WIDTH
+) -> list[_RegionRect]:
+    """Warp-grained partitioning (the host analogue of paper Listing 5).
+
+    The x-axis cuts are rounded outward to warp multiples — a warp is the
+    granularity at which the GPU dispatch re-routes work, so the L/R strips
+    widen to whole warps (their extra pixels run harmless identity checks)
+    while the Body stays check-free and every strip spans whole warps. The
+    y-axis keeps pixel granularity, as warps are x-contiguous. Compared to
+    pixel-grained ISP this trades a slightly larger checked area for fewer,
+    aligned region evaluations — the same trade the paper's warp-grained
+    kernels make, which is what gives the autotuner a real three-way choice.
+    """
+    if width < 2 * hx or height < 2 * hy:
+        raise ValueError("degenerate pixel-region geometry")
+    xl = -(-hx // warp) * warp if hx > 0 else 0
+    xr = ((width - hx) // warp) * warp if hx > 0 else width
+    xs = _axis_strips(xl, xr, width, "left", "right")
+    ys = _axis_strips(hy, height - hy, height, "top", "bottom")
+    return _regions_from_cuts(xs, ys)
 
 
 def _map_axis(
@@ -283,8 +334,9 @@ def run_kernel_vectorized(
 ) -> np.ndarray:
     """Evaluate one kernel over its full iteration space.
 
-    ``variant`` is ``"naive"`` (single region, full checks) or ``"isp"``
-    (nine pixel-granularity regions, Body check-free). ``tile_rows`` caps the
+    ``variant`` is ``"naive"`` (single region, full checks), ``"isp"``
+    (nine pixel-granularity regions, Body check-free) or ``"isp_warp"``
+    (nine regions with warp-aligned x cuts). ``tile_rows`` caps the
     height of any evaluated rectangle (memory-bounded streaming for large
     images); ``None`` evaluates each region in one shot.
     """
@@ -299,11 +351,13 @@ def run_kernel_vectorized(
     naive_rects = [_RegionRect(0, w, 0, h, frozenset(checks))]
     if variant == "naive":
         rects = naive_rects
-    elif variant == "isp":
+    elif variant in ("isp", "isp_warp"):
         if w < 2 * hx or h < 2 * hy:
             rects = naive_rects  # degenerate: fall back, like the compiler
-        else:
+        elif variant == "isp":
             rects = _pixel_regions(w, h, hx, hy)
+        else:
+            rects = _warp_regions(w, h, hx, hy)
     else:
         raise ValueError(f"unknown vectorized variant {variant!r}")
     if tile_rows is not None:

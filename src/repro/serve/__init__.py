@@ -15,6 +15,13 @@ The production-shaped front door of the reproduction (see docs/serving.md):
 * :mod:`~repro.serve.bench` — the ``serve-bench`` synthetic workload.
 """
 
+from .autotune import (
+    TUNE_CANDIDATES,
+    AutoTuner,
+    TunerKey,
+    pipeline_gain,
+    tuner_key,
+)
 from .bench import build_workload, format_report, run_baseline, run_serve_bench
 from .cache import PlanCache
 from .engine import (
@@ -25,10 +32,11 @@ from .engine import (
     ResponseHandle,
     ServeEngine,
 )
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .plan import (
     EXEC_MODES,
     PLAN_VARIANTS,
+    REQUEST_VARIANTS,
     ExecutionPlan,
     PlanKey,
     build_plan,
@@ -40,15 +48,22 @@ from .plan import (
 __all__ = [
     "EXEC_MODES",
     "PLAN_VARIANTS",
+    "REQUEST_VARIANTS",
+    "TUNE_CANDIDATES",
+    "AutoTuner",
     "Counter",
     "EngineClosed",
     "EngineSaturated",
     "ExecutionPlan",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PlanCache",
     "PlanKey",
     "Request",
+    "TunerKey",
+    "pipeline_gain",
+    "tuner_key",
     "Response",
     "ResponseHandle",
     "ServeEngine",

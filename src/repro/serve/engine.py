@@ -39,14 +39,18 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from typing import Union
+
 from ..compiler.isp import CompileError
 from ..gpu.device import DeviceSpec, GTX680
 from ..sanitize.static import SanitizeError
+from .autotune import AutoTuner, TunerKey, pipeline_gain, tuner_key
 from .cache import PlanCache
 from .metrics import MetricsRegistry
 from .plan import (
     EXEC_MODES,
     PLAN_VARIANTS,
+    REQUEST_VARIANTS,
     ExecutionPlan,
     build_plan,
     plan_key,
@@ -82,9 +86,9 @@ class Request:
     request_id: int = dataclasses.field(default_factory=lambda: next(_REQUEST_IDS))
 
     def __post_init__(self):
-        if self.variant not in PLAN_VARIANTS:
+        if self.variant not in REQUEST_VARIANTS:
             raise ValueError(
-                f"unknown variant {self.variant!r}; have {PLAN_VARIANTS}"
+                f"unknown variant {self.variant!r}; have {REQUEST_VARIANTS}"
             )
         if self.exec_mode not in EXEC_MODES:
             raise ValueError(
@@ -112,6 +116,9 @@ class Response:
     app: str
     output: Optional[np.ndarray] = None
     plan_key: Optional[object] = None
+    #: the concrete plan variant that served this request (an ``"auto"``
+    #: request learns what the tuner resolved it to from here)
+    variant: Optional[str] = None
     cache_hit: bool = False
     #: degradations applied, e.g. "compile:isp->naive", "timeout:simt->vectorized"
     fallbacks: list[str] = dataclasses.field(default_factory=list)
@@ -178,6 +185,8 @@ class ServeEngine:
         tile_rows: int = 256,
         sanitize_plans: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        autotune: Union[bool, AutoTuner] = False,
+        autotune_path: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -194,6 +203,16 @@ class ServeEngine:
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = PlanCache(plan_cache_size)
+        # Model-guided adaptive variant selection for "auto" requests. A
+        # shared AutoTuner may be passed in (its own metrics registry stays);
+        # `autotune=True` / a cache path builds one onto this engine's
+        # registry, loading any previously learned table from the path.
+        if isinstance(autotune, AutoTuner):
+            self.tuner: Optional[AutoTuner] = autotune
+        elif autotune or autotune_path is not None:
+            self.tuner = AutoTuner(metrics=self.metrics, path=autotune_path)
+        else:
+            self.tuner = None
 
         m = self.metrics
         self._c_submitted = m.counter("engine.requests_submitted")
@@ -303,15 +322,34 @@ class ServeEngine:
 
     def _resolve_plan(
         self, request: Request
-    ) -> tuple[ExecutionPlan, bool, list[str], float]:
-        """Plan for one workload signature: trace (cheap), look up the cache
-        by content digest, build on miss; degrade isp -> naive on
-        CompileError. Returns (plan, was_hit, fallbacks, build_seconds)."""
+    ) -> tuple[ExecutionPlan, bool, list[str], float, Optional[tuple[TunerKey, str]]]:
+        """Plan for one workload signature: trace (cheap), resolve ``"auto"``
+        through the tuner, look up the cache by content digest, build on
+        miss; degrade isp/isp_warp -> naive on CompileError. Returns
+        (plan, was_hit, fallbacks, build_seconds, tuner_context) where
+        tuner_context is ``(key, decided_variant)`` for tuned requests."""
         t0 = time.perf_counter()
         h, w = request.image.shape
         descs = trace_app(request.app, request.pattern, w, h, request.constant)
         fallbacks: list[str] = []
         variant = request.variant
+        tuner_ctx: Optional[tuple[TunerKey, str]] = None
+
+        if variant == "auto":
+            if self.tuner is None:
+                # No tuner attached: the model-only policy is the closest
+                # static stand-in for "decide for me".
+                variant = "isp+m"
+                fallbacks.append("auto:no-tuner->isp+m")
+            else:
+                key_t = tuner_key(descs, request.pattern, self.device)
+                variant, _phase = self.tuner.decide(
+                    key_t,
+                    lambda: pipeline_gain(
+                        descs, block=self.block, device=self.device
+                    ),
+                )
+                tuner_ctx = (key_t, variant)
 
         def factory_for(v: str) -> Callable[[], ExecutionPlan]:
             def build() -> ExecutionPlan:
@@ -345,7 +383,12 @@ class ServeEngine:
             # Graceful degradation: the requested code shape is not
             # expressible for this geometry — serve the naive plan instead.
             self._c_fb_compile.inc()
-            fallbacks.append("compile:isp->naive")
+            fallbacks.append(f"compile:{variant}->naive")
+            if tuner_ctx is not None:
+                # The tuner must learn that this shape cannot be built here,
+                # or it will keep proposing it.
+                self.tuner.penalize(tuner_ctx[0], tuner_ctx[1])
+                tuner_ctx = (tuner_ctx[0], "naive")
             key = plan_key(descs, variant="naive", pattern=request.pattern,
                            device=self.device, block=self.block)
             try:
@@ -353,7 +396,7 @@ class ServeEngine:
             except SanitizeError:
                 self._c_sanitize_rejected.inc()
                 raise
-        return plan, hit, fallbacks, time.perf_counter() - t0
+        return plan, hit, fallbacks, time.perf_counter() - t0, tuner_ctx
 
     # ------------------------------------------------------------ execution
 
@@ -423,7 +466,9 @@ class ServeEngine:
             self._h_queue.observe(r.queue_seconds)
 
         try:
-            plan, hit, fallbacks, build_s = self._resolve_plan(leader.request)
+            plan, hit, fallbacks, build_s, tuner_ctx = self._resolve_plan(
+                leader.request
+            )
         except Exception as exc:
             for p, r in zip(batch, responses):
                 r.error = f"plan build failed: {exc}"
@@ -439,6 +484,7 @@ class ServeEngine:
 
         for p, r in zip(batch, responses):
             r.plan_key = plan.key
+            r.variant = plan.variant
             r.cache_hit = hit if p is leader else True
             r.build_seconds = build_s if p is leader else 0.0
             r.fallbacks.extend(fallbacks)
@@ -457,6 +503,19 @@ class ServeEngine:
                 r.error = f"execution failed: {exc}"
             r.execute_seconds = time.perf_counter() - t0
             self._h_execute.observe(r.execute_seconds)
+            # Feed measurements back: the plan tracks its own cost EMA, and
+            # tuned requests refine the learned table. Only the vectorized
+            # path is comparable across variants (SIMT timings measure the
+            # simulator, and a timed-out SIMT run degrades mid-request).
+            if p.request.exec_mode == "vectorized" and not r.fallbacks:
+                if r.ok:
+                    plan.note_execution(r.execute_seconds)
+                if tuner_ctx is not None:
+                    key_t, decided = tuner_ctx
+                    if r.ok:
+                        self.tuner.observe(key_t, decided, r.execute_seconds)
+                    else:
+                        self.tuner.penalize(key_t, decided)
             self._finish(p, r)
 
     def _finish(self, pending: _Pending, response: Response) -> None:
@@ -469,14 +528,19 @@ class ServeEngine:
     def stats(self) -> dict:
         """Merged snapshot: engine counters/latencies + plan-cache stats."""
         snap = self.metrics.snapshot()
-        return {
+        stats = {
             "engine": snap["counters"],
+            "gauges": snap["gauges"],
             "latency": snap["histograms"],
             "plan_cache": self.cache.stats(),
         }
+        if self.tuner is not None:
+            stats["tuner"] = self.tuner.stats()
+        return stats
 
     def close(self, *, timeout: Optional[float] = 30.0) -> None:
-        """Stop accepting work, drain the queue, join the workers."""
+        """Stop accepting work, drain the queue, join the workers; persist
+        the tuner's learned table when it has a cache path."""
         with self._lock:
             if self._closed:
                 return
@@ -485,6 +549,8 @@ class ServeEngine:
             self._space_free.notify_all()
         for t in self._threads:
             t.join(timeout)
+        if self.tuner is not None and self.tuner.path is not None:
+            self.tuner.save()
 
     def __enter__(self) -> "ServeEngine":
         return self

@@ -37,6 +37,25 @@ class Counter:
             return self._value
 
 
+class Gauge:
+    """Last-written value (e.g. learned-table size, agreement rate)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
 class Histogram:
     """Latency distribution over a bounded window of recent observations.
 
@@ -104,6 +123,7 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -112,6 +132,12 @@ class MetricsRegistry:
                 self._counters[name] = Counter(name, help)
             return self._counters[name]
 
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, help)
+            return self._gauges[name]
+
     def histogram(self, name: str, help: str = "", window: int = 8192) -> Histogram:
         with self._lock:
             if name not in self._histograms:
@@ -119,12 +145,14 @@ class MetricsRegistry:
             return self._histograms[name]
 
     def snapshot(self) -> dict:
-        """One nested dict: {"counters": {...}, "histograms": {...}}."""
+        """One nested dict: {"counters": {...}, "gauges": {...}, "histograms": {...}}."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         return {
             "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
         }
 
@@ -134,6 +162,8 @@ class MetricsRegistry:
         lines = []
         for name, value in snap["counters"].items():
             lines.append(f"{name} = {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"{name} = {value:g}")
         for name, h in snap["histograms"].items():
             lines.append(
                 f"{name}: n={h['count']} mean={h['mean'] * 1e3:.2f}ms "

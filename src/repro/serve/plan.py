@@ -34,8 +34,13 @@ from ..dsl.boundary import Boundary
 from ..gpu.device import DeviceSpec, GTX680
 from ..runtime.vectorized import run_kernel_vectorized
 
-#: Variant policies a request may ask for (mirrors the measurement harness).
-PLAN_VARIANTS = ("naive", "isp", "isp+m")
+#: Variant policies a plan can be built with (mirrors the measurement
+#: harness, plus the warp-grained shape of paper Listing 5).
+PLAN_VARIANTS = ("naive", "isp", "isp_warp", "isp+m")
+
+#: What a *request* may ask for: any buildable plan variant, or ``"auto"`` —
+#: let the engine's autotuner (model prior + measured trials) decide.
+REQUEST_VARIANTS = PLAN_VARIANTS + ("auto",)
 
 #: Execution backends the engine can dispatch to.
 EXEC_MODES = ("vectorized", "simt")
@@ -114,12 +119,34 @@ class ExecutionPlan:
     kernel_variants: dict[str, str]
     build_seconds: float
     device: DeviceSpec
+    #: EMA of measured vectorized execution seconds (None until first run);
+    #: the autotuner and ``stats()`` read it, :meth:`note_execution` writes it.
+    measured_seconds: Optional[float] = None
+    _measure_lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False
+    )
     _simt_lock: threading.Lock = dataclasses.field(
         default_factory=threading.Lock, repr=False
     )
     _simt_compiled: Optional[list[CompiledKernel]] = dataclasses.field(
         default=None, repr=False
     )
+
+    @property
+    def variant(self) -> str:
+        """The variant policy this plan was built under."""
+        return self.key.variant
+
+    def note_execution(self, seconds: float, *, alpha: float = 0.3) -> float:
+        """Fold one measured vectorized execution into the plan's cost EMA."""
+        with self._measure_lock:
+            if self.measured_seconds is None:
+                self.measured_seconds = float(seconds)
+            else:
+                self.measured_seconds += alpha * (
+                    float(seconds) - self.measured_seconds
+                )
+            return self.measured_seconds
 
     @property
     def input_names(self) -> list[str]:
@@ -218,7 +245,11 @@ class ExecutionPlan:
     def _compiled_simt(self) -> list[CompiledKernel]:
         with self._simt_lock:
             if self._simt_compiled is None:
-                mapping = {"naive": Variant.NAIVE, "isp": Variant.ISP}
+                mapping = {
+                    "naive": Variant.NAIVE,
+                    "isp": Variant.ISP,
+                    "isp_warp": Variant.ISP_WARP,
+                }
                 self._simt_compiled = [
                     compile_kernel(
                         desc,
@@ -264,7 +295,7 @@ def build_plan(
             continue
         if variant == "naive":
             choices[desc.output_name] = "naive"
-        elif variant == "isp":
+        elif variant in ("isp", "isp_warp"):
             hx, hy = desc.extent
             geom = RegionGeometry.compute(desc.width, desc.height, hx, hy, block)
             if geom.degenerate:
@@ -272,7 +303,7 @@ def build_plan(
                     f"{desc.name}: degenerate ISP geometry for "
                     f"{desc.width}x{desc.height} with block {block[0]}x{block[1]}"
                 )
-            choices[desc.output_name] = "isp"
+            choices[desc.output_name] = variant
         else:  # isp+m — the model decides per kernel (paper Eq. 10)
             from ..model.prediction import predict_kernel
 

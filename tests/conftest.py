@@ -9,6 +9,21 @@ from repro.dsl import Accessor, Boundary, BoundaryCondition, Image, IterationSpa
 from repro.ir import DataType, IRBuilder, Param
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden IR snapshots under tests/goldens/ instead "
+             "of diffing against them (review the git diff afterwards!)",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(20210521)  # IPPS 2021 vibes

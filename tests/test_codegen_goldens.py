@@ -1,0 +1,111 @@
+"""Golden-file snapshots of the generated IR, per (app, variant, pattern).
+
+The compiler is deterministic (see test_compile_determinism), so the exact
+printed IR of every filter x variant x border-pattern combination is pinned
+as a text file under ``tests/goldens/``. Any change to lowering, border
+emission, region partitioning, or the optimizer shows up as a readable
+textual diff — the reviewer sees *which instructions* changed, not just
+that something did. (The PR-2 MIRROR fix, for example, changes exactly the
+reflection arithmetic lines of every ``mirror`` golden.)
+
+Regenerate intentionally with::
+
+    pytest tests/test_codegen_goldens.py --update-goldens
+
+then review the git diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import pathlib
+
+import pytest
+
+from repro.compiler import Variant, compile_kernel
+from repro.ir.printer import print_function
+from repro.serve.plan import trace_app
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: the paper's five-application corpus (Section VI)
+APPS = ("gaussian", "laplace", "bilateral", "sobel", "night")
+VARIANTS = ("naive", "isp", "isp_warp")
+PATTERNS = ("clamp", "mirror", "repeat", "constant")
+#: small fixed geometry: big enough that ISP partitioning is non-degenerate
+#: for every corpus filter, small enough to keep compiles fast
+SIZE = 64
+BLOCK = (32, 4)
+
+COMBOS = [(a, v, p) for a in APPS for v in VARIANTS for p in PATTERNS]
+
+MAX_DIFF_LINES = 120
+
+
+def golden_path(app: str, variant: str, pattern: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{app}-{variant}-{pattern}.ir"
+
+
+def render(app: str, variant: str, pattern: str) -> str:
+    """The canonical printed IR of one combination (all pipeline stages)."""
+    descs = trace_app(app, pattern, SIZE, SIZE)
+    parts = [
+        "# golden IR snapshot — regenerate with:",
+        "#   pytest tests/test_codegen_goldens.py --update-goldens",
+        f"# app={app} variant={variant} pattern={pattern} "
+        f"size={SIZE}x{SIZE} block={BLOCK[0]}x{BLOCK[1]}",
+    ]
+    for desc in descs:
+        compiled = compile_kernel(desc, variant=Variant(variant), block=BLOCK)
+        parts.append(
+            f"\n# kernel {desc.name}: requested={variant} "
+            f"effective={compiled.effective_variant.value}"
+        )
+        parts.append(print_function(compiled.func))
+    return "\n".join(parts) + "\n"
+
+
+@pytest.mark.parametrize("app,variant,pattern", COMBOS,
+                         ids=[f"{a}-{v}-{p}" for a, v, p in COMBOS])
+def test_ir_matches_golden(app, variant, pattern, update_goldens):
+    path = golden_path(app, variant, pattern)
+    actual = render(app, variant, pattern)
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        return
+
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path.name}; generate it with "
+            f"`pytest {__name__.replace('.', '/')}.py --update-goldens` "
+            f"and commit the result"
+        )
+
+    expected = path.read_text()
+    if actual == expected:
+        return
+
+    diff = list(difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=f"goldens/{path.name}",
+        tofile="generated",
+    ))
+    shown = "".join(diff[:MAX_DIFF_LINES])
+    omitted = len(diff) - MAX_DIFF_LINES
+    tail = f"\n... ({omitted} more diff lines)" if omitted > 0 else ""
+    pytest.fail(
+        f"generated IR for {app}/{variant}/{pattern} diverges from its "
+        f"golden ({len(diff)} diff lines). If the change is intentional, "
+        f"rerun with --update-goldens and commit.\n{shown}{tail}"
+    )
+
+
+def test_no_orphan_goldens():
+    """Every file under tests/goldens/ must correspond to a live combo —
+    otherwise a renamed filter would leave a stale snapshot nobody checks."""
+    expected = {golden_path(*combo).name for combo in COMBOS}
+    present = {p.name for p in GOLDEN_DIR.glob("*.ir")}
+    assert present <= expected, f"orphan goldens: {sorted(present - expected)}"

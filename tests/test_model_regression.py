@@ -1,0 +1,177 @@
+"""Regression pins for the analytic model (paper Tables I and III).
+
+These tests freeze the *numbers* the model pipeline produces — per-region
+dynamic instruction counts (Table I's accounting) and the Eq. 10 gain G over
+the five-filter corpus (Table III's decision grid). The whole stack under
+them is deterministic: tracing, lowering, the optimizer, representative-
+block profiling, and the closed-form occupancy/gain arithmetic. So exact
+equality is the right tolerance for integer counts, and a tight relative
+tolerance (1e-6, float round-trip headroom only) for gains.
+
+If one of these fails, either (a) a compiler/model change unintentionally
+drifted the reproduction — investigate, or (b) the change is intentional —
+update the pins *in the same commit* and call out the new numbers in the PR
+description, exactly like regenerating the IR goldens. The gain-sign grid
+is the paper-level invariant: flipping a sign flips a Table III cell and
+changes which variant ``isp+m`` and the autotuner prior pick.
+
+Configuration pinned here: 512x512 (Table III's smallest size), block 32x4,
+GTX680 — the paper's primary device.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import Region, Variant, trace_kernel
+from repro.dsl import Boundary
+from repro.filters import bilateral
+from repro.gpu import GTX680
+from repro.model.prediction import clear_model_cache
+from repro.runtime import profile_kernel
+from repro.serve import pipeline_gain
+from repro.serve.plan import trace_app
+
+SIZE = 512
+BLOCK = (32, 4)
+
+# ---------------------------------------------------------------------------
+# Table I: bilateral 13x13 / Clamp — per-block dynamic instruction totals.
+# ---------------------------------------------------------------------------
+
+#: dynamic warp instructions of one representative naive block
+NAIVE_TOTAL = 14184
+
+#: one representative block per ISP region (includes its dispatch share)
+ISP_REGION_TOTALS = {
+    Region.TL: 12848,
+    Region.T: 12196,
+    Region.TR: 12868,
+    Region.L: 12252,
+    Region.BODY: 11580,
+    Region.R: 12248,
+    Region.BL: 12892,
+    Region.B: 12240,
+    Region.BR: 12912,
+}
+
+#: Clamp emits min/max per checked side (Listing 1): the naive variant pays
+#: 169 taps x 4 checks x 2 sides = 1352 of each per block; the ISP Body
+#: pays none — that deletion IS the paper's Section IV-A.1 observation.
+NAIVE_CLAMP_CHECKS = {"min": 1352, "max": 1352}
+BODY_CLAMP_CHECKS = {"min": 0, "max": 0}
+#: what the Body pays instead: the region-dispatch switch chain
+BODY_DISPATCH = {"setp": 48, "bra": 40}
+
+
+@pytest.fixture(scope="module")
+def bilateral_profiles():
+    pipe = bilateral.build_pipeline(SIZE, SIZE, Boundary.CLAMP)
+    desc = trace_kernel(pipe.kernels[0])
+    naive = profile_kernel(desc, variant=Variant.NAIVE, block=BLOCK,
+                           device=GTX680).region_keyword_counts()
+    isp = profile_kernel(desc, variant=Variant.ISP, block=BLOCK,
+                         device=GTX680).region_keyword_counts()
+    return naive[Region.BODY], isp
+
+
+class TestTableOneInstructionCounts:
+    def test_naive_block_total(self, bilateral_profiles):
+        naive, _ = bilateral_profiles
+        assert sum(naive.values()) == NAIVE_TOTAL
+
+    def test_isp_region_totals(self, bilateral_profiles):
+        _, isp = bilateral_profiles
+        actual = {r: sum(c.values()) for r, c in isp.items()}
+        assert actual == ISP_REGION_TOTALS
+
+    def test_clamp_checks_vanish_from_the_body(self, bilateral_profiles):
+        naive, isp = bilateral_profiles
+        body = isp[Region.BODY]
+        assert {k: naive.get(k, 0) for k in NAIVE_CLAMP_CHECKS} == \
+            NAIVE_CLAMP_CHECKS
+        assert {k: body.get(k, 0) for k in BODY_CLAMP_CHECKS} == \
+            BODY_CLAMP_CHECKS
+        assert {k: body.get(k, 0) for k in BODY_DISPATCH} == BODY_DISPATCH
+
+    def test_arithmetic_pipeline_untouched_by_partitioning(
+            self, bilateral_profiles):
+        # The filter math itself (mul/mad/ex2 chain) must be identical in
+        # both variants — ISP only removes border checks, never taps.
+        naive, isp = bilateral_profiles
+        body = isp[Region.BODY]
+        for kw in ("mul", "mad", "ex2", "ld", "st"):
+            assert body.get(kw, 0) == naive.get(kw, 0), kw
+
+
+# ---------------------------------------------------------------------------
+# Table III: Eq. 10 gains for the five-filter corpus, GTX680.
+# ---------------------------------------------------------------------------
+
+#: G = R_reduced * O_ISP / O_naive, geometric mean over bordered kernels.
+PINNED_GAINS = {
+    ("gaussian", "clamp"): 0.9179394536596047,
+    ("gaussian", "mirror"): 1.5339874085200218,
+    ("gaussian", "repeat"): 2.165854264336055,
+    ("gaussian", "constant"): 1.2998759354864529,
+    ("laplace", "clamp"): 1.068884202549568,
+    ("laplace", "mirror"): 1.962566705713914,
+    ("laplace", "repeat"): 2.3614558522418623,
+    ("laplace", "constant"): 1.372601421775616,
+    ("bilateral", "clamp"): 0.9719861261767975,
+    ("bilateral", "mirror"): 1.5607998219126062,
+    ("bilateral", "repeat"): 1.8967559223870698,
+    ("bilateral", "constant"): 1.3894720038312647,
+    ("sobel", "clamp"): 0.6282465540512905,
+    ("sobel", "mirror"): 1.363969363969364,
+    ("sobel", "repeat"): 1.8819365835252482,
+    ("sobel", "constant"): 1.1652695065053296,
+    ("night", "clamp"): 0.9179620681116614,
+    ("night", "mirror"): 1.5328741516715936,
+    ("night", "repeat"): 2.1626218495019613,
+    ("night", "constant"): 1.2992913448449037,
+}
+
+
+@pytest.fixture(scope="module")
+def gains():
+    # Calibration artifacts are cached under a size-free key (calibration is
+    # *meant* to be size-independent, and is to ~0.4%), so a same-process
+    # module that traced these kernels at another size would otherwise leak
+    # its artifacts into the 512-pinned numbers. The pins are defined
+    # against a cold cache.
+    clear_model_cache()
+    return {
+        (app, pat): pipeline_gain(trace_app(app, pat, SIZE, SIZE),
+                                  block=BLOCK, device=GTX680)
+        for (app, pat) in PINNED_GAINS
+    }
+
+
+class TestTableThreeGainGrid:
+    def test_gain_values(self, gains):
+        for combo, expected in PINNED_GAINS.items():
+            assert gains[combo] == pytest.approx(expected, rel=1e-6), combo
+
+    def test_gain_sign_grid(self, gains):
+        """The decision grid itself — which side of G = 1 each cell is on.
+
+        CLAMP sits near the switching point (only laplace crosses it); the
+        three expensive patterns are partition-side for every filter. This
+        is the paper's Table III shape and the autotuner's prior.
+        """
+        signs = {combo: g > 1.0 for combo, g in gains.items()}
+        for app in ("gaussian", "laplace", "bilateral", "sobel", "night"):
+            for pat in ("mirror", "repeat", "constant"):
+                assert signs[(app, pat)], (app, pat)
+        assert signs[("laplace", "clamp")]
+        for app in ("gaussian", "bilateral", "sobel", "night"):
+            assert not signs[(app, "clamp")], app
+
+    def test_repeat_gains_largest_per_filter(self, gains):
+        # Listing 1's while-loops make Repeat the costliest pattern, so ISP
+        # saves the most there (paper Figure 6's ordering).
+        for app in ("gaussian", "laplace", "bilateral", "sobel", "night"):
+            per_pattern = {pat: gains[(app, pat)]
+                           for pat in ("clamp", "mirror", "repeat", "constant")}
+            assert max(per_pattern, key=per_pattern.get) == "repeat", app
