@@ -1,0 +1,33 @@
+"""``repro.faults`` — deterministic fault injection for the serve stack.
+
+A seeded :class:`FaultPlan` schedules named faults (memory redzone hits,
+worker crashes, latency spikes, cache-eviction storms, corrupted tuner
+persistence, sanitizer rejections) through an injection registry that is
+zero-overhead when disarmed; the chaos suite (``tests/test_faults_chaos.py``)
+sweeps plans through :class:`~repro.serve.ServeEngine` and asserts every
+request completes bit-exact or fails with a typed error. See docs/faults.md.
+"""
+
+from .core import (
+    FaultAction,
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active,
+    armed,
+    fire,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "armed",
+    "fire",
+]

@@ -1,0 +1,275 @@
+"""Deterministic fault injection: seeded plans, named points, replayable traces.
+
+The serve stack's degradation paths (simt -> vectorized, isp -> naive,
+timeouts, tuner penalties) exist to keep requests alive under failure — but a
+path that is only ever taken by accident is a path that silently rots. This
+module makes failure a *first-class test input*: a :class:`FaultPlan` names
+the points where things go wrong and a seed decides, reproducibly, exactly
+which occurrences fire.
+
+Design constraints, in order:
+
+* **Zero overhead disarmed.** Production code guards every injection site
+  with ``if faults.active() is not None`` (a module-global ``None`` check);
+  no plan installed means no hashing, no locking, no allocation.
+* **Determinism independent of thread interleaving.** Whether occurrence
+  ``n`` of point ``p`` under key ``k`` fires is a pure function of
+  ``(seed, spec, p, k, n)`` — a SHA-256 draw, not shared RNG state — so two
+  runs of the same workload produce the same injected-fault trace even
+  though a worker pool schedules the hits in a different order. Sites that
+  affect per-request outcomes pass a stable ``key`` (the request id), making
+  each request's fate independent of its neighbours.
+* **Typed failures.** An injected error raises :class:`FaultError`, which the
+  hardened engine reports with a machine-readable ``error_kind`` — the chaos
+  suite asserts that every request either completes bit-exact or fails with
+  a typed error, never hangs and never silently corrupts.
+
+Fault points instrumented across the stack (see docs/faults.md):
+
+==============================  =============================================
+point                           site / effect
+==============================  =============================================
+``gpu.memory.redzone``          :meth:`GlobalMemory._check_lane_addrs` —
+                                raises a simulated redzone ``MemoryError_``
+``runtime.executor.kernel``     :func:`run_pipeline_simt` per kernel —
+                                ``error`` raises, ``latency`` sleeps
+``runtime.vectorized.kernel``   :func:`run_kernel_vectorized` per kernel —
+                                ``error`` raises, ``latency`` sleeps
+``serve.cache.evict``           :meth:`PlanCache.get_or_build` — forces an
+                                LRU eviction storm before the lookup
+``serve.autotune.load``         :meth:`AutoTuner.load` — corrupts the
+                                persisted JSON before parsing
+``serve.engine.worker``         top of a worker batch — simulated crash
+``serve.engine.execute``        per request execution (keyed by request id)
+                                — ``error`` raises, ``latency`` sleeps
+``serve.engine.sanitize``       plan build — injected sanitizer rejection
+==============================  =============================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import threading
+import time
+from typing import Iterator, Optional
+
+
+class FaultError(RuntimeError):
+    """A deterministically injected failure (never raised organically)."""
+
+    def __init__(self, point: str, kind: str = "error"):
+        self.point = point
+        self.kind = kind
+        super().__init__(f"injected fault at {point} (kind={kind})")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: where, what, and how often.
+
+    ``rate`` is the per-occurrence firing probability; ``at`` pins explicit
+    occurrence indices instead (0-based, per ``(point, key)`` stream) and
+    overrides ``rate``. ``max_fires`` caps total firings of this spec across
+    the whole run — the knob that turns a persistent fault into a transient
+    one a retry can outlive. ``match`` filters on the context a site passes
+    to :meth:`FaultInjector.fire` (e.g. ``{"variant": "isp"}`` faults only
+    ISP executions, which is how the chaos suite drives the circuit breaker
+    without also breaking the naive fallback).
+    """
+
+    point: str
+    kind: str = "error"  # error | latency | crash | evict | corrupt | reject
+    rate: float = 1.0
+    at: Optional[tuple[int, ...]] = None
+    max_fires: Optional[int] = None
+    match: Optional[tuple[tuple[str, object], ...]] = None
+    payload: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, point: str, kind: str = "error", *, rate: float = 1.0,
+             at: Optional[tuple[int, ...]] = None,
+             max_fires: Optional[int] = None,
+             match: Optional[dict] = None, **payload) -> "FaultSpec":
+        """Ergonomic constructor (dicts become hashable tuples)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            point=point, kind=kind, rate=rate,
+            at=tuple(at) if at is not None else None,
+            max_fires=max_fires,
+            match=tuple(sorted(match.items())) if match else None,
+            payload=tuple(sorted(payload.items())),
+        )
+
+    def payload_dict(self) -> dict:
+        return dict(self.payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the specs it arms. Same plan, same workload keys =>
+    same injected-fault trace, run after run."""
+
+    seed: int
+    specs: tuple[FaultSpec, ...]
+
+    @classmethod
+    def make(cls, seed: int, specs: list[FaultSpec]) -> "FaultPlan":
+        return cls(seed=int(seed), specs=tuple(specs))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, as recorded in the trace."""
+
+    point: str
+    key: str
+    occurrence: int
+    kind: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """What a site should do about a fired fault."""
+
+    kind: str
+    payload: dict
+    event: FaultEvent
+
+    def sleep(self, default_seconds: float = 0.002) -> None:
+        """Apply a ``latency`` action (bounded so chaos runs stay fast)."""
+        time.sleep(min(float(self.payload.get("seconds", default_seconds)), 0.25))
+
+
+def _draw(seed: int, spec_index: int, point: str, key: str, occ: int) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    digest = hashlib.sha256(
+        f"{seed}|{spec_index}|{point}|{key}|{occ}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at runtime and records the trace.
+
+    Thread-safe: occurrence counters and the trace live under one lock, but
+    the fire/no-fire *decision* never depends on cross-thread state — only on
+    the per-``(point, key)`` occurrence index, which is stable for keyed
+    sites regardless of worker scheduling.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._by_point: dict[str, list[tuple[int, FaultSpec]]] = {}
+        for i, spec in enumerate(plan.specs):
+            self._by_point.setdefault(spec.point, []).append((i, spec))
+        self._lock = threading.Lock()
+        self._occurrences: dict[tuple[str, str], int] = {}
+        self._spec_fires: dict[int, int] = {}
+        self._events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------ fire
+
+    def fire(self, point: str, key: str = "", **context) -> Optional[FaultAction]:
+        """Evaluate one occurrence of ``point`` under ``key``.
+
+        Returns the :class:`FaultAction` of the first matching spec that
+        fires, or ``None``. Every call advances the ``(point, key)``
+        occurrence counter exactly once, fired or not, so occurrence indices
+        mean the same thing in every run of the same workload.
+        """
+        specs = self._by_point.get(point)
+        if not specs:
+            return None
+        with self._lock:
+            occ = self._occurrences.get((point, key), 0)
+            self._occurrences[(point, key)] = occ + 1
+            for index, spec in specs:
+                if spec.match is not None and any(
+                    context.get(k) != v for k, v in spec.match
+                ):
+                    continue
+                fires = self._spec_fires.get(index, 0)
+                if spec.max_fires is not None and fires >= spec.max_fires:
+                    continue
+                if spec.at is not None:
+                    hit = occ in spec.at
+                else:
+                    hit = _draw(self.plan.seed, index, point, key, occ) < spec.rate
+                if not hit:
+                    continue
+                self._spec_fires[index] = fires + 1
+                event = FaultEvent(point=point, key=key, occurrence=occ,
+                                   kind=spec.kind)
+                self._events.append(event)
+                return FaultAction(kind=spec.kind, payload=spec.payload_dict(),
+                                   event=event)
+        return None
+
+    # ----------------------------------------------------------- inspection
+
+    def trace(self) -> list[FaultEvent]:
+        """Fired events in firing order (scheduling-dependent across threads)."""
+        with self._lock:
+            return list(self._events)
+
+    def trace_signature(self) -> tuple[FaultEvent, ...]:
+        """Canonical, scheduling-independent view of the trace: the fired
+        events sorted by (point, key, occurrence). Two runs of the same
+        workload under the same plan produce equal signatures."""
+        with self._lock:
+            return tuple(sorted(
+                self._events,
+                key=lambda e: (e.point, e.key, e.occurrence, e.kind),
+            ))
+
+    def counts(self) -> dict[str, int]:
+        """Fired events per point (for metrics/assertions)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for e in self._events:
+                out[e.point] = out.get(e.point, 0) + 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Ambient installation (the disarmed fast path is a module-global None check)
+# ---------------------------------------------------------------------------
+
+_current: Optional[FaultInjector] = None
+_install_lock = threading.Lock()
+
+
+def active() -> Optional[FaultInjector]:
+    """The installed injector, or ``None`` when disarmed."""
+    return _current
+
+
+def fire(point: str, key: str = "", **context) -> Optional[FaultAction]:
+    """Fire helper for sites that already know an injector is active."""
+    inj = _current
+    if inj is None:
+        return None
+    return inj.fire(point, key, **context)
+
+
+@contextlib.contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Install ``plan`` process-wide for the duration of the block.
+
+    Arming is exclusive — nested arming raises, because two plans sharing
+    one set of occurrence counters would make neither reproducible.
+    """
+    global _current
+    injector = FaultInjector(plan)
+    with _install_lock:
+        if _current is not None:
+            raise RuntimeError("a FaultPlan is already armed")
+        _current = injector
+    try:
+        yield injector
+    finally:
+        with _install_lock:
+            _current = None

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..faults import core as _faults
 from ..ir.types import DataType
 
 #: Size of one coalescing segment in bytes (Kepler/Turing L1/L2 line for
@@ -131,6 +132,13 @@ class GlobalMemory:
             )
 
     def _check_lane_addrs(self, addrs: np.ndarray, mask: np.ndarray) -> None:
+        if _faults._current is not None:
+            # Fault point: a simulated redzone/OOB trap on an otherwise valid
+            # access — exercises the same typed-failure path as a real hit.
+            if _faults.fire("gpu.memory.redzone", shadow=self.shadow) is not None:
+                raise MemoryError_(
+                    "injected fault: shadow redzone hit (gpu.memory.redzone)"
+                )
         if not mask.any():
             return
         active = addrs[mask].astype(np.int64)

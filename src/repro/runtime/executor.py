@@ -31,6 +31,8 @@ from ..compiler.frontend import KernelDescription, trace_kernel
 from ..compiler.isp import Variant
 from ..compiler.regions import Region, RegionGeometry
 from ..dsl.pipeline import Pipeline
+from ..faults import core as _faults
+from ..faults.core import FaultError
 from ..gpu.cost import cost_table_for
 from ..gpu.device import DeviceSpec, GTX680
 from ..gpu.memory import GlobalMemory
@@ -99,6 +101,15 @@ def run_pipeline_simt(
     compiled: list[CompiledKernel] = []
     profilers: list[Profiler] = []
     for desc in descs:
+        if _faults._current is not None:
+            # Fault point: per-kernel SIMT launch — "latency" models a
+            # co-tenant stall, "error" a failed launch.
+            act = _faults.fire("runtime.executor.kernel", kernel=desc.name)
+            if act is not None:
+                if act.kind == "latency":
+                    act.sleep()
+                else:
+                    raise FaultError("runtime.executor.kernel", act.kind)
         ck = compile_kernel(desc, variant=variant, block=block, device=device)
         out_base = mem.alloc(desc.width * desc.height * 4)
         bases[desc.output_name] = out_base

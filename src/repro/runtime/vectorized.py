@@ -28,6 +28,8 @@ import numpy as np
 
 from ..compiler.frontend import KernelDescription, trace_kernel
 from ..dsl.boundary import Boundary
+from ..faults import core as _faults
+from ..faults.core import FaultError
 from ..dsl.expr import BinOp, Const, Expr, PixelAccess, UnOp
 from ..dsl.pipeline import Pipeline
 
@@ -340,6 +342,17 @@ def run_kernel_vectorized(
     height of any evaluated rectangle (memory-bounded streaming for large
     images); ``None`` evaluates each region in one shot.
     """
+    if _faults._current is not None:
+        # Fault point: per-kernel vectorized evaluation — "latency" models a
+        # slow co-tenant, "error" a failed evaluation the engine must retry
+        # or surface as a typed failure.
+        act = _faults.fire("runtime.vectorized.kernel",
+                           kernel=desc.name, variant=variant)
+        if act is not None:
+            if act.kind == "latency":
+                act.sleep()
+            else:
+                raise FaultError("runtime.vectorized.kernel", act.kind)
     h, w = desc.height, desc.width
     hx, hy = desc.extent
     out = np.empty((h, w), dtype=np.float32)

@@ -23,8 +23,10 @@ from .autotune import (
     tuner_key,
 )
 from .bench import build_workload, format_report, run_baseline, run_serve_bench
+from .breaker import VariantBreaker
 from .cache import PlanCache
 from .engine import (
+    ERROR_KINDS,
     EngineClosed,
     EngineSaturated,
     Request,
@@ -46,6 +48,7 @@ from .plan import (
 )
 
 __all__ = [
+    "ERROR_KINDS",
     "EXEC_MODES",
     "PLAN_VARIANTS",
     "REQUEST_VARIANTS",
@@ -67,6 +70,7 @@ __all__ = [
     "Response",
     "ResponseHandle",
     "ServeEngine",
+    "VariantBreaker",
     "build_plan",
     "build_workload",
     "combined_digest",

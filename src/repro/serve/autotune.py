@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from ..compiler.frontend import KernelDescription
+from ..faults import core as _faults
 from ..gpu.device import DeviceSpec
 from .metrics import MetricsRegistry
 from .plan import combined_digest
@@ -242,6 +243,9 @@ class AutoTuner:
             "tuner.probes", "post-commit refresh measurements of the runner-up")
         self._c_penalties = m.counter(
             "tuner.penalties", "degradation-path penalties recorded")
+        self._c_load_errors = m.counter(
+            "tuner.load_errors",
+            "corrupt/unreadable persistence files ignored on warm restart")
         self._g_configs = m.gauge(
             "tuner.configs", "configurations in the learned table")
         self._g_agreement = m.gauge(
@@ -251,7 +255,17 @@ class AutoTuner:
         self._states: dict[TunerKey, ConfigState] = {}
 
         if self.path is not None and self.path.exists():
-            self.load(self.path)
+            # A corrupt or stale cache file must never take the tuner (and
+            # with it the engine) down on a warm restart: losing learned
+            # state is a cold start, not an outage. Explicit load() calls
+            # stay strict so operators see real corruption.
+            try:
+                self.load(self.path)
+            except (ValueError, OSError):
+                self._c_load_errors.inc()
+                with self._lock:
+                    self._states.clear()
+                    self._update_agreement_gauge()
 
     # -------------------------------------------------------------- decisions
 
@@ -485,7 +499,12 @@ class AutoTuner:
         source = Path(path) if path is not None else self.path
         if source is None:
             raise ValueError("no path given and the tuner has no default path")
-        payload = json.loads(source.read_text())
+        text = source.read_text()
+        if _faults._current is not None:
+            # Fault point: the persisted table was corrupted on disk.
+            if _faults.fire("serve.autotune.load", key=str(source)) is not None:
+                text = text[: len(text) // 2] + "\x00<injected-corruption>"
+        payload = json.loads(text)
         if payload.get("version") != 1:
             raise ValueError(
                 f"unsupported autotune cache version {payload.get('version')!r}"

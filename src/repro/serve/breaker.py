@@ -1,0 +1,169 @@
+"""Per-variant circuit breaker: stop planning code shapes that keep failing.
+
+The engine's retry loop absorbs *transient* execution failures; this breaker
+handles the *systematic* ones — a variant whose executions fail repeatedly
+(injected faults in the chaos suite; a miscompiled shape or a poisoned code
+path in production). Tripping reroutes subsequent requests for that variant
+to ``naive`` (the always-expressible shape) instead of burning a retry budget
+per request, and the engine feeds each trip into the autotuner's penalty path
+so tuned configurations also learn to avoid the shape.
+
+State machine, deliberately **count-based** (not wall-clock) so chaos runs
+replay identically regardless of scheduling:
+
+* ``closed`` — failures are counted; ``threshold`` *consecutive* failures
+  trip the breaker (a success resets the streak).
+* ``open`` — the next ``cooldown`` decisions for the variant are rerouted.
+* ``half-open`` — after the cooldown, exactly one probe request is let
+  through; success closes the breaker, failure re-opens it for another
+  cooldown. Concurrent decisions during the probe keep rerouting.
+
+``naive`` itself is never gated — with every other shape broken it must keep
+serving, mirroring :meth:`ConfigState.eligible`'s last-resort rule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _VariantState:
+    __slots__ = ("state", "streak", "remaining", "probe_inflight", "trips")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.streak = 0
+        self.remaining = 0
+        self.probe_inflight = False
+        self.trips = 0
+
+
+class VariantBreaker:
+    """Thread-safe circuit breaker keyed by plan-variant string."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._states: dict[str, _VariantState] = {}
+
+        m = metrics if metrics is not None else MetricsRegistry()
+        self._c_opened = m.counter(
+            "breaker.opened", "circuit trips (threshold consecutive failures)")
+        self._c_rerouted = m.counter(
+            "breaker.rerouted", "requests rerouted to naive by an open circuit")
+        self._c_probes = m.counter(
+            "breaker.probes", "half-open probe requests let through")
+        self._g_open = m.gauge(
+            "breaker.open_variants", "variants currently open or half-open")
+
+    def _state(self, variant: str) -> _VariantState:
+        st = self._states.get(variant)
+        if st is None:
+            st = self._states[variant] = _VariantState()
+        return st
+
+    def _update_gauge(self) -> None:
+        self._g_open.set(sum(
+            1 for s in self._states.values() if s.state != CLOSED
+        ))
+
+    # -------------------------------------------------------------- decisions
+
+    def should_reroute(self, variant: str) -> bool:
+        """Called once per planning decision for ``variant``.
+
+        Returns True when the request must be served as ``naive`` instead.
+        Advances the open-state cooldown and admits the single half-open
+        probe when it expires.
+        """
+        if variant == "naive":
+            return False
+        with self._lock:
+            st = self._states.get(variant)
+            if st is None or st.state == CLOSED:
+                return False
+            if st.state == OPEN:
+                if st.remaining > 0:
+                    st.remaining -= 1
+                    self._c_rerouted.inc()
+                    return True
+                st.state = HALF_OPEN
+                st.probe_inflight = False
+                self._update_gauge()
+            # half-open: admit exactly one probe at a time
+            if st.probe_inflight:
+                self._c_rerouted.inc()
+                return True
+            st.probe_inflight = True
+            self._c_probes.inc()
+            return False
+
+    # ------------------------------------------------------------- reporting
+
+    def record_success(self, variant: str) -> None:
+        with self._lock:
+            st = self._states.get(variant)
+            if st is None:
+                return
+            st.streak = 0
+            if st.state != CLOSED:
+                st.state = CLOSED
+                st.probe_inflight = False
+                self._update_gauge()
+
+    def record_failure(self, variant: str) -> bool:
+        """Count one execution failure; returns True when this trips (or
+        re-trips) the circuit."""
+        if variant == "naive":
+            return False
+        with self._lock:
+            st = self._state(variant)
+            if st.state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                st.state = OPEN
+                st.remaining = self.cooldown
+                st.probe_inflight = False
+                st.trips += 1
+                self._c_opened.inc()
+                self._update_gauge()
+                return True
+            st.streak += 1
+            if st.state == CLOSED and st.streak >= self.threshold:
+                st.state = OPEN
+                st.remaining = self.cooldown
+                st.streak = 0
+                st.trips += 1
+                self._c_opened.inc()
+                self._update_gauge()
+                return True
+            return False
+
+    def state(self, variant: str) -> str:
+        with self._lock:
+            st = self._states.get(variant)
+            return st.state if st is not None else CLOSED
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                variant: {"state": st.state, "trips": st.trips}
+                for variant, st in sorted(self._states.items())
+            }

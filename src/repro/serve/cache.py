@@ -13,6 +13,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Optional
 
+from ..faults import core as _faults
 from .plan import ExecutionPlan, PlanKey
 
 
@@ -29,6 +30,7 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._forced_evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -84,6 +86,17 @@ class PlanCache:
                 self._misses += 1
             return plan, False
 
+        if _faults._current is not None:
+            # Fault point: an eviction storm (a co-tenant flooding the cache)
+            # right before this lookup — every plan must survive rebuilding.
+            act = _faults.fire("serve.cache.evict", key=key.short())
+            if act is not None:
+                with self._lock:
+                    evicted = len(self._plans)
+                    self._plans.clear()
+                    self._evictions += evicted
+                    self._forced_evictions += evicted
+
         while True:
             with self._lock:
                 plan = self._plans.get(key)
@@ -127,5 +140,6 @@ class PlanCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "forced_evictions": self._forced_evictions,
                 "hit_rate": self._hits / total if total else 0.0,
             }

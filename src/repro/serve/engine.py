@@ -24,6 +24,19 @@ Robustness decisions, per DESIGN "production-shaped" goals:
   the cache; a finding rejects the plan and fails its requests loudly
   (``engine.plans_sanitize_rejected``), because an unprovable memory access
   is a compiler bug, not something to degrade around.
+* **Bounded retry with backoff** — a failed execution gets ``retries`` more
+  attempts with exponential backoff before failing typed
+  (``Response.error_kind``); deadlines still rule.
+* **Per-variant circuit breaker** — a variant whose executions keep failing
+  trips :class:`~repro.serve.breaker.VariantBreaker` and is rerouted to
+  ``naive`` for a cooldown (a trip also feeds the autotuner's penalty path).
+* **Crash containment** — a worker that dies mid-batch fails its remaining
+  requests with ``error_kind="worker_crash"`` and keeps serving; no request
+  is ever lost.
+
+All of these degradation paths are exercised *systematically* (not just
+incidentally) by the deterministic fault-injection layer (:mod:`repro.faults`)
+and the chaos suite in ``tests/test_faults_chaos.py``.
 
 Every stage records metrics; ``stats()`` returns one merged snapshot.
 """
@@ -42,9 +55,12 @@ import numpy as np
 from typing import Union
 
 from ..compiler.isp import CompileError
+from ..faults import core as _faults
+from ..faults.core import FaultError
 from ..gpu.device import DeviceSpec, GTX680
 from ..sanitize.static import SanitizeError
 from .autotune import AutoTuner, TunerKey, pipeline_gain, tuner_key
+from .breaker import VariantBreaker
 from .cache import PlanCache
 from .metrics import MetricsRegistry
 from .plan import (
@@ -67,6 +83,16 @@ class EngineClosed(RuntimeError):
 
 
 _REQUEST_IDS = itertools.count(1)
+
+#: Every way a request is allowed to fail. Anything outside this set is an
+#: engine bug; the chaos suite enforces membership for all non-ok responses.
+ERROR_KINDS = (
+    "plan_build",    # tracing/compilation of the plan failed
+    "sanitize",      # the static bounds sanitizer rejected the plan
+    "timeout_queue", # deadline passed while the request was still queued
+    "execution",     # execution failed after the retry budget was exhausted
+    "worker_crash",  # the worker processing the batch died mid-flight
+)
 
 
 @dataclasses.dataclass
@@ -123,6 +149,11 @@ class Response:
     #: degradations applied, e.g. "compile:isp->naive", "timeout:simt->vectorized"
     fallbacks: list[str] = dataclasses.field(default_factory=list)
     error: Optional[str] = None
+    #: machine-readable failure class when ``error`` is set — one of
+    #: :data:`ERROR_KINDS` (the chaos suite asserts failures are typed)
+    error_kind: Optional[str] = None
+    #: execution attempts beyond the first that this request consumed
+    retries: int = 0
     queue_seconds: float = 0.0
     build_seconds: float = 0.0
     execute_seconds: float = 0.0
@@ -131,6 +162,21 @@ class Response:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+def _injected_sanitize_report(variant: str):
+    """A synthetic one-finding report for the injected-rejection fault point."""
+    from ..sanitize.static import Finding, SanitizeReport
+
+    return SanitizeReport(
+        kernel="<injected>", variant=variant,
+        findings=[Finding(
+            kernel="<injected>", variant=variant, region=None,
+            context="fault-injection", kind="analysis",
+            message="injected fault: sanitizer rejection "
+                    "(serve.engine.sanitize)",
+        )],
+    )
 
 
 class _Pending:
@@ -187,11 +233,17 @@ class ServeEngine:
         metrics: Optional[MetricsRegistry] = None,
         autotune: Union[bool, AutoTuner] = False,
         autotune_path: Optional[str] = None,
+        retries: int = 2,
+        retry_backoff_s: float = 0.002,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 8,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.device = device
         self.block = tuple(block)
         self.batch_size = batch_size
@@ -200,9 +252,15 @@ class ServeEngine:
         self.tile_threshold_rows = tile_threshold_rows
         self.tile_rows = tile_rows
         self.sanitize_plans = sanitize_plans
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = PlanCache(plan_cache_size)
+        self.breaker = VariantBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown,
+            metrics=self.metrics,
+        )
         # Model-guided adaptive variant selection for "auto" requests. A
         # shared AutoTuner may be passed in (its own metrics registry stays);
         # `autotune=True` / a cache path builds one onto this engine's
@@ -226,6 +284,16 @@ class ServeEngine:
                                        "simt -> vectorized on exec timeout")
         self._c_fb_compile = m.counter("engine.fallbacks_compile",
                                        "isp -> naive on CompileError")
+        self._c_fb_error = m.counter("engine.fallbacks_error",
+                                     "simt -> vectorized on execution error")
+        self._c_retries = m.counter("engine.retries",
+                                    "execution attempts beyond the first")
+        self._c_worker_crashes = m.counter(
+            "engine.worker_crashes",
+            "batches whose worker died mid-flight (requests failed typed)")
+        self._c_faults_observed = m.counter(
+            "engine.faults_observed",
+            "injected faults observed at engine-level fault points")
         self._c_sanitized = m.counter("engine.plans_sanitized",
                                       "plans bounds-checked on first build")
         self._c_sanitize_rejected = m.counter(
@@ -316,7 +384,24 @@ class ServeEngine:
             if batch is None:
                 return
             self._c_batches.inc()
-            self._process_batch(batch, name)
+            try:
+                self._process_batch(batch, name)
+            except BaseException as exc:
+                # Containment: a worker must never take unfinished requests
+                # down with it (the no-lost-requests invariant). Whatever
+                # escaped _process_batch — an injected crash or a real bug —
+                # fails the batch's remaining requests with a typed error and
+                # the worker goes back to the queue.
+                self._c_worker_crashes.inc()
+                for p in batch:
+                    if not p.event.is_set():
+                        r = Response(
+                            request_id=p.request.request_id,
+                            app=p.request.app, worker=name,
+                            error=f"worker crashed mid-batch: {exc}",
+                            error_kind="worker_crash",
+                        )
+                        self._finish(p, r)
 
     # ------------------------------------------------------------- planning
 
@@ -351,6 +436,14 @@ class ServeEngine:
                 )
                 tuner_ctx = (key_t, variant)
 
+        if variant != "naive" and self.breaker.should_reroute(variant):
+            # The circuit for this shape is open: serve naive instead of
+            # burning a retry budget on a variant that keeps failing.
+            fallbacks.append(f"breaker:{variant}->naive")
+            if tuner_ctx is not None:
+                tuner_ctx = (tuner_ctx[0], "naive")
+            variant = "naive"
+
         def factory_for(v: str) -> Callable[[], ExecutionPlan]:
             def build() -> ExecutionPlan:
                 plan = build_plan(
@@ -365,6 +458,15 @@ class ServeEngine:
                     if any(not r.ok for r in reports):
                         raise SanitizeError(reports)
                     self._c_sanitized.inc()
+                if _faults._current is not None:
+                    # Fault point: the sanitizer rejects this plan. Uses a
+                    # synthetic finding so the failure is exactly as typed
+                    # as a real rejection.
+                    act = _faults.fire("serve.engine.sanitize",
+                                       key=plan.key.short(), app=request.app)
+                    if act is not None:
+                        self._c_faults_observed.inc()
+                        raise SanitizeError([_injected_sanitize_report(v)])
                 return plan
 
             return build
@@ -412,14 +514,39 @@ class ServeEngine:
     ) -> np.ndarray:
         request = pending.request
         deadline = pending.deadline()
+        if _faults._current is not None:
+            # Fault point: per-request execution, keyed by request id so each
+            # request's fate is deterministic regardless of which worker
+            # serves it. Transient specs (max_fires) are what retries outlive.
+            act = _faults.fire("serve.engine.execute",
+                               key=f"r{request.request_id}",
+                               variant=plan.variant, app=request.app)
+            if act is not None:
+                self._c_faults_observed.inc()
+                if act.kind == "latency":
+                    act.sleep()
+                else:
+                    raise FaultError("serve.engine.execute", act.kind)
         if request.exec_mode == "simt":
             remaining = None if deadline is None else deadline - time.perf_counter()
-            output = self._execute_simt_with_timeout(plan, request, remaining)
+            try:
+                output = self._execute_simt_with_timeout(plan, request, remaining)
+            except Exception:
+                # A failed simulation (e.g. a redzone trap) degrades to the
+                # vectorized path, which computes independently — same rule
+                # as a timeout: the simulator's problems are not the
+                # request's problems.
+                self._c_fb_error.inc()
+                response.fallbacks.append("error:simt->vectorized")
+                output = None
+            else:
+                if output is None:
+                    # Timed out: degrade to the vectorized path, which
+                    # always answers.
+                    self._c_fb_timeout.inc()
+                    response.fallbacks.append("timeout:simt->vectorized")
             if output is not None:
                 return output
-            # Timed out: degrade to the vectorized path, which always answers.
-            self._c_fb_timeout.inc()
-            response.fallbacks.append("timeout:simt->vectorized")
         return plan.execute(request.image, tile_rows=self._tile_rows_for(request))
 
     def _execute_simt_with_timeout(
@@ -454,6 +581,13 @@ class ServeEngine:
         return box["output"]  # type: ignore[return-value]
 
     def _process_batch(self, batch: list[_Pending], worker: str) -> None:
+        if _faults._current is not None:
+            # Fault point: the worker dies before touching its batch — the
+            # containment net in _worker_loop must fail every request typed.
+            act = _faults.fire("serve.engine.worker", worker=worker)
+            if act is not None:
+                self._c_faults_observed.inc()
+                raise FaultError("serve.engine.worker", act.kind)
         leader = batch[0]
         responses = [
             Response(request_id=p.request.request_id, app=p.request.app,
@@ -470,8 +604,10 @@ class ServeEngine:
                 leader.request
             )
         except Exception as exc:
+            kind = "sanitize" if isinstance(exc, SanitizeError) else "plan_build"
             for p, r in zip(batch, responses):
                 r.error = f"plan build failed: {exc}"
+                r.error_kind = kind
                 self._finish(p, r)
             return
 
@@ -494,15 +630,42 @@ class ServeEngine:
                 self._c_queue_timeout.inc()
                 r.error = (f"timed out after {p.request.timeout_s:.3f}s "
                            "while queued")
+                r.error_kind = "timeout_queue"
                 self._finish(p, r)
                 continue
             t0 = time.perf_counter()
-            try:
-                r.output = self._execute(plan, p, r)
-            except Exception as exc:
-                r.error = f"execution failed: {exc}"
+            # Bounded retry with exponential backoff: transient failures
+            # (injected faults, co-tenant hiccups) get self.retries more
+            # chances; the deadline still rules, and a request that exhausts
+            # its budget fails with a typed error — never silently.
+            attempt = 0
+            while True:
+                try:
+                    r.output = self._execute(plan, p, r)
+                    r.error = None
+                    r.error_kind = None
+                    break
+                except Exception as exc:
+                    r.error = f"execution failed: {exc}"
+                    r.error_kind = "execution"
+                    deadline = p.deadline()
+                    out_of_time = (deadline is not None
+                                   and time.perf_counter() >= deadline)
+                    if attempt >= self.retries or out_of_time:
+                        break
+                    attempt += 1
+                    r.retries = attempt
+                    self._c_retries.inc()
+                    time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
             r.execute_seconds = time.perf_counter() - t0
             self._h_execute.observe(r.execute_seconds)
+            # Feed the per-variant circuit breaker; a trip also lands a
+            # penalty in the tuner's table so tuned configs avoid the shape.
+            if r.ok:
+                self.breaker.record_success(plan.variant)
+            elif self.breaker.record_failure(plan.variant):
+                if self.tuner is not None and tuner_ctx is not None:
+                    self.tuner.penalize(tuner_ctx[0], plan.variant)
             # Feed measurements back: the plan tracks its own cost EMA, and
             # tuned requests refine the learned table. Only the vectorized
             # path is comparable across variants (SIMT timings measure the
@@ -533,9 +696,13 @@ class ServeEngine:
             "gauges": snap["gauges"],
             "latency": snap["histograms"],
             "plan_cache": self.cache.stats(),
+            "breaker": self.breaker.stats(),
         }
         if self.tuner is not None:
             stats["tuner"] = self.tuner.stats()
+        injector = _faults.active()
+        if injector is not None:
+            stats["faults"] = injector.counts()
         return stats
 
     def close(self, *, timeout: Optional[float] = 30.0) -> None:
@@ -550,7 +717,12 @@ class ServeEngine:
         for t in self._threads:
             t.join(timeout)
         if self.tuner is not None and self.tuner.path is not None:
-            self.tuner.save()
+            try:
+                self.tuner.save()
+            except OSError:
+                # Losing the learned table costs a cold start next boot;
+                # failing close() would cost the caller its shutdown path.
+                pass
 
     def __enter__(self) -> "ServeEngine":
         return self

@@ -2,22 +2,38 @@
 
 The compiler is deterministic (see test_compile_determinism), so the exact
 printed IR of every filter x variant x border-pattern combination is pinned
-as a text file under ``tests/goldens/``. Any change to lowering, border
+as a golden under ``tests/goldens/``. Any change to lowering, border
 emission, region partitioning, or the optimizer shows up as a readable
 textual diff — the reviewer sees *which instructions* changed, not just
 that something did. (The PR-2 MIRROR fix, for example, changes exactly the
 reflection arithmetic lines of every ``mirror`` golden.)
 
+Storage format: goldens are gzip-compressed (the printed IR is highly
+repetitive — ~10x smaller on disk) and named
+
+    {app}-{variant}-{pattern}.{sha256(text)[:12]}.ir.gz
+
+The content digest in the filename makes a golden update visible in a git
+file listing (rename = content change) and lets ``test_golden_integrity``
+catch a corrupted or hand-edited snapshot without recompiling anything.
+Mismatches are still reported as unified diffs of the decompressed text.
+Gzip is written with ``mtime=0`` so regenerating unchanged goldens is
+byte-identical (no spurious git churn).
+
 Regenerate intentionally with::
 
     pytest tests/test_codegen_goldens.py --update-goldens
 
-then review the git diff like any other code change.
+then review the git diff like any other code change (``git diff --stat``
+shows which combos changed; decompress with ``python -m gzip -d``/
+``zcat`` to inspect contents).
 """
 
 from __future__ import annotations
 
 import difflib
+import gzip
+import hashlib
 import pathlib
 
 import pytest
@@ -40,10 +56,43 @@ BLOCK = (32, 4)
 COMBOS = [(a, v, p) for a in APPS for v in VARIANTS for p in PATTERNS]
 
 MAX_DIFF_LINES = 120
+DIGEST_LEN = 12
 
 
-def golden_path(app: str, variant: str, pattern: str) -> pathlib.Path:
-    return GOLDEN_DIR / f"{app}-{variant}-{pattern}.ir"
+def golden_stem(app: str, variant: str, pattern: str) -> str:
+    return f"{app}-{variant}-{pattern}"
+
+
+def content_digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:DIGEST_LEN]
+
+
+def golden_path_for(app: str, variant: str, pattern: str, text: str) -> pathlib.Path:
+    stem = golden_stem(app, variant, pattern)
+    return GOLDEN_DIR / f"{stem}.{content_digest(text)}.ir.gz"
+
+
+def find_golden(app: str, variant: str, pattern: str) -> list[pathlib.Path]:
+    """All stored snapshots for one combo (should be exactly one)."""
+    return sorted(GOLDEN_DIR.glob(f"{golden_stem(app, variant, pattern)}.*.ir.gz"))
+
+
+def read_golden(path: pathlib.Path) -> str:
+    return gzip.decompress(path.read_bytes()).decode()
+
+
+def write_golden(app: str, variant: str, pattern: str, text: str) -> pathlib.Path:
+    """Write the combo's snapshot, replacing any stale-digest predecessors.
+
+    ``mtime=0`` keeps the gzip bytes a pure function of the content, so an
+    unchanged golden regenerates byte-identically.
+    """
+    path = golden_path_for(app, variant, pattern, text)
+    for stale in find_golden(app, variant, pattern):
+        if stale != path:
+            stale.unlink()
+    path.write_bytes(gzip.compress(text.encode(), mtime=0))
+    return path
 
 
 def render(app: str, variant: str, pattern: str) -> str:
@@ -68,22 +117,23 @@ def render(app: str, variant: str, pattern: str) -> str:
 @pytest.mark.parametrize("app,variant,pattern", COMBOS,
                          ids=[f"{a}-{v}-{p}" for a, v, p in COMBOS])
 def test_ir_matches_golden(app, variant, pattern, update_goldens):
-    path = golden_path(app, variant, pattern)
     actual = render(app, variant, pattern)
 
     if update_goldens:
         GOLDEN_DIR.mkdir(exist_ok=True)
-        path.write_text(actual)
+        write_golden(app, variant, pattern, actual)
         return
 
-    if not path.exists():
+    stored = find_golden(app, variant, pattern)
+    if not stored:
         pytest.fail(
-            f"missing golden {path.name}; generate it with "
-            f"`pytest {__name__.replace('.', '/')}.py --update-goldens` "
-            f"and commit the result"
+            f"missing golden {golden_stem(app, variant, pattern)}.*.ir.gz; "
+            f"generate it with `pytest {__name__.replace('.', '/')}.py "
+            f"--update-goldens` and commit the result"
         )
+    path = stored[-1]
 
-    expected = path.read_text()
+    expected = read_golden(path)
     if actual == expected:
         return
 
@@ -105,7 +155,45 @@ def test_ir_matches_golden(app, variant, pattern, update_goldens):
 
 def test_no_orphan_goldens():
     """Every file under tests/goldens/ must correspond to a live combo —
-    otherwise a renamed filter would leave a stale snapshot nobody checks."""
-    expected = {golden_path(*combo).name for combo in COMBOS}
-    present = {p.name for p in GOLDEN_DIR.glob("*.ir")}
-    assert present <= expected, f"orphan goldens: {sorted(present - expected)}"
+    otherwise a renamed filter would leave a stale snapshot nobody checks —
+    and every combo must have exactly one stored digest."""
+    valid_stems = {golden_stem(*combo) for combo in COMBOS}
+    seen: dict[str, list[str]] = {}
+    for p in GOLDEN_DIR.iterdir():
+        if p.name in (".gitattributes",):
+            continue
+        parts = p.name.split(".")
+        assert p.suffixes[-2:] == [".ir", ".gz"], f"unexpected file: {p.name}"
+        stem, digest = parts[0], parts[1]
+        assert stem in valid_stems, f"orphan golden: {p.name}"
+        assert len(digest) == DIGEST_LEN
+        seen.setdefault(stem, []).append(digest)
+    dupes = {s: d for s, d in seen.items() if len(d) > 1}
+    assert not dupes, f"multiple digests stored for one combo: {dupes}"
+
+
+def test_golden_integrity():
+    """The digest embedded in each filename must match the decompressed
+    content — a corrupted or hand-edited snapshot fails here cheaply,
+    without recompiling anything."""
+    checked = 0
+    for path in sorted(GOLDEN_DIR.glob("*.ir.gz")):
+        digest = path.name.split(".")[1]
+        text = read_golden(path)
+        assert content_digest(text) == digest, (
+            f"{path.name}: content does not match its filename digest"
+        )
+        checked += 1
+    assert checked == len(COMBOS)
+
+
+def test_goldens_are_compressed_enough():
+    """The compression satellite's contract: on-disk goldens are at least
+    5x smaller than the text they pin (the plain-text corpus was ~12 MB)."""
+    raw = disk = 0
+    for path in GOLDEN_DIR.glob("*.ir.gz"):
+        disk += path.stat().st_size
+        raw += len(gzip.decompress(path.read_bytes()))
+    assert disk > 0
+    ratio = raw / disk
+    assert ratio >= 5.0, f"compression ratio degraded to {ratio:.1f}x"

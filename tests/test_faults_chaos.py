@@ -1,0 +1,323 @@
+"""Chaos suite: seeded fault scenarios swept through the serve engine.
+
+Every scenario arms a deterministic :class:`repro.faults.FaultPlan` and
+pushes a workload through :class:`~repro.serve.ServeEngine`, then asserts the
+three invariants the serving stack promises under *any* failure:
+
+1. **No request is lost or hung** — every submitted request gets exactly one
+   response within the watchdog timeout.
+2. **Failures are typed** — a non-ok response carries an ``error_kind`` from
+   :data:`repro.serve.ERROR_KINDS`, never a bare stringly mystery.
+3. **Successes are bit-exact** — whatever degradations a request survived
+   (retries, simt->vectorized, isp->naive via compile fallback or circuit
+   breaker, eviction storms), its pixels equal the NumPy reference filter
+   (``repro.filters.reference``) bit for bit. Degradation may change *how*
+   a request is served, never *what* it computes.
+
+Scenarios run under three fixed seeds (the CI ``chaos`` job's contract); a
+seed changes which occurrences fire, not the invariants.
+
+The apps used here are the ones whose DSL pipelines are bit-exact against
+their references (gaussian/laplace/sobel/night — bilateral's reference is
+deliberately approximate and is covered by tolerance tests elsewhere).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.dsl import Boundary
+from repro.faults import FaultPlan, FaultSpec
+from repro.filters import REFERENCES
+from repro.serve import ERROR_KINDS, AutoTuner, Request, ServeEngine
+
+SEEDS = (101, 202, 303)
+
+#: Watchdog: a request still unanswered after this long counts as hung.
+WATCHDOG_S = 120.0
+
+
+@functools.lru_cache(maxsize=None)
+def chaos_image(seed: int, size: int = 48) -> np.ndarray:
+    return np.random.default_rng(seed).random((size, size)).astype(np.float32)
+
+
+@functools.lru_cache(maxsize=None)
+def reference_output(app: str, pattern: str, seed: int, size: int = 48) -> np.ndarray:
+    return REFERENCES[app](chaos_image(seed, size), Boundary(pattern), 0.0)
+
+
+def run_scenario(plan: FaultPlan, requests: list[Request], **engine_kwargs):
+    """Drive one armed engine run; TimeoutError here == a hung request."""
+    with faults.armed(plan) as injector:
+        with ServeEngine(**engine_kwargs) as engine:
+            handles = [engine.submit(r, block=True) for r in requests]
+            responses = [h.result(timeout=WATCHDOG_S) for h in handles]
+            stats = engine.stats()
+    return responses, stats, injector
+
+
+def assert_invariants(requests, responses, *, seed: int, size: int = 48):
+    """The three chaos invariants, checked response by response."""
+    assert len(responses) == len(requests), "lost requests"
+    for req, resp in zip(requests, responses):
+        assert resp.request_id == req.request_id
+        if resp.ok:
+            expected = reference_output(req.app, req.pattern, seed, size)
+            assert resp.output is not None
+            assert np.array_equal(resp.output, expected), (
+                f"request {req.request_id} ({req.app}/{req.pattern}) served "
+                f"wrong pixels after fallbacks={resp.fallbacks}"
+            )
+        else:
+            assert resp.error_kind in ERROR_KINDS, (
+                f"untyped failure: {resp.error!r} (kind={resp.error_kind!r})"
+            )
+            assert resp.error
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestChaosScenarios:
+    # 1 ------------------------------------------------------------------
+    def test_transient_exec_faults_recovered_by_retry(self, seed):
+        """First execution attempt of every request fails; retries recover
+        all of them — zero user-visible errors."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.execute", "error", at=(0,)),
+        ])
+        requests = [Request(app="gaussian", image=chaos_image(seed),
+                            pattern="clamp", variant="isp")
+                    for _ in range(8)]
+        responses, stats, _ = run_scenario(plan, requests, workers=2)
+        assert_invariants(requests, responses, seed=seed)
+        assert all(r.ok for r in responses)
+        assert all(r.retries >= 1 for r in responses)
+        assert stats["engine"]["engine.retries"] >= len(requests)
+
+    # 2 ------------------------------------------------------------------
+    def test_persistent_exec_faults_fail_typed_only_where_injected(self, seed):
+        """Unbounded faults on one app exhaust its retry budget and fail
+        typed; the co-scheduled app is untouched."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.execute", "error",
+                           match={"app": "laplace"}),
+        ])
+        requests = []
+        for i in range(6):
+            requests.append(Request(app="laplace", image=chaos_image(seed),
+                                    pattern="repeat", variant="isp"))
+            requests.append(Request(app="sobel", image=chaos_image(seed),
+                                    pattern="repeat", variant="isp"))
+        responses, _, _ = run_scenario(plan, requests, workers=2, retries=1)
+        assert_invariants(requests, responses, seed=seed)
+        by_app = {"laplace": [], "sobel": []}
+        for req, resp in zip(requests, responses):
+            by_app[req.app].append(resp)
+        assert all(not r.ok and r.error_kind == "execution"
+                   for r in by_app["laplace"])
+        assert all(r.ok for r in by_app["sobel"])
+
+    # 3 ------------------------------------------------------------------
+    def test_worker_crashes_fail_batches_typed_and_engine_survives(self, seed):
+        """Workers die mid-batch; the containment net fails those batches
+        with error_kind="worker_crash" and the pool keeps serving."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.worker", "crash", rate=0.4,
+                           max_fires=4),
+        ])
+        requests = [Request(app="gaussian", image=chaos_image(seed),
+                            pattern="mirror", variant="isp")
+                    for _ in range(16)]
+        responses, stats, injector = run_scenario(
+            plan, requests, workers=2, batch_size=2)
+        assert_invariants(requests, responses, seed=seed)
+        crashes = injector.counts().get("serve.engine.worker", 0)
+        assert stats["engine"]["engine.worker_crashes"] == crashes
+        crashed = [r for r in responses if not r.ok]
+        assert all(r.error_kind == "worker_crash" for r in crashed)
+        # the pool survived every crash: later requests were still served
+        assert any(r.ok for r in responses)
+
+    # 4 ------------------------------------------------------------------
+    def test_breaker_reroutes_persistently_failing_variant(self, seed):
+        """ISP executions always fail -> the circuit trips and later
+        requests are served naive, bit-exact."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("runtime.vectorized.kernel", "error",
+                           match={"variant": "isp"}),
+        ])
+        requests = [Request(app="gaussian", image=chaos_image(seed),
+                            pattern="clamp", variant="isp")
+                    for _ in range(10)]
+        responses, stats, _ = run_scenario(
+            plan, requests, workers=1, batch_size=1, retries=1,
+            breaker_threshold=3, breaker_cooldown=32)
+        assert_invariants(requests, responses, seed=seed)
+        assert stats["engine"]["breaker.opened"] >= 1
+        rerouted = [r for r in responses
+                    if any(f.startswith("breaker:isp->naive")
+                           for f in r.fallbacks)]
+        assert rerouted, "breaker never rerouted"
+        assert all(r.ok for r in rerouted)
+        assert stats["breaker"]["isp"]["state"] != "closed"
+
+    # 5 ------------------------------------------------------------------
+    def test_simt_redzone_degrades_to_vectorized(self, seed):
+        """A redzone trap inside the SIMT simulation degrades the request to
+        the vectorized path — same pixels, one fallback marker."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("gpu.memory.redzone", "error", at=(0,),
+                           max_fires=2),
+        ])
+        size = 24
+        requests = [Request(app="gaussian", image=chaos_image(seed, size),
+                            pattern="clamp", variant="naive",
+                            exec_mode="simt")
+                    for _ in range(3)]
+        responses, stats, injector = run_scenario(plan, requests, workers=1)
+        assert_invariants(requests, responses, seed=seed, size=size)
+        assert all(r.ok for r in responses)
+        hit = injector.counts().get("gpu.memory.redzone", 0)
+        assert hit >= 1
+        assert stats["engine"]["engine.fallbacks_error"] >= 1
+        assert any("error:simt->vectorized" in r.fallbacks for r in responses)
+
+    # 6 ------------------------------------------------------------------
+    def test_latency_spike_trips_simt_timeout_fallback(self, seed):
+        """An injected latency spike burns the request budget before the
+        simulation starts; the engine degrades to vectorized instead of
+        hanging."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.execute", "latency", at=(0,),
+                           seconds=0.3),
+        ])
+        size = 24
+        requests = [Request(app="gaussian", image=chaos_image(seed, size),
+                            pattern="repeat", variant="naive",
+                            exec_mode="simt", timeout_s=0.2)
+                    for _ in range(3)]
+        responses, stats, _ = run_scenario(plan, requests, workers=1)
+        assert_invariants(requests, responses, seed=seed, size=size)
+        assert all(r.ok for r in responses)
+        assert stats["engine"]["engine.fallbacks_timeout"] >= 1
+        assert any("timeout:simt->vectorized" in r.fallbacks
+                   for r in responses)
+
+    # 7 ------------------------------------------------------------------
+    def test_eviction_storm_only_costs_rebuilds(self, seed):
+        """The plan cache is flushed before every lookup; throughput suffers,
+        correctness must not."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.cache.evict", "evict"),
+        ])
+        requests = [Request(app=app, image=chaos_image(seed), pattern=pat,
+                            variant="isp")
+                    for app, pat in [("gaussian", "clamp"), ("sobel", "mirror"),
+                                     ("laplace", "repeat")] * 4]
+        responses, stats, _ = run_scenario(
+            plan, requests, workers=2, batch_size=1)
+        assert_invariants(requests, responses, seed=seed)
+        assert all(r.ok for r in responses)
+        assert stats["plan_cache"]["forced_evictions"] > 0
+
+    # 8 ------------------------------------------------------------------
+    def test_injected_sanitizer_rejection_fails_loud_and_typed(self, seed):
+        """A sanitizer rejection must fail the plan's requests with
+        error_kind="sanitize" — degrading around a bounds finding would mean
+        serving potentially corrupt pixels."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.sanitize", "reject",
+                           match={"app": "gaussian"}),
+        ])
+        requests = []
+        for _ in range(4):
+            requests.append(Request(app="gaussian", image=chaos_image(seed),
+                                    pattern="constant", variant="isp"))
+            requests.append(Request(app="night", image=chaos_image(seed),
+                                    pattern="constant", variant="isp"))
+        responses, stats, _ = run_scenario(plan, requests, workers=2)
+        assert_invariants(requests, responses, seed=seed)
+        for req, resp in zip(requests, responses):
+            if req.app == "gaussian":
+                assert not resp.ok and resp.error_kind == "sanitize"
+            else:
+                assert resp.ok
+        assert stats["engine"]["engine.plans_sanitize_rejected"] >= 1
+
+    # 9 ------------------------------------------------------------------
+    def test_corrupt_tuner_persistence_is_a_cold_start_not_an_outage(
+            self, seed, tmp_path):
+        """The warm-restart file is corrupted on disk; the engine boots with
+        an empty table and "auto" requests still serve bit-exact."""
+        path = tmp_path / "tuner.json"
+        AutoTuner(path=path).save()
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.autotune.load", "corrupt"),
+        ])
+        requests = [Request(app="sobel", image=chaos_image(seed),
+                            pattern="clamp", variant="auto")
+                    for _ in range(6)]
+        responses, stats, _ = run_scenario(
+            plan, requests, workers=1, autotune_path=str(path))
+        assert_invariants(requests, responses, seed=seed)
+        assert all(r.ok for r in responses)
+        assert stats["engine"]["tuner.load_errors"] == 1
+
+    # 10 -----------------------------------------------------------------
+    def test_transient_vectorized_faults_recovered(self, seed):
+        """A burst of two kernel-evaluation failures is absorbed by the retry
+        budget without a single failed response."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("runtime.vectorized.kernel", "error",
+                           rate=1.0, max_fires=2),
+        ])
+        requests = [Request(app="laplace", image=chaos_image(seed),
+                            pattern="mirror", variant="isp")
+                    for _ in range(6)]
+        responses, stats, _ = run_scenario(plan, requests, workers=1)
+        assert_invariants(requests, responses, seed=seed)
+        assert all(r.ok for r in responses)
+        assert stats["engine"]["engine.retries"] >= 1
+
+    # 11 -----------------------------------------------------------------
+    def test_mixed_storm_holds_all_invariants(self, seed):
+        """Everything at once, at partial rates: crashes, transient execution
+        faults, eviction storms and latency spikes. Only the invariants are
+        asserted — this is the scenario that catches interactions."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.worker", "crash", rate=0.15,
+                           max_fires=2),
+            FaultSpec.make("serve.engine.execute", "error", rate=0.3,
+                           max_fires=6),
+            FaultSpec.make("serve.cache.evict", "evict", rate=0.3),
+            FaultSpec.make("runtime.vectorized.kernel", "latency", rate=0.1,
+                           seconds=0.01),
+        ])
+        requests = [Request(app=app, image=chaos_image(seed), pattern=pat,
+                            variant="isp")
+                    for app, pat in [("gaussian", "clamp"), ("laplace", "mirror"),
+                                     ("sobel", "repeat"), ("night", "clamp")] * 5]
+        responses, _, injector = run_scenario(
+            plan, requests, workers=3, batch_size=2)
+        assert_invariants(requests, responses, seed=seed)
+        assert injector.trace(), "storm injected nothing"
+
+
+def test_disarmed_registry_leaves_serving_untouched():
+    """With no plan armed the fault points are inert: a plain run serves
+    everything bit-exact and records no fault metrics."""
+    assert faults.active() is None
+    seed = SEEDS[0]
+    requests = [Request(app="gaussian", image=chaos_image(seed),
+                        pattern="clamp", variant="isp") for _ in range(4)]
+    with ServeEngine(workers=2) as engine:
+        responses = engine.run(requests)
+        stats = engine.stats()
+    assert_invariants(requests, responses, seed=seed)
+    assert all(r.ok for r in responses)
+    assert stats["engine"]["engine.faults_observed"] == 0
+    assert "faults" not in stats

@@ -1,0 +1,142 @@
+"""Unit tests of the fault-injection core: determinism, matching, arming."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultError, FaultInjector, FaultPlan, FaultSpec
+from repro.faults.core import _draw
+
+
+def plan_of(*specs: FaultSpec, seed: int = 42) -> FaultPlan:
+    return FaultPlan.make(seed, list(specs))
+
+
+class TestDecisions:
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector(plan_of(FaultSpec.make("p", rate=1.0)))
+        assert all(inj.fire("p") is not None for _ in range(10))
+
+    def test_rate_zero_never_fires(self):
+        inj = FaultInjector(plan_of(FaultSpec.make("p", rate=0.0)))
+        assert all(inj.fire("p") is None for _ in range(10))
+
+    def test_at_pins_exact_occurrences(self):
+        inj = FaultInjector(plan_of(FaultSpec.make("p", at=(1, 3))))
+        fired = [inj.fire("p") is not None for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_at_occurrences_are_per_key(self):
+        inj = FaultInjector(plan_of(FaultSpec.make("p", at=(0,))))
+        assert inj.fire("p", key="a") is not None
+        assert inj.fire("p", key="b") is not None  # fresh stream per key
+        assert inj.fire("p", key="a") is None
+
+    def test_max_fires_caps_total(self):
+        inj = FaultInjector(plan_of(FaultSpec.make("p", rate=1.0, max_fires=2)))
+        fired = [inj.fire("p") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_match_filters_on_context(self):
+        inj = FaultInjector(plan_of(
+            FaultSpec.make("p", match={"variant": "isp"})
+        ))
+        assert inj.fire("p", variant="naive") is None
+        assert inj.fire("p", variant="isp") is not None
+        assert inj.fire("p") is None  # missing context key does not match
+
+    def test_unknown_point_is_noop(self):
+        inj = FaultInjector(plan_of(FaultSpec.make("p")))
+        assert inj.fire("другой") is None
+        assert inj.trace() == []
+
+    def test_payload_round_trips(self):
+        inj = FaultInjector(plan_of(
+            FaultSpec.make("p", "latency", seconds=0.01)
+        ))
+        act = inj.fire("p")
+        assert act is not None
+        assert act.payload == {"seconds": 0.01}
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec.make("p", rate=1.5)
+
+
+class TestDeterminism:
+    def test_draw_is_pure(self):
+        assert _draw(1, 0, "p", "k", 3) == _draw(1, 0, "p", "k", 3)
+        assert _draw(1, 0, "p", "k", 3) != _draw(2, 0, "p", "k", 3)
+
+    def test_same_plan_same_trace(self):
+        spec = FaultSpec.make("p", rate=0.5)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan_of(spec, seed=123))
+            for i in range(50):
+                inj.fire("p", key=f"r{i}")
+            runs.append(inj.trace_signature())
+        assert runs[0] == runs[1]
+        assert 0 < len(runs[0]) < 50  # a real coin, not a constant
+
+    def test_different_seeds_differ(self):
+        def sig(seed):
+            inj = FaultInjector(FaultPlan.make(seed, [FaultSpec.make("p", rate=0.5)]))
+            for i in range(64):
+                inj.fire("p", key=f"r{i}")
+            return inj.trace_signature()
+
+        assert sig(1) != sig(2)
+
+    def test_trace_signature_is_scheduling_independent(self):
+        """Keyed decisions do not depend on the order threads hit them."""
+        spec = FaultSpec.make("p", rate=0.5)
+
+        def run(n_threads):
+            inj = FaultInjector(plan_of(spec, seed=7))
+            keys = [f"r{i}" for i in range(40)]
+
+            def worker(chunk):
+                for k in chunk:
+                    inj.fire("p", key=k)
+
+            threads = [
+                threading.Thread(target=worker, args=(keys[i::n_threads],))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return inj.trace_signature()
+
+        assert run(1) == run(4)
+
+
+class TestArming:
+    def test_disarmed_fire_is_none(self):
+        assert faults.active() is None
+        assert faults.fire("p") is None
+
+    def test_armed_context_installs_and_removes(self):
+        plan = plan_of(FaultSpec.make("p"))
+        with faults.armed(plan) as inj:
+            assert faults.active() is inj
+            assert faults.fire("p") is not None
+        assert faults.active() is None
+
+    def test_nested_arming_rejected(self):
+        plan = plan_of(FaultSpec.make("p"))
+        with faults.armed(plan):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with faults.armed(plan):
+                    pass
+        assert faults.active() is None
+
+    def test_fault_error_is_typed(self):
+        err = FaultError("serve.engine.execute", "error")
+        assert err.point == "serve.engine.execute"
+        assert "injected fault" in str(err)

@@ -234,11 +234,26 @@ class TestPersistence:
         assert payload["configs"][0]["committed"] == "naive"
         assert payload["configs"][0]["stats"]["naive"]["best_seconds"] == 1.0
 
-    def test_unsupported_version_rejected(self, tmp_path):
+    def test_unsupported_version_rejected_by_explicit_load(self, tmp_path):
         path = tmp_path / "tune.json"
         path.write_text(json.dumps({"version": 99, "configs": []}))
+        tuner = AutoTuner()
         with pytest.raises(ValueError, match="version"):
-            AutoTuner(path=path)
+            tuner.load(path)
+
+    def test_warm_restart_survives_corrupt_file(self, tmp_path):
+        """A corrupt/unsupported cache file must not take the constructor
+        (and with it the engine) down — it is a cold start, not an outage."""
+        path = tmp_path / "tune.json"
+        path.write_text(json.dumps({"version": 99, "configs": []}))
+        tuner = AutoTuner(path=path)
+        assert tuner.stats()["configs"] == 0
+        assert tuner.metrics.snapshot()["counters"]["tuner.load_errors"] == 1
+
+        path.write_text("{ not json at all")
+        tuner = AutoTuner(path=path)
+        assert tuner.stats()["configs"] == 0
+        assert tuner.metrics.snapshot()["counters"]["tuner.load_errors"] == 1
 
     def test_unknown_file_candidates_dropped(self, tmp_path):
         path = tmp_path / "tune.json"
