@@ -1,0 +1,90 @@
+"""Tracing overhead — the disarmed hot path must stay free.
+
+``repro.trace`` promises :mod:`repro.faults`' deal: every instrumentation
+site guards behind one module-global pointer check, so a service that never
+installs a tracer (or installs one with ``sample_rate=0.0``) pays nothing
+measurable. This benchmark prices that promise on a warm engine:
+
+* **baseline** — no tracer installed (the pointer check fails immediately);
+* **disabled** — a tracer installed with ``sample_rate=0.0`` (the check
+  passes, head sampling rejects every request before any span exists).
+
+Both run the same warmed workload in alternating rounds (best-of-N, so a
+one-off scheduler hiccup cannot fail the gate) and the disabled-tracing
+throughput must stay within 3% of baseline — the PR's acceptance criterion.
+A fully-traced round then sanity-checks that sampling at 1.0 actually
+records spans on this same workload (guarding against a gate that "passes"
+because instrumentation silently stopped firing).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve import ServeEngine
+from repro.serve.bench import build_workload
+from repro.trace import Tracer, recording
+
+from harness import stable_seed
+
+ROUNDS = 5
+REQUESTS = 80
+TOLERANCE = 0.03
+
+
+def _throughput(engine: ServeEngine, requests) -> float:
+    t0 = time.perf_counter()
+    responses = engine.run(requests)
+    elapsed = time.perf_counter() - t0
+    assert all(r.ok for r in responses)
+    return len(responses) / elapsed
+
+
+def run_overhead_comparison() -> dict:
+    requests = build_workload(
+        REQUESTS, size=64, seed=stable_seed("bench_trace_overhead"),
+        apps=("gaussian", "laplace", "sobel"), patterns=("clamp",))
+    disabled_tracer = Tracer(sample_rate=0.0)
+
+    with ServeEngine(workers=4) as engine:
+        engine.run(requests)  # warm the plan cache once for both configs
+
+        baseline: list[float] = []
+        disabled: list[float] = []
+        for _ in range(ROUNDS):  # alternate so drift hits both configs
+            baseline.append(_throughput(engine, requests))
+            with recording(disabled_tracer):
+                disabled.append(_throughput(engine, requests))
+        assert disabled_tracer.spans() == []  # rate 0.0 recorded nothing
+
+        # Sanity: at rate 1.0 the same sites DO fire on this workload.
+        traced_tracer = Tracer()
+        with recording(traced_tracer):
+            traced_rps = _throughput(engine, requests)
+        assert len(traced_tracer.spans()) >= 3 * REQUESTS
+
+    return {
+        "baseline_rps": max(baseline),
+        "disabled_rps": max(disabled),
+        "traced_rps": traced_rps,
+        "rounds": ROUNDS,
+        "requests": REQUESTS,
+        "ratio": max(disabled) / max(baseline),
+    }
+
+
+def test_trace_overhead_gate(benchmark, report):
+    data = benchmark.pedantic(run_overhead_comparison, rounds=1, iterations=1)
+    text = (
+        "tracing overhead (best of "
+        f"{data['rounds']} alternating rounds, {data['requests']} requests)\n"
+        f"  baseline (no tracer):        {data['baseline_rps']:8.1f} rps\n"
+        f"  installed, sample_rate=0.0:  {data['disabled_rps']:8.1f} rps "
+        f"({100 * (data['ratio'] - 1):+.2f}%)\n"
+        f"  installed, sample_rate=1.0:  {data['traced_rps']:8.1f} rps"
+    )
+    report("trace_overhead", text, data=data)
+    assert data["ratio"] >= 1.0 - TOLERANCE, (
+        f"disabled tracing cost {100 * (1 - data['ratio']):.2f}% "
+        f"(> {100 * TOLERANCE:.0f}% budget)"
+    )

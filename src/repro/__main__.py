@@ -14,6 +14,10 @@ Subcommands
 * ``serve-bench`` — drive a synthetic mixed workload through the
                  ``repro.serve`` engine and report throughput / latency /
                  plan-cache hit rate vs. the cold-compile baseline.
+* ``trace``    — record an end-to-end traced workload through the serve
+                 engine, export Chrome trace-event JSON (Perfetto) and the
+                 Prometheus text exposition, and print the
+                 measured-vs-predicted ``R_reduced`` region report.
 * ``sanitize`` — run the static IR bounds sanitizer over the filter corpus
                  (every app x pattern x variant), and optionally the
                  cross-variant differential harness; exits non-zero on any
@@ -271,6 +275,108 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Record a traced workload through the serve engine, export the trace
+    (Chrome trace-event JSON + Prometheus text), and print the
+    measured-vs-predicted ``R_reduced`` report (paper Eqs. 9-10 live)."""
+    from repro.gpu import get_device
+    from repro.serve import ServeEngine
+    from repro.serve.bench import build_workload
+    from repro.serve.plan import trace_app
+    from repro.trace import (
+        Tracer,
+        format_comparison_report,
+        measured_vs_predicted,
+        parse_prometheus_text,
+        prometheus_text,
+        recording,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.reporting import format_table
+
+    device = get_device(args.device)
+    block = _parse_block(args.block)
+    tracer = Tracer(sample_rate=args.sample_rate, seed=args.seed)
+    workload = build_workload(args.requests, size=args.size, seed=args.seed,
+                              variant=args.variant)
+    with recording(tracer):
+        with ServeEngine(workers=args.workers, device=device, block=block,
+                         queue_depth=max(64, args.requests),
+                         autotune=args.variant == "auto") as engine:
+            responses = engine.run(workload)
+            prom = prometheus_text(engine.metrics)
+    errors = sum(1 for r in responses if not r.ok)
+    traced = sum(1 for r in responses if r.trace_id is not None)
+
+    ok = True
+    spans = tracer.spans()
+    print(f"trace: {args.requests} request(s), {traced} sampled "
+          f"(rate {args.sample_rate:g}), {len(spans)} span(s), "
+          f"{errors} error(s)")
+    if errors:
+        ok = False
+
+    if args.out:
+        path = write_chrome_trace(tracer, args.out)
+        import json as _json
+
+        problems = validate_chrome_trace(_json.loads(path.read_text()))
+        if problems:
+            ok = False
+            print(f"chrome trace INVALID ({len(problems)} problem(s)):",
+                  file=sys.stderr)
+            for p in problems[:10]:
+                print(f"  {p}", file=sys.stderr)
+        else:
+            print(f"chrome trace written to {path} (valid; load in "
+                  "Perfetto / chrome://tracing)")
+
+    if args.prom:
+        from pathlib import Path
+
+        target = Path(args.prom)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(prom)
+        try:
+            parse_prometheus_text(prom)
+        except ValueError as exc:
+            ok = False
+            print(f"prometheus exposition INVALID: {exc}", file=sys.stderr)
+        else:
+            print(f"prometheus exposition written to {target} (parses clean)")
+
+    summary = tracer.summary()
+    if summary:
+        rows = [
+            [name, agg["count"], f"{1e3 * agg['total_s']:.2f}",
+             f"{1e3 * agg['max_s']:.2f}", agg["errors"]]
+            for name, agg in sorted(summary.items(),
+                                    key=lambda kv: -kv[1]["total_s"])
+        ]
+        print(format_table(
+            ["span", "count", "total ms", "max ms", "errors"], rows,
+            title="span summary",
+        ))
+
+    if args.report:
+        size = args.report_size or args.size
+        descs = []
+        for app in args.report_apps.split(","):
+            descs.extend(trace_app(app, args.report_pattern, size, size))
+        comparisons = measured_vs_predicted(descs, block=block, device=device)
+        print()
+        print(format_comparison_report(comparisons, tolerance=args.tolerance))
+        drift = [c for c in comparisons if not c.within(args.tolerance)]
+        if drift:
+            ok = False
+            print(f"{len(drift)} kernel(s) drifted past "
+                  f"{100 * args.tolerance:.0f}% of the model prediction",
+                  file=sys.stderr)
+
+    return 0 if ok else 1
+
+
 def cmd_sanitize(args) -> int:
     from repro.compiler import Variant
     from repro.sanitize import run_differential, sanitize_corpus
@@ -421,6 +527,37 @@ def main(argv=None) -> int:
                    help="JSON path to load/persist the learned table "
                         "(warm restarts skip trials)")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a traced serve workload; export Chrome trace JSON + "
+             "Prometheus text and the measured-vs-predicted region report",
+    )
+    p.add_argument("--requests", type=_positive_int, default=60)
+    p.add_argument("--size", type=_positive_int, default=128)
+    p.add_argument("--workers", type=_positive_int, default=4)
+    p.add_argument("--variant", default="isp+m",
+                   choices=["naive", "isp", "isp+m", "auto"])
+    p.add_argument("--sample-rate", type=float, default=1.0,
+                   help="head-sampling probability in [0, 1]")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--block", default="32x4")
+    p.add_argument("--device", default="GTX680", choices=["GTX680", "RTX2080"])
+    p.add_argument("--out", default=None,
+                   help="write Chrome trace-event JSON here (Perfetto)")
+    p.add_argument("--prom", default=None,
+                   help="write the Prometheus text exposition here")
+    p.add_argument("--no-report", dest="report", action="store_false",
+                   help="skip the measured-vs-predicted region report")
+    p.add_argument("--report-size", type=_positive_int, default=None,
+                   help="image size for the region report (default: --size)")
+    p.add_argument("--report-apps", default="gaussian",
+                   help="comma list of apps to profile regionally")
+    p.add_argument("--report-pattern", default="clamp",
+                   choices=["clamp", "mirror", "repeat", "constant"])
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed |measured - predicted| / predicted drift")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "sanitize",

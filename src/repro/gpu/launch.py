@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from typing import Iterable, Optional
 
 import numpy as np
@@ -20,7 +21,7 @@ from ..ir.function import KernelFunction
 from ..ir.verifier import verify
 from .memory import GlobalMemory
 from .profiler import Profiler
-from .simt import WARP_SIZE, WarpContext, WarpExecutor
+from .simt import WARP_SIZE, SimtAbort, WarpContext, WarpExecutor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,6 +94,7 @@ def execute_block(
     profiler: Optional[Profiler] = None,
     ipdoms: Optional[dict] = None,
     block_class: Optional[str] = None,
+    abort: Optional[threading.Event] = None,
 ) -> None:
     """Run every warp of one threadblock to completion.
 
@@ -116,7 +118,8 @@ def execute_block(
 
     contexts = list(_warp_contexts(cfg, *block_idx))
     executors = [
-        WarpExecutor(func, memory, params, profiler, ipdoms, shared=shared)
+        WarpExecutor(func, memory, params, profiler, ipdoms, shared=shared,
+                     abort=abort)
         for _ in contexts
     ]
     if shared is None:
@@ -146,6 +149,7 @@ def launch(
     params: dict,
     profiler: Optional[Profiler] = None,
     blocks: Optional[Iterable[tuple[tuple[int, int], Optional[str]]]] = None,
+    abort: Optional[threading.Event] = None,
 ) -> None:
     """Execute a kernel launch.
 
@@ -173,6 +177,9 @@ def launch(
         ix, iy = block_idx
         if not (0 <= ix < cfg.grid[0] and 0 <= iy < cfg.grid[1]):
             raise ValueError(f"block index {block_idx} outside grid {cfg.grid}")
+        if abort is not None and abort.is_set():
+            raise SimtAbort(f"{func.name}: launch aborted before block {block_idx}")
         execute_block(
-            func, cfg, block_idx, memory, params, profiler, ipdoms, block_class
+            func, cfg, block_idx, memory, params, profiler, ipdoms, block_class,
+            abort=abort,
         )

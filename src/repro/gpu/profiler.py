@@ -39,6 +39,11 @@ class BlockProfile:
     divergences: int = 0
     by_keyword: Counter = dataclasses.field(default_factory=Counter)
     by_category: Counter = dataclasses.field(default_factory=Counter)
+    #: warp instructions by ISP region tag / accounting role — these make a
+    #: representative block regionally scalable (repro.trace.profile lifts
+    #: them into whole-grid region profiles via class block counts, Eq. 8)
+    by_region: Counter = dataclasses.field(default_factory=Counter)
+    by_role: Counter = dataclasses.field(default_factory=Counter)
 
     def cycles_on(self, table: CostTable) -> float:
         """Issue cycles of this block under a specific device cost table."""
@@ -115,6 +120,8 @@ class Profiler:
             blk.thread_instructions += active_lanes
             blk.by_keyword[keyword] += 1
             blk.by_category[category_of(instr)] += 1
+            blk.by_region[region] += 1
+            blk.by_role[role] += 1
             blk.issue_cycles += cycles
             blk.mem_transactions += transactions
 

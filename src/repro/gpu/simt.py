@@ -18,6 +18,7 @@ full threadblocks in tests.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Optional
 
 import numpy as np
@@ -44,6 +45,15 @@ MAX_WARP_INSTRUCTIONS = 20_000_000
 
 class SimtError(Exception):
     """Raised on dynamic execution errors (undefined register reads etc.)."""
+
+
+class SimtAbort(SimtError):
+    """Raised when a launch's abort event is set mid-execution.
+
+    Cooperative cancellation: the serve engine sets the event when a SIMT
+    execution blows its deadline, so the abandoned simulation stops burning
+    CPU instead of running to completion in a zombie thread.
+    """
 
 
 @dataclasses.dataclass
@@ -97,12 +107,14 @@ class WarpExecutor:
         profiler: Optional[Profiler] = None,
         ipdoms: Optional[dict[str, Optional[str]]] = None,
         shared: Optional[GlobalMemory] = None,
+        abort: Optional["threading.Event"] = None,
     ):
         self.func = func
         self.memory = memory
         self.params = params
         self.shared = shared
         self.profiler = profiler
+        self.abort = abort
         self.ipdoms = ipdoms if ipdoms is not None else immediate_postdominators(func)
         self.regs: dict[str, np.ndarray] = {}
         self._executed = 0
@@ -205,6 +217,14 @@ class WarpExecutor:
                     f"{self.func.name}: warp exceeded {MAX_WARP_INSTRUCTIONS} "
                     "instructions — runaway loop?"
                 )
+            # Checked sparsely: Event.is_set() is cheap but not free, and
+            # this is the interpreter's innermost loop.
+            if (
+                self.abort is not None
+                and self._executed % 2048 == 0
+                and self.abort.is_set()
+            ):
+                raise SimtAbort(f"{self.func.name}: execution aborted")
             if instr.op is Opcode.BRA:
                 return self._branch(instr, label, mask, reconv, stack)
             if instr.op is Opcode.EXIT:

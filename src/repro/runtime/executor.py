@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import Optional
 
 import numpy as np
@@ -40,6 +41,7 @@ from ..gpu.profiler import BlockProfile, Profiler
 from ..gpu.launch import LaunchConfig, launch
 from ..gpu.timing import TimingEstimate, estimate_time
 from ..ir.types import DataType
+from ..trace import core as _trace_core
 
 # ---------------------------------------------------------------------------
 # Functional SIMT simulation
@@ -114,7 +116,19 @@ def run_pipeline_simt(
         out_base = mem.alloc(desc.width * desc.height * 4)
         bases[desc.output_name] = out_base
         prof = Profiler(cost_table_for(device))
+        t_launch = time.perf_counter()
         launch(ck.func, ck.launch_config, mem, ck.param_values(bases), prof)
+        if _trace_core._current is not None:
+            ctx = _trace_core.current_context()
+            if ctx is not None:
+                tracer, parent = ctx
+                tracer.record_span(
+                    f"launch:{desc.name}", parent,
+                    t_launch, time.perf_counter(),
+                    variant=ck.effective_variant.value,
+                    warp_instructions=prof.warp_instructions,
+                    regions=prof.region_totals(),
+                )
         images[desc.output_name] = mem.read_array(
             out_base, (desc.height, desc.width), DataType.F32
         )

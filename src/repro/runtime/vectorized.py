@@ -22,6 +22,7 @@ bench_wallclock_vectorized.py`` times it with pytest-benchmark.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Optional
 
 import numpy as np
@@ -30,6 +31,7 @@ from ..compiler.frontend import KernelDescription, trace_kernel
 from ..dsl.boundary import Boundary
 from ..faults import core as _faults
 from ..faults.core import FaultError
+from ..trace import core as _trace_core
 from ..dsl.expr import BinOp, Const, Expr, PixelAccess, UnOp
 from ..dsl.pipeline import Pipeline
 
@@ -342,6 +344,10 @@ def run_kernel_vectorized(
     height of any evaluated rectangle (memory-bounded streaming for large
     images); ``None`` evaluates each region in one shot.
     """
+    trace_ctx = None
+    if _trace_core._current is not None:
+        trace_ctx = _trace_core.current_context()
+    t_start = time.perf_counter() if trace_ctx is not None else 0.0
     if _faults._current is not None:
         # Fault point: per-kernel vectorized evaluation — "latency" models a
         # slow co-tenant, "error" a failed evaluation the engine must retry
@@ -380,6 +386,12 @@ def run_kernel_vectorized(
         value = ev.eval(desc.expr)
         out[rect.y0 : rect.y1, rect.x0 : rect.x1] = np.broadcast_to(
             value, (rect.y1 - rect.y0, rect.x1 - rect.x0)
+        )
+    if trace_ctx is not None:
+        tracer, parent = trace_ctx
+        tracer.record_span(
+            f"kernel:{desc.name}", parent, t_start, time.perf_counter(),
+            variant=variant, tile_rows=tile_rows, regions=len(rects),
         )
     return out
 

@@ -417,6 +417,24 @@ class AutoTuner:
 
     # -------------------------------------------------------------- reporting
 
+    def explain(self, key: TunerKey) -> dict:
+        """Why the tuner is deciding the way it is for ``key`` — flat,
+        span-attribute-friendly facts (used by the trace layer to annotate
+        ``autotune`` spans)."""
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                return {}
+            return {
+                "model_gain": state.model_gain,
+                "model_choice": state.model_choice,
+                "committed": state.committed,
+                "switches": state.switches,
+                "observations": {
+                    c: st.observations for c, st in state.stats.items()
+                },
+            }
+
     def agreement_rate(self) -> Optional[float]:
         """Fraction of committed configs agreeing with the model (live
         Table III); ``None`` before any commit."""

@@ -57,6 +57,7 @@ from typing import Union
 from ..compiler.isp import CompileError
 from ..faults import core as _faults
 from ..faults.core import FaultError
+from ..trace import core as _trace_core
 from ..gpu.device import DeviceSpec, GTX680
 from ..sanitize.static import SanitizeError
 from .autotune import AutoTuner, TunerKey, pipeline_gain, tuner_key
@@ -87,11 +88,12 @@ _REQUEST_IDS = itertools.count(1)
 #: Every way a request is allowed to fail. Anything outside this set is an
 #: engine bug; the chaos suite enforces membership for all non-ok responses.
 ERROR_KINDS = (
-    "plan_build",    # tracing/compilation of the plan failed
-    "sanitize",      # the static bounds sanitizer rejected the plan
-    "timeout_queue", # deadline passed while the request was still queued
-    "execution",     # execution failed after the retry budget was exhausted
-    "worker_crash",  # the worker processing the batch died mid-flight
+    "plan_build",      # tracing/compilation of the plan failed
+    "sanitize",        # the static bounds sanitizer rejected the plan
+    "timeout_queue",   # deadline passed while the request was still queued
+    "timeout_execute", # deadline passed while the request was executing
+    "execution",       # execution failed after the retry budget was exhausted
+    "worker_crash",    # the worker processing the batch died mid-flight
 )
 
 
@@ -158,6 +160,11 @@ class Response:
     build_seconds: float = 0.0
     execute_seconds: float = 0.0
     worker: str = ""
+    #: trace id when a tracer was installed and this request was sampled
+    trace_id: Optional[str] = None
+    #: per-kernel :class:`~repro.trace.profile.RegionProfile` list when a
+    #: sampled SIMT execution served this request
+    region_profiles: Optional[list] = None
 
     @property
     def ok(self) -> bool:
@@ -180,15 +187,38 @@ def _injected_sanitize_report(variant: str):
 
 
 class _Pending:
-    """A submitted request plus its completion latch."""
+    """A submitted request plus its completion latch.
 
-    __slots__ = ("request", "enqueued_at", "event", "response")
+    A pending request is resolved exactly once: the worker that serves it
+    and a caller whose :meth:`ResponseHandle.result` wait expired past the
+    request deadline can race, and :meth:`claim` makes the race safe —
+    first claimer wins, the loser reads the winner's response.
+    """
+
+    __slots__ = ("request", "enqueued_at", "event", "response",
+                 "tracer", "span", "phase", "claimed", "_claim_lock")
 
     def __init__(self, request: Request):
         self.request = request
         self.enqueued_at = time.perf_counter()
         self.event = threading.Event()
         self.response: Optional[Response] = None
+        #: trace context riding along the queue handoff (None = unsampled)
+        self.tracer = None
+        self.span = None
+        #: lifecycle phase, for typing a caller-side expiry:
+        #: "queued" until execution begins, then "executing"
+        self.phase = "queued"
+        self.claimed = False
+        self._claim_lock = threading.Lock()
+
+    def claim(self) -> bool:
+        """Atomically take the right to resolve this request (first wins)."""
+        with self._claim_lock:
+            if self.claimed:
+                return False
+            self.claimed = True
+            return True
 
     def deadline(self) -> Optional[float]:
         if self.request.timeout_s is None:
@@ -199,19 +229,35 @@ class _Pending:
 class ResponseHandle:
     """Future-like handle returned by :meth:`ServeEngine.submit`."""
 
-    def __init__(self, pending: _Pending):
+    def __init__(self, pending: _Pending, engine: Optional["ServeEngine"] = None):
         self._pending = pending
+        self._engine = engine
 
     def done(self) -> bool:
         return self._pending.event.is_set()
 
     def result(self, timeout: Optional[float] = None) -> Response:
-        if not self._pending.event.wait(timeout):
-            raise TimeoutError(
-                f"request {self._pending.request.request_id} still in flight"
-            )
-        assert self._pending.response is not None
-        return self._pending.response
+        """Wait for the response (``timeout`` bounds *this call's* wait).
+
+        When the wait expires and the request's own deadline has also
+        passed, the request is resolved here and now as a typed timeout
+        :class:`Response` (``timeout_queue`` or ``timeout_execute``) instead
+        of raising — previously the caller could observe an expired request
+        as ``TimeoutError`` while the engine never typed the failure. A
+        caller whose wait expires *before* the request deadline still gets
+        ``TimeoutError``: the request is merely in flight.
+        """
+        if self._pending.event.wait(timeout):
+            assert self._pending.response is not None
+            return self._pending.response
+        p = self._pending
+        deadline = p.deadline()
+        if (self._engine is not None and deadline is not None
+                and time.perf_counter() >= deadline):
+            return self._engine._expire(p)
+        raise TimeoutError(
+            f"request {p.request.request_id} still in flight"
+        )
 
 
 class ServeEngine:
@@ -280,6 +326,8 @@ class ServeEngine:
         self._c_error = m.counter("engine.responses_error")
         self._c_queue_timeout = m.counter("engine.timeouts_queue",
                                           "deadline passed while queued")
+        self._c_exec_timeout = m.counter("engine.timeouts_execute",
+                                         "deadline passed during execution")
         self._c_fb_timeout = m.counter("engine.fallbacks_timeout",
                                        "simt -> vectorized on exec timeout")
         self._c_fb_compile = m.counter("engine.fallbacks_compile",
@@ -302,9 +350,9 @@ class ServeEngine:
         self._c_batches = m.counter("engine.batches")
         self._c_cache_hits = m.counter("engine.plan_cache_hits")
         self._c_cache_misses = m.counter("engine.plan_cache_misses")
-        self._h_queue = m.histogram("engine.queue_seconds")
-        self._h_build = m.histogram("engine.plan_build_seconds")
-        self._h_execute = m.histogram("engine.execute_seconds")
+        self._h_queue = m.histogram("engine.queue_seconds", unit="s")
+        self._h_build = m.histogram("engine.plan_build_seconds", unit="s")
+        self._h_execute = m.histogram("engine.execute_seconds", unit="s")
 
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -327,6 +375,17 @@ class ServeEngine:
         if request.timeout_s is None and self.default_timeout_s is not None:
             request.timeout_s = self.default_timeout_s
         pending = _Pending(request)
+        tracer = _trace_core._current
+        if tracer is not None:
+            span = tracer.start_trace(
+                "request", key=f"r{request.request_id}",
+                request_id=request.request_id, app=request.app,
+                pattern=request.pattern, variant=request.variant,
+                exec_mode=request.exec_mode,
+            )
+            if span is not None:  # None = head sampling skipped this request
+                pending.tracer = tracer
+                pending.span = span
         with self._lock:
             if self._closed:
                 raise EngineClosed("engine is closed")
@@ -343,7 +402,7 @@ class ServeEngine:
             self._queue.append(pending)
             self._c_submitted.inc()
             self._not_empty.notify()
-        return ResponseHandle(pending)
+        return ResponseHandle(pending, self)
 
     def run(self, requests: list[Request]) -> list[Response]:
         """Submit a list (blocking on backpressure) and wait for all results,
@@ -407,13 +466,18 @@ class ServeEngine:
 
     def _resolve_plan(
         self, request: Request
-    ) -> tuple[ExecutionPlan, bool, list[str], float, Optional[tuple[TunerKey, str]]]:
+    ) -> tuple[ExecutionPlan, bool, list[str], float,
+               Optional[tuple[TunerKey, str]], list[tuple]]:
         """Plan for one workload signature: trace (cheap), resolve ``"auto"``
         through the tuner, look up the cache by content digest, build on
         miss; degrade isp/isp_warp -> naive on CompileError. Returns
-        (plan, was_hit, fallbacks, build_seconds, tuner_context) where
-        tuner_context is ``(key, decided_variant)`` for tuned requests."""
+        (plan, was_hit, fallbacks, build_seconds, tuner_context,
+        trace_events) where tuner_context is ``(key, decided_variant)`` for
+        tuned requests and trace_events is a list of
+        ``(name, start, end, attrs)`` perf_counter stamps for sub-steps
+        (populated only while a tracer is installed)."""
         t0 = time.perf_counter()
+        events: list[tuple] = []
         h, w = request.image.shape
         descs = trace_app(request.app, request.pattern, w, h, request.constant)
         fallbacks: list[str] = []
@@ -428,13 +492,19 @@ class ServeEngine:
                 fallbacks.append("auto:no-tuner->isp+m")
             else:
                 key_t = tuner_key(descs, request.pattern, self.device)
-                variant, _phase = self.tuner.decide(
+                t_tune = time.perf_counter()
+                variant, phase = self.tuner.decide(
                     key_t,
                     lambda: pipeline_gain(
                         descs, block=self.block, device=self.device
                     ),
                 )
                 tuner_ctx = (key_t, variant)
+                if _trace_core._current is not None:
+                    attrs = {"variant": variant, "phase": phase}
+                    attrs.update(self.tuner.explain(key_t))
+                    events.append(("autotune", t_tune, time.perf_counter(),
+                                   attrs))
 
         if variant != "naive" and self.breaker.should_reroute(variant):
             # The circuit for this shape is open: serve naive instead of
@@ -498,7 +568,8 @@ class ServeEngine:
             except SanitizeError:
                 self._c_sanitize_rejected.inc()
                 raise
-        return plan, hit, fallbacks, time.perf_counter() - t0, tuner_ctx
+        return (plan, hit, fallbacks, time.perf_counter() - t0, tuner_ctx,
+                events)
 
     # ------------------------------------------------------------ execution
 
@@ -529,8 +600,15 @@ class ServeEngine:
                     raise FaultError("serve.engine.execute", act.kind)
         if request.exec_mode == "simt":
             remaining = None if deadline is None else deadline - time.perf_counter()
+            # Sampled requests collect per-kernel profilers; the region
+            # profiles ride back on the Response.
+            collect: Optional[list] = (
+                [] if _trace_core.current_context() is not None else None
+            )
             try:
-                output = self._execute_simt_with_timeout(plan, request, remaining)
+                output = self._execute_simt_with_timeout(
+                    plan, request, remaining, collect=collect
+                )
             except Exception:
                 # A failed simulation (e.g. a redzone trap) degrades to the
                 # vectorized path, which computes independently — same rule
@@ -546,27 +624,50 @@ class ServeEngine:
                     self._c_fb_timeout.inc()
                     response.fallbacks.append("timeout:simt->vectorized")
             if output is not None:
+                if collect:
+                    from ..trace.profile import RegionProfile
+
+                    response.region_profiles = [
+                        RegionProfile.from_profiler(name, var, prof)
+                        for name, var, prof in collect
+                    ]
                 return output
         return plan.execute(request.image, tile_rows=self._tile_rows_for(request))
 
     def _execute_simt_with_timeout(
-        self, plan: ExecutionPlan, request: Request, budget_s: Optional[float]
+        self,
+        plan: ExecutionPlan,
+        request: Request,
+        budget_s: Optional[float],
+        collect: Optional[list] = None,
     ) -> Optional[np.ndarray]:
         """Run the SIMT simulation; ``None`` means the budget expired.
 
         Python threads cannot be killed, so an over-budget simulation is
-        *abandoned* (it finishes in the background and its result is
-        discarded) — acceptable for a simulator, and the reason the engine
-        bounds its queue: abandoned work cannot pile up faster than requests
-        are admitted.
+        *abandoned* — but not left running to completion: the warp
+        interpreter polls the ``abort`` event and bails out cooperatively,
+        so the zombie thread stops burning CPU within a few thousand
+        instructions instead of finishing a result nobody will read.
         """
         if budget_s is not None and budget_s <= 0:
             return None
         box: dict[str, object] = {}
+        abort = threading.Event()
+        # The simulation runs on its own watchdogged thread; re-bind the
+        # trace context explicitly (thread-locals do not cross threads).
+        ctx = _trace_core.current_context()
 
         def run():
             try:
-                box["output"] = plan.execute_simt(request.image)
+                if ctx is not None:
+                    with _trace_core.context(*ctx):
+                        box["output"] = plan.execute_simt(
+                            request.image, abort=abort, collect=collect
+                        )
+                else:
+                    box["output"] = plan.execute_simt(
+                        request.image, abort=abort, collect=collect
+                    )
             except Exception as exc:  # surfaced by the caller below
                 box["error"] = exc
 
@@ -575,6 +676,7 @@ class ServeEngine:
         t.start()
         t.join(budget_s)
         if t.is_alive():
+            abort.set()
             return None
         if "error" in box:
             raise box["error"]  # type: ignore[misc]
@@ -598,18 +700,28 @@ class ServeEngine:
         for p, r in zip(batch, responses):
             r.queue_seconds = now - p.enqueued_at
             self._h_queue.observe(r.queue_seconds)
+            if p.span is not None:
+                # Retroactive: the wait was measured anyway, no live span
+                # had to ride the queue.
+                p.tracer.record_span("queue", p.span, p.enqueued_at, now)
 
+        t_plan0 = time.perf_counter()
         try:
-            plan, hit, fallbacks, build_s, tuner_ctx = self._resolve_plan(
-                leader.request
+            plan, hit, fallbacks, build_s, tuner_ctx, plan_events = (
+                self._resolve_plan(leader.request)
             )
         except Exception as exc:
             kind = "sanitize" if isinstance(exc, SanitizeError) else "plan_build"
             for p, r in zip(batch, responses):
+                if p.span is not None:
+                    p.tracer.record_span("plan", p.span, t_plan0,
+                                         time.perf_counter(),
+                                         status="error", error=str(exc))
                 r.error = f"plan build failed: {exc}"
                 r.error_kind = kind
                 self._finish(p, r)
             return
+        t_plan1 = time.perf_counter()
 
         self._h_build.observe(build_s)
         # The leader's resolution outcome; followers were served without a
@@ -624,15 +736,28 @@ class ServeEngine:
             r.cache_hit = hit if p is leader else True
             r.build_seconds = build_s if p is leader else 0.0
             r.fallbacks.extend(fallbacks)
+            if p.span is not None:
+                pspan = p.tracer.record_span(
+                    "plan", p.span, t_plan0, t_plan1,
+                    cache_hit=r.cache_hit, variant=plan.variant,
+                    leader=p is leader, build_seconds=r.build_seconds,
+                )
+                for ev_name, ev_s, ev_e, ev_attrs in plan_events:
+                    p.tracer.record_span(ev_name, pspan, ev_s, ev_e,
+                                         **ev_attrs)
             deadline = p.deadline()
-            if (deadline is not None and time.perf_counter() > deadline
+            # Deadline comparisons are uniformly inclusive (``>=``): a
+            # request *at* its deadline is expired, matching the retry
+            # loop's check below (the queue check used to say ``>``).
+            if (deadline is not None and time.perf_counter() >= deadline
                     and p.request.exec_mode != "simt"):
-                self._c_queue_timeout.inc()
                 r.error = (f"timed out after {p.request.timeout_s:.3f}s "
                            "while queued")
                 r.error_kind = "timeout_queue"
-                self._finish(p, r)
+                if self._finish(p, r):
+                    self._c_queue_timeout.inc()
                 continue
+            p.phase = "executing"
             t0 = time.perf_counter()
             # Bounded retry with exponential backoff: transient failures
             # (injected faults, co-tenant hiccups) get self.retries more
@@ -640,17 +765,40 @@ class ServeEngine:
             # its budget fails with a typed error — never silently.
             attempt = 0
             while True:
+                espan = None
+                if p.span is not None:
+                    espan = p.tracer.start_span(
+                        "execute", p.span, attempt=attempt,
+                        exec_mode=p.request.exec_mode, variant=plan.variant,
+                    )
                 try:
-                    r.output = self._execute(plan, p, r)
+                    if espan is not None:
+                        with _trace_core.context(p.tracer, espan):
+                            r.output = self._execute(plan, p, r)
+                    else:
+                        r.output = self._execute(plan, p, r)
                     r.error = None
                     r.error_kind = None
+                    if espan is not None:
+                        p.tracer.finish(espan, fallbacks=list(r.fallbacks))
                     break
                 except Exception as exc:
+                    if espan is not None:
+                        p.tracer.finish(espan, status="error",
+                                        error=str(exc))
                     r.error = f"execution failed: {exc}"
                     r.error_kind = "execution"
                     deadline = p.deadline()
                     out_of_time = (deadline is not None
                                    and time.perf_counter() >= deadline)
+                    if out_of_time and attempt < self.retries:
+                        # The deadline — not the retry budget — is what
+                        # stopped us; type the failure as a timeout.
+                        r.error = (f"timed out after "
+                                   f"{p.request.timeout_s:.3f}s during "
+                                   f"execution (last error: {exc})")
+                        r.error_kind = "timeout_execute"
+                        break
                     if attempt >= self.retries or out_of_time:
                         break
                     attempt += 1
@@ -679,12 +827,54 @@ class ServeEngine:
                         self.tuner.observe(key_t, decided, r.execute_seconds)
                     else:
                         self.tuner.penalize(key_t, decided)
-            self._finish(p, r)
+            if self._finish(p, r) and r.error_kind == "timeout_execute":
+                self._c_exec_timeout.inc()
 
-    def _finish(self, pending: _Pending, response: Response) -> None:
+    def _finish(self, pending: _Pending, response: Response) -> bool:
+        """Resolve a request (first-claim-wins); returns whether *this*
+        response won. Outcome counters must only be incremented by the
+        winner — a worker completing a request the caller already expired
+        must not double-count."""
+        if not pending.claim():
+            return False
         (self._c_ok if response.ok else self._c_error).inc()
+        if pending.span is not None:
+            response.trace_id = pending.span.trace_id
+            pending.tracer.finish(
+                pending.span,
+                status="ok" if response.ok else f"error:{response.error_kind}",
+                error_kind=response.error_kind,
+                retries=response.retries,
+                fallbacks=list(response.fallbacks),
+                cache_hit=response.cache_hit,
+                worker=response.worker,
+            )
         pending.response = response
         pending.event.set()
+        return True
+
+    def _expire(self, pending: _Pending) -> Response:
+        """Caller-side deadline expiry (from :meth:`ResponseHandle.result`):
+        resolve the request as a typed timeout now, racing the worker.
+        The loser of the race returns the winner's response."""
+        request = pending.request
+        if pending.phase == "queued":
+            kind, where = "timeout_queue", "while queued"
+        else:
+            kind, where = "timeout_execute", "during execution"
+        response = Response(
+            request_id=request.request_id, app=request.app,
+            error=f"timed out after {request.timeout_s:.3f}s {where}",
+            error_kind=kind,
+        )
+        if self._finish(pending, response):
+            (self._c_queue_timeout if kind == "timeout_queue"
+             else self._c_exec_timeout).inc()
+            return response
+        # The worker claimed first; its response is (about to be) set.
+        pending.event.wait()
+        assert pending.response is not None
+        return pending.response
 
     # ------------------------------------------------------------ lifecycle
 

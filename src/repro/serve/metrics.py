@@ -4,13 +4,16 @@ Deliberately tiny and dependency-free (the container has no prometheus
 client): a :class:`Counter` is a locked integer, a :class:`Histogram` keeps a
 bounded sample window and reports count/mean/percentiles, and the
 :class:`MetricsRegistry` names them and renders one snapshot dict that
-``ServeEngine.stats()`` and ``serve-bench`` consume.
+``ServeEngine.stats()`` and ``serve-bench`` consume. For scraping,
+:func:`repro.trace.prometheus_text` renders a registry in the Prometheus
+text exposition format.
 
 All operations are thread-safe; workers record from many threads at once.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from typing import Optional
@@ -56,17 +59,36 @@ class Gauge:
             return self._value
 
 
+def _nearest_rank(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (ceiling convention): the smallest sample
+    such that at least ``q``% of the window is <= it.
+
+    The previous ``round(q/100*n) - 1`` indexing was biased low for small
+    windows (Python's round-half-to-even put the p50 of 5 samples at the
+    2nd-smallest); ``ceil`` is the textbook nearest-rank definition.
+    """
+    if not samples:
+        return 0.0
+    rank = min(len(samples), max(1, math.ceil(q / 100.0 * len(samples))))
+    return samples[rank - 1]
+
+
 class Histogram:
     """Latency distribution over a bounded window of recent observations.
 
-    Keeps the most recent ``window`` samples (count/sum are exact over the
-    whole lifetime; percentiles are over the window). Percentiles use the
-    nearest-rank method on a sorted copy — fine at these sample counts.
+    Keeps the most recent ``window`` samples. ``count``/``sum``/``max`` are
+    exact over the whole lifetime; percentiles are over the window only —
+    snapshots report ``window_count`` alongside so consumers can tell how
+    much of the lifetime the percentiles describe. ``unit`` names the
+    observed quantity's unit (``"s"`` for seconds — rendered as
+    milliseconds — empty for unitless values, rendered raw).
     """
 
-    def __init__(self, name: str, help: str = "", window: int = 8192):
+    def __init__(self, name: str, help: str = "", window: int = 8192,
+                 unit: str = ""):
         self.name = name
         self.help = help
+        self.unit = unit
         self._lock = threading.Lock()
         self._samples: deque[float] = deque(maxlen=window)
         self._count = 0
@@ -86,34 +108,30 @@ class Histogram:
         with self._lock:
             return self._count
 
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile of the sample window, q in [0, 100]."""
         with self._lock:
             samples = sorted(self._samples)
-        if not samples:
-            return 0.0
-        rank = max(0, min(len(samples) - 1, round(q / 100.0 * len(samples)) - 1))
-        return samples[rank]
+        return _nearest_rank(samples, q)
 
     def snapshot(self) -> dict:
         with self._lock:
             samples = sorted(self._samples)
             count, total, peak = self._count, self._sum, self._max
-        if not samples:
-            return {"count": count, "mean": 0.0, "p50": 0.0, "p90": 0.0,
-                    "p99": 0.0, "max": 0.0}
-
-        def rank(q: float) -> float:
-            idx = max(0, min(len(samples) - 1, round(q / 100.0 * len(samples)) - 1))
-            return samples[idx]
-
         return {
             "count": count,
+            "window_count": len(samples),
             "mean": total / count if count else 0.0,
-            "p50": rank(50.0),
-            "p90": rank(90.0),
-            "p99": rank(99.0),
+            "p50": _nearest_rank(samples, 50.0),
+            "p90": _nearest_rank(samples, 90.0),
+            "p99": _nearest_rank(samples, 99.0),
             "max": peak if peak is not None else 0.0,
+            "unit": self.unit,
         }
 
 
@@ -138,11 +156,19 @@ class MetricsRegistry:
                 self._gauges[name] = Gauge(name, help)
             return self._gauges[name]
 
-    def histogram(self, name: str, help: str = "", window: int = 8192) -> Histogram:
+    def histogram(self, name: str, help: str = "", window: int = 8192,
+                  unit: str = "") -> Histogram:
         with self._lock:
             if name not in self._histograms:
-                self._histograms[name] = Histogram(name, help, window)
+                self._histograms[name] = Histogram(name, help, window, unit)
             return self._histograms[name]
+
+    def instruments(self) -> tuple[dict[str, Counter], dict[str, Gauge],
+                                   dict[str, Histogram]]:
+        """Live instrument maps (copies), for exporters that need help
+        strings and units, not just values."""
+        with self._lock:
+            return dict(self._counters), dict(self._gauges), dict(self._histograms)
 
     def snapshot(self) -> dict:
         """One nested dict: {"counters": {...}, "gauges": {...}, "histograms": {...}}."""
@@ -165,9 +191,16 @@ class MetricsRegistry:
         for name, value in snap["gauges"].items():
             lines.append(f"{name} = {value:g}")
         for name, h in snap["histograms"].items():
+            # Only histograms that declare seconds render scaled to ms; a
+            # unitless histogram prints its raw values (the old code
+            # assumed seconds for everything and mislabelled them).
+            if h.get("unit") == "s":
+                fmt = lambda v: f"{v * 1e3:.2f}ms"
+            else:
+                fmt = lambda v: f"{v:g}"
             lines.append(
-                f"{name}: n={h['count']} mean={h['mean'] * 1e3:.2f}ms "
-                f"p50={h['p50'] * 1e3:.2f}ms p90={h['p90'] * 1e3:.2f}ms "
-                f"max={h['max'] * 1e3:.2f}ms"
+                f"{name}: n={h['count']} mean={fmt(h['mean'])} "
+                f"p50={fmt(h['p50'])} p90={fmt(h['p90'])} "
+                f"max={fmt(h['max'])}"
             )
         return "\n".join(lines)

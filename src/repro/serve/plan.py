@@ -198,14 +198,28 @@ class ExecutionPlan:
             )
         return images[self.output_name]
 
-    def execute_simt(self, image: np.ndarray) -> np.ndarray:
+    def execute_simt(
+        self,
+        image: np.ndarray,
+        *,
+        abort: Optional[threading.Event] = None,
+        collect: Optional[list] = None,
+    ) -> np.ndarray:
         """Full functional SIMT simulation (slow; the engine guards it with a
-        timeout and falls back to :meth:`execute`)."""
+        timeout and falls back to :meth:`execute`).
+
+        ``abort`` is polled by the warp interpreter: setting it makes an
+        abandoned over-deadline simulation stop instead of running to
+        completion in a zombie thread. ``collect``, when given, receives one
+        ``(kernel_name, variant, Profiler)`` triple per stage — the engine
+        lifts these into per-region trace profiles for sampled requests.
+        """
         from ..gpu.cost import cost_table_for
         from ..gpu.launch import launch
         from ..gpu.memory import GlobalMemory
         from ..gpu.profiler import Profiler
         from ..ir.types import DataType
+        from ..trace import core as _trace_core
 
         images = self._bind_input(image)
         compiled = self._compiled_simt()
@@ -223,7 +237,24 @@ class ExecutionPlan:
             out_base = mem.alloc(desc.width * desc.height * 4)
             bases[desc.output_name] = out_base
             prof = Profiler(cost_table_for(self.device))
-            launch(ck.func, ck.launch_config, mem, ck.param_values(bases), prof)
+            t0 = time.perf_counter()
+            launch(ck.func, ck.launch_config, mem, ck.param_values(bases), prof,
+                   abort=abort)
+            if _trace_core._current is not None:
+                ctx = _trace_core.current_context()
+                if ctx is not None:
+                    tracer, parent = ctx
+                    tracer.record_span(
+                        f"launch:{desc.name}", parent,
+                        t0, time.perf_counter(),
+                        variant=self.kernel_variants[desc.output_name],
+                        warp_instructions=prof.warp_instructions,
+                        regions=prof.region_totals(),
+                    )
+            if collect is not None:
+                collect.append(
+                    (desc.name, self.kernel_variants[desc.output_name], prof)
+                )
             images[desc.output_name] = mem.read_array(
                 out_base, (desc.height, desc.width), DataType.F32
             )

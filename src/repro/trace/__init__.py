@@ -1,0 +1,66 @@
+"""``repro.trace`` — end-to-end request tracing and profiling export.
+
+Three layers (see docs/tracing.md):
+
+* :mod:`~repro.trace.core` — :class:`Span`/:class:`Tracer` with
+  deterministic head sampling, ambient installation (zero overhead
+  disarmed, mirroring :mod:`repro.faults`), and explicit cross-thread
+  context propagation;
+* :mod:`~repro.trace.exporters` — Chrome trace-event JSON (Perfetto) and
+  Prometheus text exposition over the serve stack's
+  :class:`~repro.serve.metrics.MetricsRegistry`, with validating parsers
+  for CI;
+* :mod:`~repro.trace.profile` — measured per-ISP-region dynamic profiles
+  and the measured-vs-predicted ``R_reduced`` report that closes the loop
+  on paper Eqs. 1-10 in production.
+"""
+
+from .core import (
+    Span,
+    Tracer,
+    active,
+    context,
+    current_context,
+    install,
+    recording,
+    uninstall,
+)
+from .exporters import (
+    chrome_trace,
+    metric_name,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .profile import (
+    RegionComparison,
+    RegionProfile,
+    format_comparison_report,
+    format_region_profile,
+    measured_vs_predicted,
+    profile_regions,
+)
+
+__all__ = [
+    "RegionComparison",
+    "RegionProfile",
+    "Span",
+    "Tracer",
+    "active",
+    "chrome_trace",
+    "context",
+    "current_context",
+    "format_comparison_report",
+    "format_region_profile",
+    "install",
+    "measured_vs_predicted",
+    "metric_name",
+    "parse_prometheus_text",
+    "profile_regions",
+    "prometheus_text",
+    "recording",
+    "uninstall",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,299 @@
+"""Structured tracing: spans, a head-sampling tracer, and ambient install.
+
+The serve stack (PRs 1-4) answers *how many* — counters, histograms — but
+not *where one request's time went*. This module adds the missing per-request
+axis: a :class:`Span` tree per sampled request covering
+``request -> queue -> plan -> autotune -> execute -> kernel/launch``,
+propagated explicitly across the worker pool (thread-locals do not survive a
+queue handoff) and exported to Chrome trace-event JSON / Prometheus text by
+:mod:`repro.trace.exporters`.
+
+Design constraints, mirroring :mod:`repro.faults`:
+
+* **Zero overhead disarmed.** Every instrumentation site guards with
+  ``if core._current is not None`` — a module-global pointer check. No
+  tracer installed means no allocation, no locking, no clock reads.
+* **Deterministic head sampling.** Whether a request is traced is decided
+  once, at the root span (head-based), as a pure SHA-256 function of
+  ``(seed, key)`` — so the same workload yields the same sampled set run
+  after run, regardless of worker scheduling.
+* **Bounded memory.** The span buffer is capped (``max_spans``); overflow
+  increments a drop counter instead of growing without bound.
+
+Spans record on a single monotonic timeline (``time.perf_counter`` relative
+to the tracer's epoch), so spans recorded by different worker threads order
+correctly in the exported trace.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import itertools
+import threading
+import time
+from typing import Iterator, Optional
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed operation within a trace.
+
+    ``start_s``/``end_s`` are seconds since the owning tracer's epoch (one
+    monotonic timeline shared by every thread). ``parent_id`` is ``None``
+    for a trace's root span.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_s: float
+    end_s: Optional[float] = None
+    attributes: dict = dataclasses.field(default_factory=dict)
+    status: str = "ok"
+    thread: str = ""
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return max(0.0, self.end_s - self.start_s)
+
+
+def _sample_draw(seed: int, key: str) -> float:
+    """Uniform [0, 1) draw, a pure function of (seed, key) — same scheme as
+    :func:`repro.faults.core._draw`, so sampling is replayable."""
+    digest = hashlib.sha256(f"{seed}|trace|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class Tracer:
+    """Collects spans for one recording session (thread-safe).
+
+    ``sample_rate`` is the head-sampling probability: :meth:`start_trace`
+    returns ``None`` for unsampled keys and every downstream site skips its
+    work (children are only created under a sampled root). ``1.0`` traces
+    everything, ``0.0`` nothing — the hot path then costs one pointer check
+    per site.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        max_spans: int = 100_000,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.sample_rate = sample_rate
+        self.seed = int(seed)
+        self.max_spans = max_spans
+        #: wall-clock instant of the tracer's perf_counter epoch, for
+        #: anchoring the exported (relative) timeline to real time
+        self.epoch_unix = time.time()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._dropped = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ clock
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch (monotonic)."""
+        return time.perf_counter() - self._epoch
+
+    def rel(self, perf_counter_ts: float) -> float:
+        """Translate a raw ``time.perf_counter()`` stamp onto the timeline."""
+        return perf_counter_ts - self._epoch
+
+    # --------------------------------------------------------------- sampling
+
+    def sampled(self, key: str) -> bool:
+        """Head-sampling decision for a trace keyed by ``key`` (pure)."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return _sample_draw(self.seed, key) < self.sample_rate
+
+    # ------------------------------------------------------------------ spans
+
+    def _next_span_id(self) -> str:
+        return f"s{next(self._span_ids):06d}"
+
+    def start_trace(self, name: str, key: str = "", **attributes) -> Optional[Span]:
+        """Begin a new trace; ``None`` means the key was not sampled.
+
+        The root span is *live* (unfinished) and is only collected when
+        :meth:`finish` is called on it.
+        """
+        if not self.sampled(key):
+            return None
+        return Span(
+            trace_id=f"t{next(self._trace_ids):06d}",
+            span_id=self._next_span_id(),
+            parent_id=None,
+            name=name,
+            start_s=self.now(),
+            attributes=dict(attributes),
+            thread=threading.current_thread().name,
+        )
+
+    def start_span(self, name: str, parent: Span, **attributes) -> Span:
+        """Begin a live child span of ``parent``."""
+        return Span(
+            trace_id=parent.trace_id,
+            span_id=self._next_span_id(),
+            parent_id=parent.span_id,
+            name=name,
+            start_s=self.now(),
+            attributes=dict(attributes),
+            thread=threading.current_thread().name,
+        )
+
+    def finish(self, span: Span, status: str = "ok", **attributes) -> Span:
+        """End a live span and collect it."""
+        span.end_s = self.now()
+        span.status = status
+        if attributes:
+            span.attributes.update(attributes)
+        self._collect(span)
+        return span
+
+    def record_span(
+        self,
+        name: str,
+        parent: Span,
+        start: float,
+        end: float,
+        status: str = "ok",
+        **attributes,
+    ) -> Span:
+        """Record a span retroactively from raw ``perf_counter`` stamps.
+
+        Used for operations whose duration was measured anyway (queue wait,
+        plan build): no live span object has to ride along the hot path.
+        """
+        span = Span(
+            trace_id=parent.trace_id,
+            span_id=self._next_span_id(),
+            parent_id=parent.span_id,
+            name=name,
+            start_s=self.rel(start),
+            end_s=self.rel(end),
+            attributes=dict(attributes),
+            status=status,
+            thread=threading.current_thread().name,
+        )
+        self._collect(span)
+        return span
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self._dropped += 1
+            else:
+                self._spans.append(span)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def spans(self) -> list[Span]:
+        """Collected (finished) spans, in collection order."""
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Spans of one trace, parents before children where possible."""
+        spans = [s for s in self.spans() if s.trace_id == trace_id]
+        spans.sort(key=lambda s: (s.start_s, s.span_id))
+        return spans
+
+    def summary(self) -> dict[str, dict]:
+        """Aggregate by span name: {name: {count, total_s, max_s}}."""
+        out: dict[str, dict] = {}
+        for s in self.spans():
+            agg = out.setdefault(s.name, {"count": 0, "total_s": 0.0,
+                                          "max_s": 0.0, "errors": 0})
+            agg["count"] += 1
+            agg["total_s"] += s.duration_s
+            agg["max_s"] = max(agg["max_s"], s.duration_s)
+            if s.status != "ok":
+                agg["errors"] += 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Ambient installation + explicit cross-thread context propagation
+# ---------------------------------------------------------------------------
+
+_current: Optional[Tracer] = None
+_install_lock = threading.Lock()
+_tls = threading.local()
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is disarmed."""
+    return _current
+
+
+def install(tracer: Tracer) -> None:
+    """Install ``tracer`` process-wide (exclusive, like fault arming)."""
+    global _current
+    with _install_lock:
+        if _current is not None:
+            raise RuntimeError("a Tracer is already installed")
+        _current = tracer
+
+
+def uninstall() -> None:
+    global _current
+    with _install_lock:
+        _current = None
+
+
+@contextlib.contextmanager
+def recording(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the block."""
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        uninstall()
+
+
+def current_context() -> Optional[tuple[Tracer, Span]]:
+    """The (tracer, span) pair propagated to this thread, if any.
+
+    Executors use this to hang per-kernel spans under the engine's execute
+    span. It is set *explicitly* via :func:`context` — the engine re-binds
+    it on the worker thread (and inside the SIMT watchdog thread), because
+    an ambient thread-local cannot follow a request across a queue handoff.
+    """
+    return getattr(_tls, "ctx", None)
+
+
+@contextlib.contextmanager
+def context(tracer: Tracer, span: Span) -> Iterator[None]:
+    """Bind (tracer, span) as this thread's current trace context."""
+    prev = getattr(_tls, "ctx", None)
+    _tls.ctx = (tracer, span)
+    try:
+        yield
+    finally:
+        _tls.ctx = prev

@@ -1,0 +1,237 @@
+"""Trace exporters: Chrome trace-event JSON and Prometheus text exposition.
+
+* :func:`chrome_trace` renders a :class:`~repro.trace.core.Tracer`'s spans
+  as the Chrome trace-event format (JSON Object Format with a
+  ``traceEvents`` array of complete ``"X"`` events), loadable in Perfetto /
+  ``chrome://tracing``. :func:`validate_chrome_trace` checks the schema so
+  tests and the CI smoke job can gate on it without a browser.
+* :func:`prometheus_text` renders a
+  :class:`~repro.serve.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (version 0.0.4): counters as ``_total``, gauges, and
+  histograms as summaries with ``quantile`` labels plus ``_sum``/``_count``.
+  :func:`parse_prometheus_text` is a strict validating parser for the same
+  subset, used by the smoke tests.
+
+Both exporters are read-only over their sources and dependency-free (the
+container has no prometheus client or tracing SDK).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from .core import Span, Tracer
+
+if TYPE_CHECKING:  # avoid a runtime repro.serve import cycle
+    from ..serve.metrics import MetricsRegistry
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Render the tracer's spans as a Chrome trace-event document."""
+    spans = tracer.spans()
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in spans:
+        tid = tids.setdefault(span.thread or "(main)", len(tids) + 1)
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "status": span.status,
+        }
+        args.update(_json_safe(span.attributes))
+        events.append({
+            "name": span.name,
+            "cat": "repro.serve",
+            "ph": "X",
+            "ts": span.start_s * 1e6,          # microseconds
+            "dur": span.duration_s * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "repro.serve"}},
+    ]
+    for thread, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                     "args": {"name": thread}})
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "epoch_unix": tracer.epoch_unix,
+            "dropped_spans": tracer.dropped,
+            "span_count": len(spans),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write :func:`chrome_trace` to ``path`` (creating parent dirs)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(tracer), indent=1) + "\n")
+    return target
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema-check a trace-event document; returns problems (empty = valid).
+
+    Checks the JSON Object Format contract Perfetto relies on: a
+    ``traceEvents`` array whose ``"X"`` events carry string names and
+    non-negative numeric ``ts``/``dur``, plus internal consistency of the
+    span tree (every ``parent_id`` resolves within its trace).
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+
+    span_ids: dict[str, set] = {}
+    parents: list[tuple[str, str]] = []
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing event name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            continue
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                problems.append(f"{where}: {field} must be a number >= 0, "
+                                f"got {v!r}")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+            continue
+        trace_id, span_id = args.get("trace_id"), args.get("span_id")
+        if isinstance(trace_id, str) and isinstance(span_id, str):
+            span_ids.setdefault(trace_id, set()).add(span_id)
+            if args.get("parent_id") is not None:
+                parents.append((trace_id, args["parent_id"]))
+    for trace_id, parent_id in parents:
+        if parent_id not in span_ids.get(trace_id, set()):
+            problems.append(
+                f"trace {trace_id}: parent_id {parent_id!r} does not "
+                "resolve to a span in the same trace"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_HELP_ESCAPE = str.maketrans({"\\": r"\\", "\n": r"\n"})
+
+#: metric line: name{labels} value  (labels optional; value is a float)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\]*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\]*\")*\})?"
+    r" (?P<value>[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN))$"
+)
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitize a dotted registry name into a legal Prometheus name."""
+    sanitized = _NAME_SANITIZE.sub("_", name)
+    if not re.match(r"[a-zA-Z_:]", sanitized):
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def prometheus_text(registry: "MetricsRegistry", prefix: str = "repro_") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    counters, gauges, histograms = registry.instruments()
+    lines: list[str] = []
+
+    def header(name: str, help_text: str, kind: str) -> None:
+        if help_text:
+            lines.append(f"# HELP {name} {help_text.translate(_HELP_ESCAPE)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for raw in sorted(counters):
+        c = counters[raw]
+        name = metric_name(raw, prefix) + "_total"
+        header(name, c.help, "counter")
+        lines.append(f"{name} {c.value}")
+
+    for raw in sorted(gauges):
+        g = gauges[raw]
+        name = metric_name(raw, prefix)
+        header(name, g.help, "gauge")
+        lines.append(f"{name} {g.value:g}")
+
+    for raw in sorted(histograms):
+        h = histograms[raw]
+        name = metric_name(raw, prefix)
+        snap = h.snapshot()
+        header(name, h.help, "summary")
+        for q, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            lines.append(f'{name}{{quantile="{q:g}"}} {snap[key]:g}')
+        lines.append(f"{name}_sum {h.sum:g}")
+        lines.append(f"{name}_count {snap['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Strictly parse a text exposition; raises ``ValueError`` on malformed
+    lines. Returns ``{name{labels}: value}`` for every sample."""
+    samples: dict[str, float] = {}
+    typed: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            if parts[2] in typed:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        key = m.group("name") + (m.group("labels") or "")
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = float(m.group("value"))
+    return samples

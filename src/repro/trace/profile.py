@@ -1,0 +1,221 @@
+"""Per-ISP-region dynamic profiles and the measured-vs-predicted report.
+
+The paper's claim is *regional*: ISP removes border-check instructions from
+the Body region (Table I) and the analytic model (Eqs. 1-10) predicts the
+aggregate effect as ``R_reduced`` and ``G``. This module closes the loop in
+production:
+
+* :class:`RegionProfile` — measured dynamic instructions of one kernel,
+  broken down by ISP region tag and accounting role (``check`` / ``switch``
+  / ``kernel`` / ``addr``), either lifted from a live
+  :class:`~repro.gpu.profiler.Profiler` (SIMT executions) or scaled up from
+  representative-block profiles (cheap, size-independent — paper Eq. 8);
+* :class:`RegionComparison` / :func:`measured_vs_predicted` — the measured
+  ``R_reduced = N_naive / N_ISP`` of the simulator next to
+  :func:`repro.model.prediction.predict_for`'s prediction, per kernel, with
+  the relative error the acceptance gate checks (within 10%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..compiler.frontend import KernelDescription
+from ..compiler.isp import Variant
+from ..gpu.device import DeviceSpec, GTX680
+from ..gpu.profiler import Profiler
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionProfile:
+    """Measured dynamic warp instructions of one kernel execution, by
+    ISP region tag and by accounting role (whole grid)."""
+
+    kernel: str
+    variant: str
+    warp_instructions: int
+    by_region: dict[str, int]
+    by_role: dict[str, int]
+
+    def to_dict(self) -> dict:
+        """JSON/span-attribute friendly form."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "warp_instructions": self.warp_instructions,
+            "by_region": dict(self.by_region),
+            "by_role": dict(self.by_role),
+        }
+
+    @classmethod
+    def from_profiler(cls, kernel: str, variant: str,
+                      profiler: Profiler) -> "RegionProfile":
+        """Lift a live (full functional simulation) profiler's counters."""
+        return cls(
+            kernel=kernel,
+            variant=variant,
+            warp_instructions=profiler.warp_instructions,
+            by_region={r: sum(c.values())
+                       for r, c in sorted(profiler.by_region.items())},
+            by_role={r: sum(c.values())
+                     for r, c in sorted(profiler.by_role.items())},
+        )
+
+
+def profile_regions(
+    desc: KernelDescription,
+    *,
+    variant: str = "isp",
+    block: tuple[int, int] = (32, 4),
+    device: DeviceSpec = GTX680,
+) -> RegionProfile:
+    """Whole-grid region profile from representative-block profiling.
+
+    One block per fine class is simulated and its counters are scaled by the
+    class's block count (paper Eq. 8 made exact) — tractable even at 2048²,
+    where full simulation is not.
+    """
+    from ..runtime.executor import profile_kernel
+
+    prof = profile_kernel(desc, variant=Variant(variant), block=block,
+                          device=device)
+    total = 0
+    by_region: dict[str, int] = {}
+    by_role: dict[str, int] = {}
+    for cls_ in prof.classes:
+        bp = prof.profiles[cls_.name]
+        total += cls_.count * bp.warp_instructions
+        for region, n in bp.by_region.items():
+            by_region[region] = by_region.get(region, 0) + cls_.count * n
+        for role, n in bp.by_role.items():
+            by_role[role] = by_role.get(role, 0) + cls_.count * n
+    return RegionProfile(
+        kernel=desc.name,
+        variant=variant,
+        warp_instructions=total,
+        by_region=dict(sorted(by_region.items())),
+        by_role=dict(sorted(by_role.items())),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionComparison:
+    """Measured vs predicted ISP effect for one kernel (paper Eqs. 9-10)."""
+
+    kernel: str
+    width: int
+    height: int
+    measured_naive: int
+    measured_isp: int
+    predicted_r: float
+    predicted_gain: float
+    #: the ISP run's Body-region share of measured instructions
+    body_fraction: float
+
+    @property
+    def measured_r(self) -> float:
+        """Measured ``R_reduced = N_naive / N_ISP`` (paper Eq. 9)."""
+        if self.measured_isp <= 0:
+            return float("inf")
+        return self.measured_naive / self.measured_isp
+
+    @property
+    def rel_error(self) -> float:
+        """|measured - predicted| / predicted (the 10% acceptance gate)."""
+        if self.predicted_r <= 0:
+            return float("inf")
+        return abs(self.measured_r - self.predicted_r) / self.predicted_r
+
+    def within(self, tolerance: float = 0.10) -> bool:
+        return self.rel_error <= tolerance
+
+
+def measured_vs_predicted(
+    descs: Sequence[KernelDescription],
+    *,
+    variant: str = "isp",
+    block: tuple[int, int] = (32, 4),
+    device: DeviceSpec = GTX680,
+) -> list[RegionComparison]:
+    """Compare measured and predicted ``R_reduced`` per bordered kernel.
+
+    Kernels without border handling (point operators) have nothing to
+    partition and are skipped; degenerate geometries (image too small for
+    the block) cannot be profiled regionally and are skipped too.
+    """
+    from ..compiler.regions import RegionGeometry
+    from ..model.prediction import predict_for
+
+    out: list[RegionComparison] = []
+    for desc in descs:
+        if not desc.needs_border_handling:
+            continue
+        hx, hy = desc.extent
+        geom = RegionGeometry.compute(desc.width, desc.height, hx, hy, block)
+        if geom.degenerate:
+            continue
+        naive = profile_regions(desc, variant="naive", block=block,
+                                device=device)
+        isp = profile_regions(desc, variant=variant, block=block,
+                              device=device)
+        pred = predict_for(desc, block=block, device=device)
+        body = isp.by_region.get("Body", 0)
+        out.append(RegionComparison(
+            kernel=desc.name,
+            width=desc.width,
+            height=desc.height,
+            measured_naive=naive.warp_instructions,
+            measured_isp=isp.warp_instructions,
+            predicted_r=pred.r_reduced,
+            predicted_gain=pred.gain,
+            body_fraction=(body / isp.warp_instructions
+                           if isp.warp_instructions else 0.0),
+        ))
+    return out
+
+
+def format_region_profile(profile: RegionProfile) -> str:
+    """One region profile as the repo's standard ASCII table."""
+    from ..reporting import format_table
+
+    rows = [[region, count,
+             f"{100 * count / profile.warp_instructions:.1f}%"
+             if profile.warp_instructions else "-"]
+            for region, count in profile.by_region.items()]
+    roles = ", ".join(f"{r}={n}" for r, n in profile.by_role.items())
+    table = format_table(
+        ["region", "warp instrs", "share"], rows,
+        title=f"{profile.kernel} [{profile.variant}]: measured dynamic "
+              f"instructions by ISP region",
+    )
+    return table + f"\nby role: {roles}"
+
+
+def format_comparison_report(
+    comparisons: Sequence[RegionComparison], *, tolerance: float = 0.10
+) -> str:
+    """The measured-vs-predicted report (live paper Table I / Eq. 9-10)."""
+    from ..reporting import format_table
+
+    rows = []
+    for c in comparisons:
+        rows.append([
+            c.kernel,
+            f"{c.width}x{c.height}",
+            c.measured_naive,
+            c.measured_isp,
+            f"{c.measured_r:.4f}",
+            f"{c.predicted_r:.4f}",
+            f"{100 * c.rel_error:.1f}%",
+            f"{c.predicted_gain:.3f}",
+            f"{100 * c.body_fraction:.1f}%",
+            "ok" if c.within(tolerance) else "DRIFT",
+        ])
+    return format_table(
+        ["kernel", "size", "N_naive", "N_isp", "R measured", "R model",
+         "err", "model G", "body", f"<= {100 * tolerance:.0f}%"],
+        rows,
+        title="measured vs predicted R_reduced (paper Eqs. 9-10, Table I "
+              "accounting)",
+    )

@@ -231,6 +231,129 @@ class TestDegradation:
         assert stats["engine"]["engine.timeouts_queue"] == 1
 
 
+class TestDeadlineSemantics:
+    """The deadline/result() bugfix sweep: inclusive (>=) boundaries, typed
+    timeout_execute, and the caller-vs-worker expiry race."""
+
+    def _gated_engine(self, mp, gate, **kwargs):
+        original = ServeEngine._execute
+
+        def gated(self, plan, pending, response):
+            gate.wait(10.0)
+            return original(self, plan, pending, response)
+
+        mp.setattr(ServeEngine, "_execute", gated)
+        return ServeEngine(**kwargs)
+
+    def test_caller_expiry_while_queued_yields_typed_timeout(self, image):
+        """result() whose wait expires past the request deadline resolves
+        the request as a typed timeout_queue Response instead of raising —
+        the race the old code left untyped."""
+        gate = threading.Event()
+        with pytest.MonkeyPatch.context() as mp:
+            with self._gated_engine(mp, gate, workers=1,
+                                    batch_size=1) as engine:
+                first = engine.submit(Request(app="gaussian", image=image,
+                                              variant="isp"))
+                time.sleep(0.05)  # worker is now gated on the first request
+                late = engine.submit(Request(app="gaussian", image=image,
+                                             variant="isp", timeout_s=0.01))
+                resp = late.result(timeout=0.3)  # expires past the deadline
+                gate.set()
+                assert first.result(timeout=30).ok
+                # The worker eventually reaches the expired request too; the
+                # caller's claim must have won exactly once.
+                engine.close()
+                stats = engine.stats()
+        assert not resp.ok
+        assert resp.error_kind == "timeout_queue"
+        assert "queued" in resp.error
+        assert stats["engine"]["engine.timeouts_queue"] == 1
+        assert stats["engine"]["engine.responses_error"] == 1
+        assert stats["engine"]["engine.responses_ok"] == 1
+        # the losing worker resolution must not overwrite the caller's
+        assert late.result(timeout=1).error_kind == "timeout_queue"
+
+    def test_caller_wait_shorter_than_deadline_still_raises(self, image):
+        """A short result() wait on a request whose own deadline has NOT
+        passed is just an in-flight request — TimeoutError, no typing."""
+        gate = threading.Event()
+        with pytest.MonkeyPatch.context() as mp:
+            with self._gated_engine(mp, gate, workers=1,
+                                    batch_size=1) as engine:
+                h = engine.submit(Request(app="gaussian", image=image,
+                                          variant="isp", timeout_s=30.0))
+                with pytest.raises(TimeoutError):
+                    h.result(timeout=0.05)
+                gate.set()
+                assert h.result(timeout=30).ok
+
+    def test_caller_expiry_during_execution_types_timeout_execute(self, image):
+        """Expiry after the worker started executing is a different failure
+        than expiry in the queue; the caller-side claim must say which."""
+        gate = threading.Event()
+        with ServeEngine(workers=1, batch_size=1) as engine:
+            # Warm the plan cache so the timed request reaches the execute
+            # phase quickly (a cold build would keep it typed as queued).
+            assert engine.run([Request(app="gaussian", image=image,
+                                       variant="isp")])[0].ok
+            original = ServeEngine._execute
+
+            def gated(self, plan, pending, response):
+                gate.wait(10.0)
+                return original(self, plan, pending, response)
+
+            with pytest.MonkeyPatch.context() as mp:
+                mp.setattr(ServeEngine, "_execute", gated)
+                h = engine.submit(Request(app="gaussian", image=image,
+                                          variant="isp", timeout_s=0.1))
+                time.sleep(0.05)  # worker dequeued it and is gated inside
+                resp = h.result(timeout=0.3)
+                gate.set()
+            engine.close()
+            stats = engine.stats()
+        assert not resp.ok
+        assert resp.error_kind == "timeout_execute"
+        assert "during execution" in resp.error
+        assert stats["engine"]["engine.timeouts_execute"] == 1
+
+    def test_deadline_stopped_retries_fail_typed_as_timeout(self, image):
+        """A failing execution stopped by the deadline with retry budget
+        remaining is a timeout, not an 'execution' failure — the old loop
+        conflated the two."""
+        def failing(self, plan, pending, response):
+            time.sleep(0.25)
+            raise RuntimeError("transient")
+
+        with ServeEngine(workers=1, batch_size=1, retries=10) as engine:
+            assert engine.run([Request(app="gaussian", image=image,
+                                       variant="isp")])[0].ok  # warm plan
+            with pytest.MonkeyPatch.context() as mp:
+                mp.setattr(ServeEngine, "_execute", failing)
+                resp = engine.run([Request(app="gaussian", image=image,
+                                           variant="isp", timeout_s=0.2)])[0]
+            stats = engine.stats()
+        assert not resp.ok
+        assert resp.error_kind == "timeout_execute"
+        assert resp.retries < 10  # the deadline, not the budget, stopped it
+        assert stats["engine"]["engine.timeouts_execute"] == 1
+
+    def test_exhausted_retry_budget_stays_typed_execution(self, image):
+        """Without a deadline in play, exhausting retries is still a plain
+        execution failure."""
+        def failing(self, plan, pending, response):
+            raise RuntimeError("persistent")
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ServeEngine, "_execute", failing)
+            with ServeEngine(workers=1, batch_size=1, retries=2) as engine:
+                resp = engine.run([Request(app="gaussian", image=image,
+                                           variant="isp")])[0]
+        assert not resp.ok
+        assert resp.error_kind == "execution"
+        assert resp.retries == 2
+
+
 class TestBackpressure:
     def test_saturated_queue_rejects_submissions(self, image):
         gate = threading.Event()

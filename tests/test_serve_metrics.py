@@ -36,8 +36,9 @@ class TestCounter:
 class TestHistogram:
     def test_empty_snapshot(self):
         snap = Histogram("h").snapshot()
-        assert snap == {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
-                        "p99": 0.0, "max": 0.0}
+        assert snap == {"count": 0, "window_count": 0, "mean": 0.0,
+                        "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0,
+                        "unit": ""}
 
     def test_percentiles_and_mean(self):
         h = Histogram("h")
@@ -59,6 +60,30 @@ class TestHistogram:
         assert snap["count"] == 100          # lifetime count
         assert snap["max"] == 99.0           # lifetime max
         assert snap["p50"] >= 84.0           # window holds the last 16 only
+        # window_count distinguishes "percentiles over 16 samples" from the
+        # lifetime count the old snapshot silently mixed them with
+        assert snap["window_count"] == 16
+
+    def test_small_window_percentiles_use_ceiling_rank(self):
+        # Regression: round()-based ranks put the p50 of 5 samples at the
+        # 2nd-smallest (banker's rounding of 2.5); nearest-rank says 3rd.
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        assert h.percentile(50) == 3.0
+        assert h.percentile(90) == 5.0
+        assert h.percentile(99) == 5.0
+        # And a single sample is every percentile.
+        h1 = Histogram("h1")
+        h1.observe(7.0)
+        for q in (1, 50, 90, 99, 100):
+            assert h1.percentile(q) == 7.0
+
+    def test_lifetime_sum(self):
+        h = Histogram("h", window=4)
+        for v in range(10):
+            h.observe(float(v))
+        assert h.sum == sum(range(10))  # not window-bounded
 
 
 class TestRegistry:
@@ -77,3 +102,23 @@ class TestRegistry:
         text = reg.render()
         assert "requests = 3" in text
         assert "lat:" in text
+
+    def test_render_scales_only_seconds_histograms(self):
+        # Regression: render() used to assume every histogram held seconds
+        # and printed e.g. a 40-instruction count as "40000.00ms".
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", unit="s").observe(0.25)
+        reg.histogram("batch_size").observe(40.0)
+        text = reg.render()
+        assert "250.00ms" in text       # seconds histogram -> ms
+        assert "40000" not in text      # unitless histogram stays raw
+        assert "mean=40" in text
+
+    def test_instruments_exposes_help_and_units(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "counts things")
+        reg.histogram("h", "times things", unit="s")
+        counters, gauges, histograms = reg.instruments()
+        assert counters["c"].help == "counts things"
+        assert histograms["h"].unit == "s"
+        assert gauges == {}

@@ -1,0 +1,235 @@
+"""repro.trace core: spans, sampling, ambient install, exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import MetricsRegistry
+from repro.trace import (
+    Tracer,
+    active,
+    chrome_trace,
+    context,
+    current_context,
+    install,
+    metric_name,
+    parse_prometheus_text,
+    prometheus_text,
+    recording,
+    uninstall,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.core import _sample_draw
+
+
+class TestSpanTree:
+    def test_root_and_children_share_trace_id(self):
+        tr = Tracer()
+        root = tr.start_trace("request", key="r1", app="gaussian")
+        child = tr.start_span("plan", root)
+        grand = tr.start_span("autotune", child)
+        tr.finish(grand)
+        tr.finish(child)
+        tr.finish(root)
+        assert {s.trace_id for s in tr.spans()} == {root.trace_id}
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert root.parent_id is None
+
+    def test_finish_stamps_duration_and_attrs(self):
+        tr = Tracer()
+        root = tr.start_trace("request")
+        tr.finish(root, status="error:execution", retries=2)
+        assert root.finished
+        assert root.duration_s >= 0.0
+        assert root.status == "error:execution"
+        assert root.attributes["retries"] == 2
+
+    def test_record_span_is_retroactive(self):
+        import time
+
+        tr = Tracer()
+        root = tr.start_trace("request")
+        t0 = time.perf_counter()
+        t1 = t0 + 0.5
+        span = tr.record_span("queue", root, t0, t1)
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.parent_id == root.span_id
+
+    def test_trace_query_orders_by_start(self):
+        tr = Tracer()
+        root = tr.start_trace("request")
+        a = tr.start_span("a", root)
+        tr.finish(a)
+        tr.finish(root)
+        spans = tr.trace(root.trace_id)
+        assert [s.name for s in spans] == ["request", "a"] or \
+               spans[0].start_s <= spans[1].start_s
+
+    def test_summary_aggregates_by_name(self):
+        tr = Tracer()
+        for _ in range(3):
+            root = tr.start_trace("request")
+            tr.finish(root)
+        bad = tr.start_trace("request")
+        tr.finish(bad, status="error:x")
+        summary = tr.summary()
+        assert summary["request"]["count"] == 4
+        assert summary["request"]["errors"] == 1
+
+
+class TestSampling:
+    def test_rate_one_samples_everything(self):
+        tr = Tracer(sample_rate=1.0)
+        assert all(tr.sampled(f"r{i}") for i in range(50))
+
+    def test_rate_zero_samples_nothing(self):
+        tr = Tracer(sample_rate=0.0)
+        assert not any(tr.sampled(f"r{i}") for i in range(50))
+        assert tr.start_trace("request", key="r1") is None
+
+    def test_sampling_is_deterministic_per_seed_and_key(self):
+        a = Tracer(sample_rate=0.5, seed=7)
+        b = Tracer(sample_rate=0.5, seed=7)
+        keys = [f"r{i}" for i in range(200)]
+        assert [a.sampled(k) for k in keys] == [b.sampled(k) for k in keys]
+        # and a different seed gives a different (but valid) subset
+        c = Tracer(sample_rate=0.5, seed=8)
+        assert [a.sampled(k) for k in keys] != [c.sampled(k) for k in keys]
+
+    def test_rate_approximates_fraction(self):
+        tr = Tracer(sample_rate=0.25, seed=0)
+        hits = sum(tr.sampled(f"r{i}") for i in range(2000))
+        assert 0.18 < hits / 2000 < 0.32
+
+    def test_draw_is_uniform_range(self):
+        draws = [_sample_draw(0, f"k{i}") for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=-0.1)
+
+
+class TestBoundedBuffer:
+    def test_overflow_drops_and_counts(self):
+        tr = Tracer(max_spans=3)
+        root = tr.start_trace("request")
+        for i in range(5):
+            tr.finish(tr.start_span(f"s{i}", root))
+        assert len(tr.spans()) == 3
+        assert tr.dropped == 2
+
+
+class TestAmbientInstall:
+    def test_recording_installs_and_uninstalls(self):
+        assert active() is None
+        tr = Tracer()
+        with recording(tr):
+            assert active() is tr
+        assert active() is None
+
+    def test_double_install_rejected(self):
+        tr = Tracer()
+        install(tr)
+        try:
+            with pytest.raises(RuntimeError):
+                install(Tracer())
+        finally:
+            uninstall()
+
+    def test_context_binds_per_thread(self):
+        tr = Tracer()
+        root = tr.start_trace("request")
+        seen = {}
+
+        def worker():
+            seen["inner"] = current_context()
+
+        assert current_context() is None
+        with context(tr, root):
+            assert current_context() == (tr, root)
+            # a fresh thread does NOT inherit the context implicitly
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["inner"] is None
+        assert current_context() is None
+
+
+class TestChromeExport:
+    def _tracer_with_tree(self):
+        tr = Tracer()
+        root = tr.start_trace("request", key="r1", app="gaussian")
+        child = tr.start_span("execute", root)
+        tr.finish(child)
+        tr.finish(root)
+        return tr
+
+    def test_export_is_valid(self):
+        doc = chrome_trace(self._tracer_with_tree())
+        assert validate_chrome_trace(doc) == []
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 2
+        names = {e["name"] for e in events}
+        assert names == {"request", "execute"}
+
+    def test_export_roundtrips_through_json(self, tmp_path):
+        tr = self._tracer_with_tree()
+        path = write_chrome_trace(tr, tmp_path / "sub" / "trace.json")
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["span_count"] == 2
+
+    def test_validator_catches_broken_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "Q"}]}) != []
+        # dangling parent pointer
+        doc = {"traceEvents": [{
+            "name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1,
+            "args": {"trace_id": "t1", "span_id": "s2", "parent_id": "s1"},
+        }]}
+        problems = validate_chrome_trace(doc)
+        assert any("parent_id" in p for p in problems)
+
+    def test_non_json_attributes_are_stringified(self):
+        tr = Tracer()
+        root = tr.start_trace("request", obj=object(), nested={"k": (1, 2)})
+        tr.finish(root)
+        doc = chrome_trace(tr)
+        assert validate_chrome_trace(doc) == []
+        json.dumps(doc)  # must not raise
+
+
+class TestPrometheusExport:
+    def test_metric_name_sanitization(self):
+        assert metric_name("engine.queue_seconds") == "repro_engine_queue_seconds"
+        assert metric_name("a-b c") == "repro_a_b_c"
+
+    def test_exposition_parses_and_matches_values(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.requests", "total requests").inc(5)
+        reg.gauge("tuner.agreement_rate").set(0.75)
+        h = reg.histogram("engine.queue_seconds", "queue wait", unit="s")
+        for v in range(1, 11):
+            h.observe(v / 10.0)
+        text = prometheus_text(reg)
+        samples = parse_prometheus_text(text)
+        assert samples["repro_engine_requests_total"] == 5.0
+        assert samples["repro_tuner_agreement_rate"] == 0.75
+        assert samples["repro_engine_queue_seconds_count"] == 10.0
+        assert samples["repro_engine_queue_seconds_sum"] == pytest.approx(5.5)
+        assert samples['repro_engine_queue_seconds{quantile="0.5"}'] == 0.5
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a metric line\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m 1\nm 2\n")  # duplicate sample
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE m bogus\n")

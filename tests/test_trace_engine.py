@@ -1,0 +1,213 @@
+"""Trace-context propagation through the serve engine.
+
+Spans cross two thread boundaries the engine owns — the submit->worker queue
+handoff and the SIMT watchdog thread — and must survive retries, circuit
+breaker reroutes, and degradation fallbacks. These tests drive real engine
+runs (including under ``repro.faults`` chaos plans) and assert the span tree
+stays connected: one ``request`` root per trace, every ``parent_id``
+resolving inside the same trace, and the exported Chrome document valid.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.serve import Request, ServeEngine
+from repro.trace import Tracer, chrome_trace, recording, validate_chrome_trace
+
+SEEDS = (101, 202, 303)
+WATCHDOG_S = 120.0
+
+
+@pytest.fixture
+def image():
+    return np.random.default_rng(7).random((32, 32)).astype(np.float32)
+
+
+def traced_run(requests, tracer, **engine_kwargs):
+    with recording(tracer):
+        with ServeEngine(**engine_kwargs) as engine:
+            handles = [engine.submit(r, block=True) for r in requests]
+            responses = [h.result(timeout=WATCHDOG_S) for h in handles]
+    return responses
+
+
+def spans_by_trace(tracer):
+    out = collections.defaultdict(list)
+    for s in tracer.spans():
+        out[s.trace_id].append(s)
+    return out
+
+
+def assert_tree_connected(spans):
+    """Exactly one root named 'request'; every parent link resolves."""
+    ids = {s.span_id for s in spans}
+    roots = [s for s in spans if s.parent_id is None]
+    assert len(roots) == 1, [s.name for s in roots]
+    assert roots[0].name == "request"
+    for s in spans:
+        if s.parent_id is not None:
+            assert s.parent_id in ids, (
+                f"span {s.name!r} has dangling parent {s.parent_id!r}"
+            )
+    return roots[0]
+
+
+class TestPropagation:
+    def test_every_response_gets_a_connected_trace(self, image):
+        tracer = Tracer()
+        requests = [Request(app="gaussian", image=image, variant="isp")
+                    for _ in range(6)]
+        responses = traced_run(requests, tracer, workers=3)
+        assert all(r.ok for r in responses)
+        assert all(r.trace_id is not None for r in responses)
+        # distinct requests get distinct traces
+        assert len({r.trace_id for r in responses}) == 6
+
+        trees = spans_by_trace(tracer)
+        for resp in responses:
+            spans = trees[resp.trace_id]
+            root = assert_tree_connected(spans)
+            assert root.attributes["request_id"] == resp.request_id
+            names = {s.name for s in spans}
+            # the pipeline stages the tentpole promises
+            assert {"queue", "plan", "execute"} <= names
+
+    def test_spans_cross_the_worker_handoff(self, image):
+        """The root is created on the submitting thread; queue/plan/execute
+        spans are recorded from a worker thread — same trace, links intact."""
+        tracer = Tracer()
+        [resp] = traced_run(
+            [Request(app="gaussian", image=image, variant="isp")],
+            tracer, workers=1)
+        spans = spans_by_trace(tracer)[resp.trace_id]
+        threads = {s.thread for s in spans}
+        assert len(threads) >= 2, threads  # submitter + worker at minimum
+        assert_tree_connected(spans)
+
+    def test_execute_span_records_degradations(self, image):
+        """A simt request that times out degrades to vectorized; the trace's
+        execute span carries the fallback, plus kernel spans from the
+        vectorized path that actually served it."""
+        plan = FaultPlan.make(101, [
+            FaultSpec.make("serve.engine.execute", "latency", at=(0,),
+                           seconds=0.3),
+        ])
+        tracer = Tracer()
+        requests = [Request(app="gaussian", image=image, pattern="repeat",
+                            variant="naive", exec_mode="simt", timeout_s=0.2)]
+        with faults.armed(plan):
+            responses = traced_run(requests, tracer, workers=1)
+        [resp] = responses
+        assert resp.ok
+        assert "timeout:simt->vectorized" in resp.fallbacks
+        spans = spans_by_trace(tracer)[resp.trace_id]
+        assert_tree_connected(spans)
+        execs = [s for s in spans if s.name == "execute"]
+        assert len(execs) == 1
+        assert "timeout:simt->vectorized" in execs[0].attributes["fallbacks"]
+        assert any(s.name.startswith("kernel:") for s in spans)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_retry_yields_one_execute_span_per_attempt(self, image, seed):
+        """An injected first-attempt failure forces a retry: the trace must
+        show the failed attempt (status error) AND the successful one."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.execute", "error", at=(0,)),
+        ])
+        tracer = Tracer()
+        requests = [Request(app="gaussian", image=image, variant="isp")
+                    for _ in range(3)]
+        with faults.armed(plan):
+            responses = traced_run(requests, tracer, workers=1, retries=2)
+        assert all(r.ok for r in responses)
+        retried = [r for r in responses if r.retries > 0]
+        assert retried, "fault plan fired on no request"
+        trees = spans_by_trace(tracer)
+        for resp in retried:
+            spans = trees[resp.trace_id]
+            assert_tree_connected(spans)
+            execs = sorted((s for s in spans if s.name == "execute"),
+                           key=lambda s: s.attributes["attempt"])
+            assert len(execs) == resp.retries + 1
+            assert execs[0].status.startswith("error")
+            assert execs[-1].status == "ok"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_run_exports_a_valid_chrome_trace(self, image, seed):
+        """Under a mixed chaos plan (crashes + errors + evictions) the span
+        buffer must still serialize to a valid, fully-linked document."""
+        plan = FaultPlan.make(seed, [
+            FaultSpec.make("serve.engine.worker", "crash", rate=0.15,
+                           max_fires=2),
+            FaultSpec.make("serve.engine.execute", "error", rate=0.3,
+                           max_fires=4),
+            FaultSpec.make("serve.cache.evict", "evict", rate=0.3),
+        ])
+        tracer = Tracer()
+        requests = [Request(app=app, image=image, variant="isp")
+                    for app in ("gaussian", "laplace", "sobel") * 3]
+        with faults.armed(plan):
+            responses = traced_run(requests, tracer, workers=3, retries=2)
+        assert len(responses) == len(requests)
+        for resp in responses:
+            assert resp.trace_id is not None
+            assert_tree_connected(spans_by_trace(tracer)[resp.trace_id])
+        doc = chrome_trace(tracer)
+        assert validate_chrome_trace(doc) == []
+
+
+class TestSamplingInTheEngine:
+    def test_no_tracer_means_no_trace_id(self, image):
+        with ServeEngine(workers=1) as engine:
+            resp = engine.run([Request(app="gaussian", image=image,
+                                       variant="isp")])[0]
+        assert resp.ok
+        assert resp.trace_id is None
+        assert resp.region_profiles is None
+
+    def test_rate_zero_records_nothing(self, image):
+        tracer = Tracer(sample_rate=0.0)
+        responses = traced_run(
+            [Request(app="gaussian", image=image, variant="isp")
+             for _ in range(4)],
+            tracer, workers=2)
+        assert all(r.ok for r in responses)
+        assert all(r.trace_id is None for r in responses)
+        assert tracer.spans() == []
+
+    def test_partial_sampling_matches_the_head_decision(self, image):
+        """The engine keys sampling on ``r{request_id}``: the traced subset
+        must equal what ``tracer.sampled`` predicts, deterministically."""
+        tracer = Tracer(sample_rate=0.5, seed=11)
+        requests = [Request(app="gaussian", image=image, variant="isp")
+                    for _ in range(12)]
+        responses = traced_run(requests, tracer, workers=2)
+        assert all(r.ok for r in responses)
+        for resp in responses:
+            expected = tracer.sampled(f"r{resp.request_id}")
+            assert (resp.trace_id is not None) == expected
+        traced = {r.trace_id for r in responses if r.trace_id is not None}
+        assert 0 < len(traced) < 12  # seed 11 splits this workload
+        assert {s.trace_id for s in tracer.spans()} == traced
+
+    def test_simt_success_attaches_region_profiles(self, image):
+        small = image[:16, :16].copy()
+        tracer = Tracer()
+        [resp] = traced_run(
+            [Request(app="gaussian", image=small, variant="naive",
+                     exec_mode="simt")],
+            tracer, workers=1)
+        assert resp.ok
+        assert resp.fallbacks == []
+        assert resp.region_profiles
+        prof = resp.region_profiles[0]
+        assert prof.warp_instructions > 0
+        assert prof.to_dict()["kernel"] == prof.kernel
+        spans = spans_by_trace(tracer)[resp.trace_id]
+        assert any(s.name.startswith("launch:") for s in spans)
