@@ -1,0 +1,58 @@
+"""Cluster scaling — aggregate throughput vs shard count, hit rate held.
+
+Not a paper table: this prices the ``repro.cluster`` tier built over the
+serving subsystem. The claim under test is that sharding by content digest
+scales throughput without diluting per-shard locality: the rendezvous
+router keeps each workload's keyspace on one shard, so every shard's plan
+cache sees its full (not 1/N-th) hit rate while the fleet's aggregate
+request rate grows with processes.
+
+Asserted everywhere:
+
+* zero request errors and every response digest-verified bit-exact,
+* per-shard plan-cache hit rate >= 90 % at every point on the curve
+  (routing disjointness — the property that makes scaling worth having).
+
+Asserted only where it can mean anything (``scaling_meaningful``, i.e.
+``os.cpu_count() >= 4``): aggregate throughput at 4 shards >= 2.5x the
+1-shard point. On fewer cores the shard processes time-slice one CPU and
+the "curve" measures the scheduler; the report still records it.
+
+Env overrides (the CI smoke job turns these down):
+``REPRO_CLUSTER_BENCH_REQUESTS``, ``REPRO_CLUSTER_BENCH_SHARDS``,
+``REPRO_CLUSTER_BENCH_SIZE``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import format_cluster_report, run_cluster_bench
+
+from harness import stable_seed
+
+
+def build():
+    return run_cluster_bench(seed=stable_seed("bench_serve_cluster"))
+
+
+def test_serve_cluster_scaling(benchmark, report):
+    rep = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("serve_cluster_scaling", format_cluster_report(rep), data={
+        "requests": rep["requests"],
+        "cpu_count": rep["cpu_count"],
+        "scaling_meaningful": rep["scaling_meaningful"],
+        "points": rep["points"],
+    })
+
+    for point in rep["points"]:
+        assert not point["errors"], (point["shards"], point["errors"])
+        # Routing disjointness: every shard that served traffic kept its
+        # plan cache hot — sharding must not dilute locality.
+        served = {s for s, n in point["by_slot"].items() if n}
+        for slot in served:
+            assert point["per_shard_hit_rates"][slot] >= 0.90, (
+                point["shards"], slot, point["per_shard_hit_rates"])
+
+    if rep["scaling_meaningful"]:
+        by_shards = {p["shards"]: p for p in rep["points"]}
+        if 4 in by_shards and 1 in by_shards:
+            assert by_shards[4]["speedup_vs_1"] >= 2.5, by_shards[4]

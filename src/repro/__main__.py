@@ -22,6 +22,11 @@ Subcommands
                  (every app x pattern x variant), and optionally the
                  cross-variant differential harness; exits non-zero on any
                  finding.
+* ``cluster``  — boot a local multi-shard cluster (one serve engine per
+                 worker process), drive a digest-verified load through the
+                 gateway, and report throughput / failovers / per-shard hit
+                 rates; ``--scaling`` runs the 1 -> N shard scaling curve
+                 instead.
 
 ``measure`` and ``predict`` accept a comma-separated size list
 (``--size 512,1024``) and evaluate every size.
@@ -413,6 +418,75 @@ def cmd_sanitize(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_cluster(args) -> int:
+    """Boot a LocalCluster, drive the load generator through the gateway,
+    print the report (plus the merged Prometheus exposition on request)."""
+    import tempfile
+
+    from repro.cluster import (
+        Gateway,
+        LocalCluster,
+        SyncGateway,
+        build_cluster_workload,
+        format_cluster_report,
+        format_load_report,
+        run_cluster_bench,
+        run_load,
+    )
+
+    if args.scaling:
+        report = run_cluster_bench(
+            requests=args.requests, size=args.size, seed=args.seed,
+            concurrency=args.concurrency, verify=not args.no_verify,
+            shard_counts=[int(s) for s in args.shard_counts.split(",")]
+            if args.shard_counts else None,
+        )
+        print(format_cluster_report(report))
+        failed = any(sum(p["errors"].values()) for p in report["points"])
+        return 1 if failed else 0
+
+    warm_dir = args.warmstart_dir
+    tmp = None
+    if warm_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        warm_dir = tmp.name
+    try:
+        with LocalCluster(
+            shards=args.shards, warmstart_dir=warm_dir,
+            engine_workers=args.engine_workers,
+            snapshot_interval_s=args.snapshot_interval,
+        ) as cluster:
+            gw = SyncGateway(Gateway(
+                cluster.router,
+                max_inflight=args.max_inflight,
+                tenant_quota=args.tenant_quota,
+                sample_rate=args.sample_rate,
+                metrics_source=cluster.metrics_snapshots,
+            ))
+            try:
+                workload, pool = build_cluster_workload(
+                    args.requests, size=args.size, seed=args.seed,
+                    variant=args.variant,
+                )
+                report = run_load(gw, workload, pool,
+                                  concurrency=args.concurrency,
+                                  verify=not args.no_verify)
+                print(format_load_report(report))
+                if args.prom:
+                    from pathlib import Path
+
+                    target = Path(args.prom)
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    target.write_text(gw.metrics_text())
+                    print(f"merged prometheus exposition written to {target}")
+                return 1 if report["errors"] else 0
+            finally:
+                gw.close()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
 def cmd_codegen(args) -> int:
     from repro.compiler import Variant, emit_cuda, trace_kernel
     from repro.filters import PIPELINES
@@ -577,6 +651,40 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true",
                    help="print one line per sanitized kernel variant")
     p.set_defaults(func=cmd_sanitize)
+
+    p = sub.add_parser(
+        "cluster",
+        help="boot a local multi-shard serve cluster and drive a "
+             "digest-verified load through the gateway",
+    )
+    p.add_argument("--shards", type=_positive_int, default=3)
+    p.add_argument("--requests", type=_positive_int, default=200)
+    p.add_argument("--size", type=_positive_int, default=96)
+    p.add_argument("--concurrency", type=_positive_int, default=16)
+    p.add_argument("--engine-workers", type=_positive_int, default=2,
+                   help="serve workers inside each shard process")
+    p.add_argument("--variant", default="isp+m",
+                   choices=["naive", "isp", "isp_warp", "isp+m", "auto"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-inflight", type=_positive_int, default=64)
+    p.add_argument("--tenant-quota", type=_positive_int, default=None)
+    p.add_argument("--sample-rate", type=float, default=0.0,
+                   help="gateway head-sampling probability in [0, 1]")
+    p.add_argument("--snapshot-interval", type=float, default=2.0,
+                   help="autotune warm-start snapshot period (s); 0 off")
+    p.add_argument("--warmstart-dir", default=None,
+                   help="persistent warm-start directory (default: temp)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip bit-exact digest verification")
+    p.add_argument("--prom", default=None,
+                   help="write the merged (shard-labeled) Prometheus "
+                        "exposition here")
+    p.add_argument("--scaling", action="store_true",
+                   help="run the 1 -> N shard scaling curve instead")
+    p.add_argument("--shard-counts", default=None,
+                   help="comma list for --scaling (default 1,2,4 or "
+                        "$REPRO_CLUSTER_BENCH_SHARDS)")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("codegen", help="dump generated CUDA C")
     _add_common(p)

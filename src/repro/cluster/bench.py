@@ -1,0 +1,138 @@
+"""bench_serve_cluster: the 1 -> N shard scaling curve.
+
+For each shard count the bench boots a fresh :class:`~repro.cluster.manager.
+LocalCluster` + gateway, drives the same deterministic workload through it
+(digest-verified), and records aggregate throughput, per-shard cache hit
+rates, and the error budget. The headline claim — aggregate throughput
+scales with shards while per-shard hit rate stays high because routing is
+content-hashed — only *shows* on hardware with cores to scale across:
+``scaling_meaningful`` in the report says whether this host qualifies
+(``os.cpu_count() >= max_shards``), and CI asserts the >= 2.5x @ 4 shards
+bar only when it does. The properties that hold anywhere — >= 90 % hit
+rate per shard, zero untyped errors, disjoint keyspaces — are asserted
+unconditionally by the test suite.
+
+Environment overrides (CI smoke turns the dials down):
+
+* ``REPRO_CLUSTER_BENCH_REQUESTS`` — requests per point (default 400)
+* ``REPRO_CLUSTER_BENCH_SHARDS``   — comma list of shard counts (``1,2,4``)
+* ``REPRO_CLUSTER_BENCH_SIZE``     — image side (default 96)
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional, Sequence
+
+from .gateway import Gateway, SyncGateway
+from .loadgen import build_cluster_workload, run_load
+from .manager import LocalCluster
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+def run_cluster_bench(
+    *,
+    requests: Optional[int] = None,
+    shard_counts: Optional[Sequence[int]] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    concurrency: int = 16,
+    engine_workers: int = 2,
+    verify: bool = True,
+) -> dict:
+    """Run the scaling curve; returns the report dict."""
+    if requests is None:
+        requests = _env_int("REPRO_CLUSTER_BENCH_REQUESTS", 400)
+    if size is None:
+        size = _env_int("REPRO_CLUSTER_BENCH_SIZE", 96)
+    if shard_counts is None:
+        raw = os.environ.get("REPRO_CLUSTER_BENCH_SHARDS", "1,2,4")
+        shard_counts = [int(s) for s in raw.split(",") if s.strip()]
+    shard_counts = sorted(set(shard_counts))
+
+    points = []
+    for shards in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
+            with LocalCluster(
+                shards=shards, warmstart_dir=tmp,
+                engine_workers=engine_workers,
+                snapshot_interval_s=0,  # no snapshot churn during timing
+            ) as cluster:
+                gw = SyncGateway(Gateway(
+                    cluster.router,
+                    max_inflight=max(64, concurrency * 2),
+                    metrics_source=cluster.metrics_snapshots,
+                ))
+                try:
+                    workload, pool = build_cluster_workload(
+                        requests, size=size, seed=seed
+                    )
+                    report = run_load(gw, workload, pool,
+                                      concurrency=concurrency, verify=verify)
+                    hit_rates = _per_shard_hit_rates(cluster)
+                finally:
+                    gw.close()
+        points.append({
+            "shards": shards,
+            "throughput_rps": report["throughput_rps"],
+            "ok": report["ok"],
+            "errors": report["errors"],
+            "failovers": report["failovers"],
+            "cache_hit_rate": report["cache_hit_rate"],
+            "per_shard_hit_rates": hit_rates,
+            "by_slot": report["by_slot"],
+        })
+
+    base = points[0]["throughput_rps"] or 1e-12
+    for p in points:
+        p["speedup_vs_1"] = p["throughput_rps"] / base
+    return {
+        "requests": requests,
+        "size": size,
+        "seed": seed,
+        "concurrency": concurrency,
+        "cpu_count": os.cpu_count() or 1,
+        # The scaling headline needs real parallel hardware; on fewer cores
+        # than shards the curve measures the scheduler, not the cluster.
+        "scaling_meaningful": (os.cpu_count() or 1) >= max(shard_counts),
+        "points": points,
+    }
+
+
+def _per_shard_hit_rates(cluster: LocalCluster) -> dict[str, float]:
+    """Plan-cache hit rate per shard, read from the shards' own counters."""
+    out: dict[str, float] = {}
+    for slot, reply in cluster.stats_all(samples=False).items():
+        counters = reply.get("stats", {}).get("engine", {})
+        hits = counters.get("engine.plan_cache_hits", 0)
+        misses = counters.get("engine.plan_cache_misses", 0)
+        total = hits + misses
+        out[slot] = (hits / total) if total else 0.0
+    return out
+
+
+def format_cluster_report(report: dict) -> str:
+    lines = [
+        "serve-cluster scaling",
+        "---------------------",
+        f"requests/point  {report['requests']}  "
+        f"(size {report['size']}, seed {report['seed']})",
+        f"host cores      {report['cpu_count']}  "
+        f"(scaling curve meaningful: {report['scaling_meaningful']})",
+        "",
+        f"{'shards':>6} {'req/s':>10} {'speedup':>8} {'hit rate':>9} "
+        f"{'errors':>7} {'failovers':>10}",
+    ]
+    for p in report["points"]:
+        min_hit = min(p["per_shard_hit_rates"].values() or [0.0])
+        lines.append(
+            f"{p['shards']:>6} {p['throughput_rps']:>10.1f} "
+            f"{p['speedup_vs_1']:>7.2f}x {min_hit:>8.1%} "
+            f"{sum(p['errors'].values()):>7} {p['failovers']:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,522 @@
+"""Asyncio gateway: admission control, quotas, priorities, failover, stitching.
+
+The gateway is the cluster's single front door. It owns the policy a fleet
+needs that a single engine does not:
+
+* **Admission control** — a hard cap on in-flight requests
+  (``max_inflight``); past it, new work is rejected *typed*
+  (``error_kind="admission"``) instead of queueing unboundedly. Same
+  philosophy as the engine's bounded queue, one level up.
+* **Priority classes** — ``"interactive"`` admits up to the full cap;
+  ``"batch"`` only below ``batch_watermark`` (a fraction of the cap), so a
+  bulk backfill cannot starve latency-sensitive traffic. No reordering
+  is attempted beyond that — the shards' own queues stay short because
+  admission is the throttle.
+* **Per-tenant quotas** — each tenant's concurrent in-flight count is
+  capped; past it, ``error_kind="quota"``. One noisy tenant degrades to
+  *its own* rejections, not the fleet's.
+* **Failover** — a request is dispatched to its digest's rendezvous
+  preference order; a connection failure (or an injected
+  ``cluster.gateway.send`` partition) marks the shard dead in the routing
+  table and retries the next preference. Only when every slot has been
+  tried does the request fail, typed ``shard_unavailable``.
+* **Trace stitching** — the gateway makes the head-sampling decision; a
+  sampled request's shard returns its span subtree on the wire, and the
+  gateway rebases + adopts it under its own ``gateway.request`` span —
+  one process, one exported trace, ONE tree per request.
+* **Merged metrics** — :meth:`Gateway.metrics_text` renders every shard's
+  snapshot plus the cross-shard aggregate as one Prometheus exposition.
+
+The gateway core is a single asyncio event loop (connection pools are
+per-shard lists of (reader, writer) pairs used in lockstep
+request/response). :class:`SyncGateway` wraps it for threaded callers —
+tests, the CLI, and the load generator drive the sync facade.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..faults import core as _faults
+from ..serve.metrics import MetricsRegistry
+from ..trace import core as _trace_core
+from ..trace.exporters import prometheus_merged_text
+from .protocol import (
+    CLUSTER_ERROR_KINDS,
+    decode_array,
+    encode_array,
+    recv_frame_async,
+    send_frame_async,
+    spans_from_wire,
+)
+from .router import NoLiveShards, Router
+
+PRIORITIES = ("interactive", "batch")
+
+
+class ClusterRequest:
+    """One request as the gateway sees it (image inline or by shard ref)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        app: str,
+        *,
+        image: Optional[np.ndarray] = None,
+        image_ref: Optional[str] = None,
+        shape: Optional[tuple[int, int]] = None,
+        pattern: str = "clamp",
+        variant: str = "isp+m",
+        exec_mode: str = "vectorized",
+        constant: float = 0.0,
+        timeout_s: Optional[float] = None,
+        tenant: str = "default",
+        priority: str = "interactive",
+        return_mode: str = "array",
+    ):
+        if (image is None) == (image_ref is None):
+            raise ValueError("exactly one of image / image_ref is required")
+        if image_ref is not None and shape is None:
+            raise ValueError("image_ref requires shape (routing needs h, w)")
+        if priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}")
+        if return_mode not in ("array", "digest"):
+            raise ValueError("return_mode must be 'array' or 'digest'")
+        self.app = app
+        self.image = (np.ascontiguousarray(image, dtype=np.float32)
+                      if image is not None else None)
+        self.image_ref = image_ref
+        self.shape = tuple(shape) if shape is not None else self.image.shape
+        self.pattern = pattern
+        self.variant = variant
+        self.exec_mode = exec_mode
+        self.constant = float(constant)
+        self.timeout_s = timeout_s
+        self.tenant = tenant
+        self.priority = priority
+        self.return_mode = return_mode
+        self.request_id = next(self._ids)
+
+
+class ClusterResponse:
+    """Outcome of one gateway request (mirrors the engine's Response shape,
+    with the cluster-level fields added)."""
+
+    def __init__(self, request_id: int, app: str):
+        self.request_id = request_id
+        self.app = app
+        self.output: Optional[np.ndarray] = None
+        self.digest: Optional[str] = None
+        self.slot: Optional[str] = None
+        self.variant: Optional[str] = None
+        self.cache_hit: bool = False
+        self.fallbacks: list[str] = []
+        self.retries: int = 0
+        self.failovers: int = 0
+        self.error: Optional[str] = None
+        self.error_kind: Optional[str] = None
+        self.trace_id: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def fail(self, kind: str, message: str) -> "ClusterResponse":
+        assert kind in CLUSTER_ERROR_KINDS, f"untyped error kind {kind!r}"
+        self.error_kind = kind
+        self.error = message
+        return self
+
+
+class _ShardPool:
+    """Connection pool for one shard address; connections are used in
+    lockstep (one request, one response), so a checked-out pair is exclusive
+    to its request until returned."""
+
+    def __init__(self, addr: tuple[str, int], limit: int):
+        self.addr = tuple(addr)
+        self._idle: list[tuple] = []
+        self._sem = asyncio.Semaphore(limit)
+
+    async def acquire(self):
+        await self._sem.acquire()
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+        try:
+            return await asyncio.open_connection(*self.addr)
+        except OSError as exc:
+            self._sem.release()
+            raise ConnectionError(
+                f"cannot connect to shard at {self.addr}: {exc}"
+            ) from exc
+
+    def release(self, pair, *, broken: bool = False) -> None:
+        reader, writer = pair
+        if broken or writer.is_closing():
+            writer.close()
+        else:
+            self._idle.append(pair)
+        self._sem.release()
+
+    def close(self) -> None:
+        while self._idle:
+            _, writer = self._idle.pop()
+            writer.close()
+
+
+class Gateway:
+    """Asyncio cluster front door (single event loop; see module docstring)."""
+
+    def __init__(
+        self,
+        router: Router,
+        *,
+        max_inflight: int = 64,
+        batch_watermark: float = 0.5,
+        tenant_quota: Optional[int] = None,
+        pool_size: int = 8,
+        sample_rate: float = 0.0,
+        trace_seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_source=None,
+    ):
+        if not 0.0 < batch_watermark <= 1.0:
+            raise ValueError("batch_watermark must be in (0, 1]")
+        self.router = router
+        self.max_inflight = max_inflight
+        self.batch_cap = max(1, int(max_inflight * batch_watermark))
+        self.tenant_quota = tenant_quota
+        self.pool_size = pool_size
+        #: callable returning {shard: metrics snapshot} for the merged
+        #: exporter (typically LocalCluster.metrics_snapshots)
+        self.metrics_source = metrics_source
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._c_submitted = m.counter("gateway.requests_submitted")
+        self._c_ok = m.counter("gateway.responses_ok")
+        self._c_error = m.counter("gateway.responses_error")
+        self._c_admission = m.counter(
+            "gateway.rejected_admission", "load-shed at the inflight cap")
+        self._c_quota = m.counter(
+            "gateway.rejected_quota", "per-tenant inflight quota exceeded")
+        self._c_failovers = m.counter(
+            "gateway.failovers", "dispatches retried on the next shard")
+        self._c_partitions = m.counter(
+            "gateway.partitions_injected",
+            "cluster.gateway.send faults observed")
+        self._g_inflight = m.gauge("gateway.inflight")
+        self._h_latency = m.histogram("gateway.latency_seconds", unit="s")
+
+        self._inflight = 0
+        self._tenant_inflight: dict[str, int] = {}
+        self._state_lock = threading.Lock()
+        self._pools: dict[tuple[str, int], _ShardPool] = {}
+
+        # Head sampling is the gateway's call (shards obey, see worker.py).
+        self.tracer = _trace_core.Tracer(
+            sample_rate=sample_rate, seed=trace_seed
+        ) if sample_rate > 0.0 else None
+
+    # ------------------------------------------------------------- admission
+
+    def _admit(self, request: ClusterRequest) -> Optional[str]:
+        """Reserve an in-flight slot; returns a rejection kind or None."""
+        with self._state_lock:
+            cap = (self.batch_cap if request.priority == "batch"
+                   else self.max_inflight)
+            if self._inflight >= cap:
+                return "admission"
+            if self.tenant_quota is not None:
+                if self._tenant_inflight.get(request.tenant, 0) >= \
+                        self.tenant_quota:
+                    return "quota"
+            self._inflight += 1
+            self._tenant_inflight[request.tenant] = (
+                self._tenant_inflight.get(request.tenant, 0) + 1
+            )
+            self._g_inflight.set(self._inflight)
+        return None
+
+    def _release(self, request: ClusterRequest) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+            left = self._tenant_inflight.get(request.tenant, 1) - 1
+            if left <= 0:
+                self._tenant_inflight.pop(request.tenant, None)
+            else:
+                self._tenant_inflight[request.tenant] = left
+            self._g_inflight.set(self._inflight)
+
+    # -------------------------------------------------------------- dispatch
+
+    def _pool_for(self, addr: tuple[str, int]) -> _ShardPool:
+        pool = self._pools.get(addr)
+        if pool is None:
+            pool = self._pools[addr] = _ShardPool(addr, self.pool_size)
+        return pool
+
+    async def submit(self, request: ClusterRequest) -> ClusterResponse:
+        """Admit, route, dispatch (with failover), stitch, account."""
+        response = ClusterResponse(request.request_id, request.app)
+        self._c_submitted.inc()
+        rejection = self._admit(request)
+        if rejection is not None:
+            (self._c_admission if rejection == "admission"
+             else self._c_quota).inc()
+            self._c_error.inc()
+            return response.fail(
+                rejection,
+                f"{rejection} rejected (inflight cap "
+                f"{self.batch_cap if request.priority == 'batch' else self.max_inflight}"
+                f", tenant {request.tenant!r})",
+            )
+
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.start_trace(
+                "gateway.request", key=f"g{request.request_id}",
+                request_id=request.request_id, app=request.app,
+                pattern=request.pattern, tenant=request.tenant,
+                priority=request.priority,
+            )
+        t0 = time.perf_counter()
+        try:
+            await self._dispatch(request, response, root)
+        finally:
+            self._release(request)
+            self._h_latency.observe(time.perf_counter() - t0)
+            (self._c_ok if response.ok else self._c_error).inc()
+            if root is not None:
+                response.trace_id = root.trace_id
+                self.tracer.finish(
+                    root,
+                    status="ok" if response.ok else f"error:{response.error_kind}",
+                    error_kind=response.error_kind, slot=response.slot,
+                    failovers=response.failovers,
+                )
+        return response
+
+    async def _dispatch(self, request: ClusterRequest,
+                        response: ClusterResponse, root) -> None:
+        h, w = request.shape
+        try:
+            order = self.router.route(
+                request.app, request.pattern, w, h, request.constant
+            )
+        except NoLiveShards as exc:
+            response.fail("shard_unavailable", str(exc))
+            return
+
+        header: dict = {
+            "op": "run", "app": request.app, "pattern": request.pattern,
+            "variant": request.variant, "exec_mode": request.exec_mode,
+            "constant": request.constant, "timeout_s": request.timeout_s,
+            "return": request.return_mode, "trace": root is not None,
+            "key": f"g{request.request_id}",
+        }
+        payload = b""
+        if request.image_ref is not None:
+            header["ref"] = request.image_ref
+        else:
+            header["array"], payload = encode_array(request.image)
+
+        tried: list[str] = []
+        last_error = "no shard tried"
+        for slot in order:
+            tried.append(slot)
+            call_span = None
+            if root is not None:
+                call_span = self.tracer.start_span(
+                    "shard_call", root, slot=slot, attempt=len(tried),
+                )
+            try:
+                if _faults._current is not None:
+                    # Fault point: the network between gateway and this
+                    # shard partitions. The shard is healthy; the gateway
+                    # cannot reach it — so this dispatch fails over exactly
+                    # like a dead shard, without killing anything.
+                    act = _faults.fire("cluster.gateway.send",
+                                       key=f"g{request.request_id}",
+                                       slot=slot)
+                    if act is not None:
+                        self._c_partitions.inc()
+                        raise ConnectionError(
+                            f"injected partition to {slot} "
+                            "(cluster.gateway.send)"
+                        )
+                reply, out_payload = await self._call(slot, header, payload)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+                last_error = str(exc)
+                # A slot we cannot reach serves nothing until the manager
+                # revives it: mark dead so subsequent requests skip it, then
+                # try this request's next preference.
+                self.router.table.mark_dead(slot)
+                response.failovers += 1
+                self._c_failovers.inc()
+                if call_span is not None:
+                    self.tracer.finish(call_span, status="error",
+                                       error=last_error)
+                continue
+
+            if call_span is not None:
+                self.tracer.finish(call_span, ok=bool(reply.get("ok")))
+            self._ingest(request, response, reply, out_payload, root, slot,
+                         call_span)
+            return
+
+        response.fail(
+            "shard_unavailable",
+            f"all {len(tried)} shard(s) unreachable "
+            f"(tried {tried}; last error: {last_error})",
+        )
+
+    async def _call(self, slot: str, header: dict,
+                    payload: bytes) -> tuple[dict, bytes]:
+        addr = self.router.table.addr(slot)
+        pool = self._pool_for(addr)
+        pair = await pool.acquire()
+        broken = True
+        try:
+            await send_frame_async(pair[1], header, payload)
+            reply, out_payload = await recv_frame_async(pair[0])
+            broken = False
+            return reply, out_payload
+        finally:
+            pool.release(pair, broken=broken)
+
+    def _ingest(self, request: ClusterRequest, response: ClusterResponse,
+                reply: dict, out_payload: bytes, root, slot: str,
+                call_span=None) -> None:
+        """Fold a shard's reply into the ClusterResponse (+ adopt spans)."""
+        response.slot = slot
+        response.variant = reply.get("variant")
+        response.cache_hit = bool(reply.get("cache_hit"))
+        response.fallbacks = list(reply.get("fallbacks", []))
+        response.retries = int(reply.get("retries", 0))
+        if not reply.get("ok"):
+            kind = reply.get("error_kind") or "execution"
+            if kind not in CLUSTER_ERROR_KINDS:
+                kind = "execution"
+            response.fail(kind, str(reply.get("error", "shard error")))
+        else:
+            if reply.get("digest") is not None:
+                response.digest = reply["digest"]
+            elif out_payload:
+                response.output = decode_array(reply.get("array", {}),
+                                               out_payload)
+        if root is not None and reply.get("spans"):
+            # Rebase the shard's unix-anchored spans onto this tracer's
+            # timeline, then graft them under the shard_call span that
+            # carried them — id-prefixed by slot so two shards' span ids
+            # cannot collide.
+            foreign = spans_from_wire(reply["spans"], self.tracer)
+            self.tracer.adopt_spans(
+                foreign, parent=call_span if call_span is not None else root,
+                prefix=f"{slot}.",
+            )
+
+    # --------------------------------------------------------------- metrics
+
+    def metrics_text(self) -> str:
+        """One merged Prometheus exposition: every shard + the gateway's own
+        registry, each labeled ``shard=``, plus the ``shard="merged"``
+        aggregate."""
+        snapshots: dict[str, dict] = {}
+        if self.metrics_source is not None:
+            snapshots.update(self.metrics_source())
+        snapshots["gateway"] = self.metrics.snapshot(include_samples=True)
+        return prometheus_merged_text(snapshots)
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+
+class SyncGateway:
+    """Threaded facade over :class:`Gateway` (own event loop on a daemon
+    thread) — what tests, the CLI, and the load generator drive."""
+
+    def __init__(self, gateway: Gateway):
+        self.gateway = gateway
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="gateway-loop", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, request: ClusterRequest,
+               timeout: Optional[float] = 60.0) -> ClusterResponse:
+        fut = asyncio.run_coroutine_threadsafe(
+            self.gateway.submit(request), self._loop
+        )
+        return fut.result(timeout)
+
+    def run(self, requests: list[ClusterRequest], *,
+            concurrency: int = 16,
+            timeout: Optional[float] = 300.0) -> list[ClusterResponse]:
+        """Submit many requests with bounded concurrency; results in order."""
+
+        async def _run():
+            sem = asyncio.Semaphore(concurrency)
+
+            async def one(req):
+                async with sem:
+                    return await self.gateway.submit(req)
+
+            return await asyncio.gather(*(one(r) for r in requests))
+
+        fut = asyncio.run_coroutine_threadsafe(_run(), self._loop)
+        return list(fut.result(timeout))
+
+    def put_image(self, slots: list[str], ref: str,
+                  image: np.ndarray, timeout: float = 30.0) -> None:
+        """Register ``image`` under ``ref`` on every given shard slot (the
+        load generator pre-distributes its image pool this way)."""
+        meta, payload = encode_array(np.asarray(image, dtype=np.float32))
+
+        async def _put():
+            for slot in slots:
+                addr = self.gateway.router.table.addr(slot)
+                pool = self.gateway._pool_for(addr)
+                pair = await pool.acquire()
+                broken = True
+                try:
+                    await send_frame_async(
+                        pair[1], {"op": "put_image", "ref": ref,
+                                  "array": meta}, payload)
+                    reply, _ = await recv_frame_async(pair[0])
+                    broken = False
+                    if not reply.get("ok"):
+                        raise RuntimeError(f"put_image failed on {slot}: "
+                                           f"{reply}")
+                finally:
+                    pool.release(pair, broken=broken)
+
+        asyncio.run_coroutine_threadsafe(_put(), self._loop).result(timeout)
+
+    def metrics_text(self) -> str:
+        return self.gateway.metrics_text()
+
+    def close(self) -> None:
+        # Pool writers belong to the gateway loop; close them there.
+        self._loop.call_soon_threadsafe(self.gateway.close)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "SyncGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

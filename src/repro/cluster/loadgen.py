@@ -1,0 +1,208 @@
+"""Synthetic cluster load: a mixed workload driven through the gateway,
+verified bit-exact against locally computed references.
+
+The generator mirrors :func:`repro.serve.bench.build_workload`'s workload
+shape (same apps, same border patterns, a small pool of seeded images) but
+drives the *cluster* path: images are pre-registered on every shard once
+(``put_image``), requests reference them by name and ask for
+``return="digest"`` — so a 10k-request smoke run ships kilobytes per
+request, not megabytes, and still proves bit-exactness: the shard's output
+digest must equal the digest of the same plan executed locally.
+
+Every response is checked against the cluster's one correctness contract:
+**bit-exact or typed**. An ok response with a wrong digest, or an error
+response with a kind outside :data:`~repro.cluster.protocol.
+CLUSTER_ERROR_KINDS`, fails the run. Everything else — failovers included —
+is accounting, reported per shard and per error kind.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..serve.bench import DEFAULT_APPS, DEFAULT_PATTERNS
+from ..serve.plan import build_plan
+from .gateway import ClusterRequest, SyncGateway
+from .protocol import CLUSTER_ERROR_KINDS, array_digest
+
+
+def build_cluster_workload(
+    n: int,
+    *,
+    size: int = 128,
+    seed: int = 0,
+    apps: Sequence[str] = DEFAULT_APPS,
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    variant: str = "isp+m",
+    pool_size: int = 4,
+    tenants: Sequence[str] = ("default",),
+    timeout_s: Optional[float] = None,
+) -> tuple[list[ClusterRequest], dict[str, np.ndarray]]:
+    """(requests, image pool) for one load run.
+
+    Requests reference pool images by name (``img-<i>``); the caller
+    registers the pool on the shards before driving the requests. The mix is
+    deterministic in ``seed`` — same workload, run after run.
+    """
+    rng = np.random.default_rng(seed)
+    pool = {
+        f"img-{i}": rng.random((size, size), dtype=np.float32)
+        for i in range(pool_size)
+    }
+    refs = list(pool)
+    kinds = [(a, p) for a in apps for p in patterns]
+    order = rng.permutation(np.arange(n) % len(kinds))
+    requests = []
+    for i in range(n):
+        app, pattern = kinds[order[i]]
+        requests.append(ClusterRequest(
+            app,
+            image_ref=refs[i % len(refs)],
+            shape=(size, size),
+            pattern=pattern,
+            variant=variant,
+            tenant=tenants[i % len(tenants)],
+            timeout_s=timeout_s,
+            return_mode="digest",
+        ))
+    return requests, pool
+
+
+def reference_digests(
+    requests: Sequence[ClusterRequest], pool: dict[str, np.ndarray]
+) -> dict[tuple, str]:
+    """Locally computed output digest per distinct workload kind.
+
+    One plan build + execute per ``(app, pattern, ref, variant)`` — the
+    ground truth the shards' digests are compared against. Local plans and
+    shard plans are built by the same pure compiler from the same
+    descriptions, so equal digests mean bit-exact outputs. ``"auto"``
+    references are built as ``"naive"``: every plan variant is bit-exact to
+    every other (the ISP partitioning changes *where* border logic runs,
+    never *what* it computes), so one digest covers whatever variant the
+    shard's tuner resolves — which is also why failover between shards
+    with differently-warmed tuners stays bit-exact.
+    """
+    out: dict[tuple, str] = {}
+    for r in requests:
+        kind = (r.app, r.pattern, r.image_ref, r.variant)
+        if kind in out:
+            continue
+        image = pool[r.image_ref]
+        h, w = image.shape
+        build_variant = "naive" if r.variant == "auto" else r.variant
+        plan = build_plan(r.app, r.pattern, w, h, variant=build_variant,
+                          constant=r.constant)
+        out[kind] = array_digest(plan.execute(image))
+    return out
+
+
+def run_load(
+    sync_gateway: SyncGateway,
+    requests: list[ClusterRequest],
+    pool: dict[str, np.ndarray],
+    *,
+    concurrency: int = 16,
+    verify: bool = True,
+    timeout: float = 600.0,
+) -> dict:
+    """Drive the workload through the gateway; returns the report dict.
+
+    Raises ``AssertionError`` on any contract violation (wrong digest,
+    untyped error kind) so CI smoke runs fail loudly, not statistically.
+    """
+    slots = sync_gateway.gateway.router.table.slots()
+    for ref, image in pool.items():
+        sync_gateway.put_image(slots, ref, image)
+
+    refs = reference_digests(requests, pool) if verify else {}
+
+    t0 = time.perf_counter()
+    responses = sync_gateway.run(requests, concurrency=concurrency,
+                                 timeout=timeout)
+    # Self-heal the two transient failure shapes a mid-run shard death
+    # leaves behind: a replacement shard does not have the pre-registered
+    # image pool ("unknown image ref" -> bad_request), and requests caught
+    # in the dead window fail shard_unavailable. One re-seed + one retry
+    # round converts both back into served requests; anything still failing
+    # after that is reported as-is.
+    retry_idx = [
+        i for i, r in enumerate(responses)
+        if (not r.ok and (r.error_kind == "shard_unavailable"
+                          or (r.error_kind == "bad_request"
+                              and "unknown image ref" in (r.error or ""))))
+    ]
+    retried = 0
+    if retry_idx:
+        for ref, image in pool.items():
+            sync_gateway.put_image(
+                sync_gateway.gateway.router.table.live_slots(), ref, image
+            )
+        redo = sync_gateway.run([requests[i] for i in retry_idx],
+                                concurrency=concurrency, timeout=timeout)
+        for i, resp in zip(retry_idx, redo):
+            responses[i] = resp
+        retried = len(retry_idx)
+    elapsed = time.perf_counter() - t0
+
+    ok = 0
+    mismatches = 0
+    failovers = 0
+    errors: dict[str, int] = {}
+    by_slot: dict[str, int] = {}
+    cache_hits = 0
+    for req, resp in zip(requests, responses):
+        failovers += resp.failovers
+        if resp.ok:
+            ok += 1
+            by_slot[resp.slot] = by_slot.get(resp.slot, 0) + 1
+            if resp.cache_hit:
+                cache_hits += 1
+            if verify:
+                expect = refs[(req.app, req.pattern, req.image_ref,
+                               req.variant)]
+                if resp.digest != expect:
+                    mismatches += 1
+        else:
+            assert resp.error_kind in CLUSTER_ERROR_KINDS, (
+                f"untyped cluster error {resp.error_kind!r}: {resp.error}"
+            )
+            errors[resp.error_kind] = errors.get(resp.error_kind, 0) + 1
+
+    assert mismatches == 0, (
+        f"{mismatches} ok responses returned non-bit-exact digests"
+    )
+    return {
+        "requests": len(requests),
+        "ok": ok,
+        "errors": errors,
+        "retried": retried,
+        "failovers": failovers,
+        "elapsed_s": elapsed,
+        "throughput_rps": len(requests) / elapsed if elapsed > 0 else 0.0,
+        "cache_hit_rate": (cache_hits / ok) if ok else 0.0,
+        "by_slot": dict(sorted(by_slot.items())),
+        "verified": bool(verify),
+    }
+
+
+def format_load_report(report: dict) -> str:
+    lines = [
+        "cluster load report",
+        "-------------------",
+        f"requests        {report['requests']}",
+        f"ok              {report['ok']}",
+        f"errors          {sum(report['errors'].values())} "
+        f"{report['errors'] or ''}".rstrip(),
+        f"failovers       {report['failovers']}  (retried {report['retried']})",
+        f"throughput      {report['throughput_rps']:.1f} req/s",
+        f"cache hit rate  {report['cache_hit_rate']:.1%}",
+        f"verified        {'bit-exact digests' if report['verified'] else 'off'}",
+        "per-shard served:",
+    ]
+    for slot, n in report["by_slot"].items():
+        lines.append(f"  {slot:<12} {n}")
+    return "\n".join(lines)

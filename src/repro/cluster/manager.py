@@ -1,0 +1,328 @@
+"""LocalCluster: spawn, monitor, kill, and warm-respawn shard processes.
+
+The manager owns the *processes*; routing state lives in the
+:class:`~repro.cluster.router.RoutingTable` it keeps updated. One
+:class:`LocalCluster` boots N ``python -m repro.cluster.worker`` subprocesses
+(one per slot), reads each worker's READY handshake line to learn its port,
+and then:
+
+* a monitor thread polls for dead processes; a dead slot is marked dead in
+  the table immediately (so the gateway fails over now) and respawned into
+  the *same slot* — same keyspace, and, because every spawn's
+  ``--autotune-path`` points at the slot's :class:`~repro.cluster.warmstart.
+  WarmStartStore` file, the replacement boots from the dead shard's last
+  snapshot rather than cold priors;
+* a snapshot thread periodically sends ``snapshot`` to every live shard, so
+  the warm-start file is never older than one interval even though a
+  crashed shard skips its clean close();
+* :meth:`kill` SIGKILLs one slot — the chaos suite's "shard dies
+  mid-flight" lever (abrupt, no drain, exactly what the failover and
+  warm-start paths must absorb).
+
+Control traffic (stats, snapshot, ping) uses short-lived blocking
+connections; request traffic never flows through the manager — that is the
+gateway's job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from .protocol import recv_frame, send_frame
+from .router import Router, RoutingTable
+from .warmstart import WarmStartStore
+
+
+def _worker_env() -> dict:
+    """Subprocess environment with ``repro`` importable (the package lives
+    in a src/ layout; the spawned interpreter needs it on PYTHONPATH)."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    parts = [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+                         if p and p != src_dir]
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+class ShardProcess:
+    """One spawned worker and what the manager knows about it."""
+
+    def __init__(self, slot: str, proc: subprocess.Popen, host: str,
+                 port: int, boot_configs: int):
+        self.slot = slot
+        self.proc = proc
+        self.host = host
+        self.port = port
+        self.boot_configs = boot_configs
+        self.spawned_at = time.monotonic()
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+
+class LocalCluster:
+    """N shard workers on localhost, one routing table, warm-start wiring."""
+
+    def __init__(
+        self,
+        *,
+        shards: int = 3,
+        warmstart_dir: Optional[Union[str, Path]] = None,
+        engine_workers: int = 2,
+        default_timeout_s: Optional[float] = None,
+        autotune: bool = True,
+        faults_json: Optional[dict] = None,
+        snapshot_interval_s: float = 2.0,
+        respawn: bool = True,
+        ready_timeout_s: float = 30.0,
+        extra_worker_args: Optional[list[str]] = None,
+    ):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.slots = [f"shard-{i}" for i in range(shards)]
+        self.table = RoutingTable()
+        self.router = Router(self.table)
+        self.warmstart = (
+            WarmStartStore(warmstart_dir) if warmstart_dir is not None else None
+        )
+        self.engine_workers = engine_workers
+        self.default_timeout_s = default_timeout_s
+        self.autotune = autotune
+        self.faults_json = faults_json
+        self.snapshot_interval_s = snapshot_interval_s
+        self.respawn = respawn
+        self.ready_timeout_s = ready_timeout_s
+        self.extra_worker_args = list(extra_worker_args or [])
+
+        self._procs: dict[str, ShardProcess] = {}
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self.respawns = 0
+
+        for slot in self.slots:
+            self._spawn(slot)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+        self._snapshotter: Optional[threading.Thread] = None
+        if self.warmstart is not None and snapshot_interval_s > 0:
+            self._snapshotter = threading.Thread(
+                target=self._snapshot_loop, name="cluster-snapshot",
+                daemon=True,
+            )
+            self._snapshotter.start()
+
+    # ------------------------------------------------------------- spawning
+
+    def _spawn(self, slot: str) -> ShardProcess:
+        cmd = [
+            sys.executable, "-m", "repro.cluster.worker",
+            "--slot", slot, "--port", "0",
+            "--workers", str(self.engine_workers),
+        ]
+        if self.default_timeout_s is not None:
+            cmd += ["--default-timeout-s", str(self.default_timeout_s)]
+        # The tuner rides the warm-start wiring: each slot's --autotune-path
+        # IS its snapshot file, so enabling one without the other has no
+        # cross-process story. No warmstart_dir => shards run untuned.
+        if self.warmstart is not None and self.autotune:
+            cmd += ["--autotune-path", str(self.warmstart.path_for(slot))]
+        if self.faults_json is not None:
+            cmd += ["--faults", json.dumps(self.faults_json)]
+        cmd += self.extra_worker_args
+
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=_worker_env(), text=True,
+        )
+        ready = self._read_ready(proc, slot)
+        shard = ShardProcess(slot, proc, ready["host"], ready["port"],
+                             int(ready.get("boot_configs", 0)))
+        with self._lock:
+            self._procs[slot] = shard
+        self.table.set_addr(slot, (shard.host, shard.port))
+        return shard
+
+    def _read_ready(self, proc: subprocess.Popen, slot: str) -> dict:
+        """Block (bounded) for the worker's READY line on stdout."""
+        deadline = time.monotonic() + self.ready_timeout_s
+        line = ""
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"shard {slot} exited with {proc.returncode} before READY"
+                )
+            line = proc.stdout.readline()
+            if line.strip():
+                break
+        if not line.strip():
+            proc.kill()
+            raise RuntimeError(f"shard {slot} produced no READY line")
+        try:
+            ready = json.loads(line)
+        except json.JSONDecodeError as exc:
+            proc.kill()
+            raise RuntimeError(
+                f"shard {slot} READY line is not JSON: {line!r}"
+            ) from exc
+        if not ready.get("ready"):
+            proc.kill()
+            raise RuntimeError(f"shard {slot} refused to start: {ready}")
+        return ready
+
+    # ----------------------------------------------------------- monitoring
+
+    def _monitor_loop(self) -> None:
+        while not self._closed.wait(0.05):
+            with self._lock:
+                dead = [s for s, p in self._procs.items() if not p.alive()]
+                suspect = [s for s, p in self._procs.items()
+                           if p.alive() and not self.table.is_live(s)]
+            for slot in dead:
+                # Mark first: the gateway must start failing over before the
+                # (comparatively slow) respawn completes.
+                self.table.mark_dead(slot)
+                if self.respawn and not self._closed.is_set():
+                    try:
+                        self._spawn(slot)
+                        self.respawns += 1
+                    except RuntimeError:
+                        # Next monitor tick retries; the slot stays dead.
+                        pass
+            for slot in suspect:
+                # The gateway marked this slot dead (a connection failure /
+                # injected partition) but the process is alive — probe it
+                # and put it back in rotation if it answers. Transient
+                # partitions heal here; real corpses fall to the branch
+                # above on a later tick.
+                try:
+                    if self.ping(slot).get("ok"):
+                        self.table.mark_live(slot)
+                except (ConnectionError, OSError):
+                    pass
+
+    def _snapshot_loop(self) -> None:
+        while not self._closed.wait(self.snapshot_interval_s):
+            self.snapshot_all()
+
+    # -------------------------------------------------------------- control
+
+    def _control(self, slot: str, header: dict,
+                 timeout: float = 10.0) -> dict:
+        """One request/response on a fresh control connection."""
+        addr = self.table.addr(slot)
+        with socket.create_connection(addr, timeout=timeout) as sock:
+            send_frame(sock, header)
+            reply, _ = recv_frame(sock)
+        return reply
+
+    def ping(self, slot: str) -> dict:
+        return self._control(slot, {"op": "ping"})
+
+    def stats_all(self, *, samples: bool = True) -> dict[str, dict]:
+        """{slot: stats reply} for every live slot (dead slots skipped)."""
+        out: dict[str, dict] = {}
+        for slot in self.table.live_slots():
+            try:
+                out[slot] = self._control(slot, {"op": "stats",
+                                                 "samples": samples})
+            except (ConnectionError, OSError):
+                self.table.mark_dead(slot)
+        return out
+
+    def metrics_snapshots(self) -> dict[str, dict]:
+        """{slot: MetricsRegistry.snapshot()} for the merged exporter."""
+        return {
+            slot: reply["metrics"]
+            for slot, reply in self.stats_all(samples=True).items()
+            if reply.get("ok")
+        }
+
+    def snapshot_all(self) -> dict[str, bool]:
+        """Ask every live shard to persist its tuner table now."""
+        out: dict[str, bool] = {}
+        for slot in self.table.live_slots():
+            try:
+                reply = self._control(slot, {"op": "snapshot"})
+                out[slot] = bool(reply.get("saved"))
+            except (ConnectionError, OSError):
+                self.table.mark_dead(slot)
+                out[slot] = False
+        return out
+
+    # ---------------------------------------------------------------- chaos
+
+    def kill(self, slot: str, *, sig: int = signal.SIGKILL) -> int:
+        """Abruptly kill one shard (no drain, no flush); returns the pid.
+
+        The monitor notices the corpse, marks the slot dead (failover), and
+        respawns a warm-started replacement into the same slot.
+        """
+        with self._lock:
+            shard = self._procs[slot]
+        pid = shard.pid
+        shard.proc.send_signal(sig)
+        shard.proc.wait(timeout=10)
+        # Mark dead here rather than waiting for the monitor tick: callers
+        # that immediately wait_live() must not observe the stale mark.
+        self.table.mark_dead(slot)
+        return pid
+
+    def shard(self, slot: str) -> ShardProcess:
+        with self._lock:
+            return self._procs[slot]
+
+    def wait_live(self, slot: str, timeout: float = 30.0) -> bool:
+        """Block until ``slot`` is live again (respawn completed)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.table.is_live(slot):
+                return True
+            time.sleep(0.02)
+        return False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self._closed.set()
+        self._monitor.join(timeout=5)
+        if self._snapshotter is not None:
+            self._snapshotter.join(timeout=5)
+        with self._lock:
+            procs = list(self._procs.values())
+        for shard in procs:
+            if shard.alive():
+                try:
+                    self._control(shard.slot, {"op": "shutdown"}, timeout=2.0)
+                except (ConnectionError, OSError, KeyError):
+                    pass
+        deadline = time.monotonic() + 5.0
+        for shard in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                shard.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                shard.proc.kill()
+                shard.proc.wait(timeout=5)
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,60 @@
+"""Warm-start tier: per-slot autotune snapshots that outlive the process.
+
+A shard's most valuable state is not in its plan cache (plans rebuild in
+milliseconds) but in its autotuner's learned table — committed variants per
+workload shape, earned over trials. A replacement shard that starts from
+cold priors re-pays the whole trial phase; one seeded from the dead shard's
+last snapshot serves committed decisions from its first request.
+
+The mechanism is deliberately thin: each *slot* owns one JSON file in a
+shared directory, written by the tuner's own :meth:`~repro.serve.autotune.
+AutoTuner.save` (same format, same version field as PR 3's persistence —
+nothing new to parse). The manager points every worker's ``--autotune-path``
+at its slot's file, so a worker's normal close() persists there, the
+snapshot loop refreshes it mid-flight (crashes don't close cleanly), and a
+respawn warm-starts by construction: the engine loads whatever table the
+slot file holds at boot. Slot identity — not process identity — names the
+file, which is what makes the state survive the process.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+
+class WarmStartStore:
+    """Directory of per-slot autotune snapshot files."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, slot: str) -> Path:
+        return self.root / f"shard-{slot}.json"
+
+    def has_snapshot(self, slot: str) -> bool:
+        p = self.path_for(slot)
+        return p.exists() and p.stat().st_size > 0
+
+    def configs(self, slot: str) -> int:
+        """Configs recorded in a slot's snapshot (0 = none/unreadable)."""
+        state = self.read(slot)
+        if state is None:
+            return 0
+        return len(state.get("configs") or [])
+
+    def read(self, slot: str) -> Optional[dict]:
+        p = self.path_for(slot)
+        if not p.exists():
+            return None
+        try:
+            return json.loads(p.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def slots(self) -> list[str]:
+        return sorted(
+            p.stem[len("shard-"):] for p in self.root.glob("shard-*.json")
+        )

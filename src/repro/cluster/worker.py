@@ -1,0 +1,388 @@
+"""Shard worker: one process, one full :class:`ServeEngine`, one TCP port.
+
+A shard is the serve stack, whole — plan cache, autotuner, circuit breaker,
+fault injection, tracing — wrapped in a socket server speaking the frame
+protocol of :mod:`repro.cluster.protocol`. Nothing is re-implemented at this
+layer; the cluster's value is placement (the router keeps each plan's
+keyspace on one shard so that shard's caches stay hot), and the worker's job
+is to be an honest network face for the engine underneath.
+
+Operations (header ``op`` field):
+
+``hello``     protocol/identity handshake (version, slot, pid)
+``ping``      liveness probe
+``put_image`` register an image payload under a caller-chosen ``ref`` —
+              the load generator registers its image pool once instead of
+              shipping megabytes per request
+``run``       execute one request; the image arrives inline or by ``ref``;
+              ``return="digest"`` sends back a SHA-256 of the output bytes
+              instead of the pixels (bit-exactness checks at 10k requests
+              should not cost 10 GB of loopback traffic)
+``stats``     engine stats + a metrics snapshot (with histogram samples, so
+              the gateway can merge percentiles from pooled observations)
+``snapshot``  persist the autotuner table now (the warm-start tier calls
+              this periodically; a replacement shard loads the file at boot)
+``shutdown``  drain and exit cleanly
+
+Tracing across the process boundary: the gateway decides head-sampling — a
+shard must not roll its own dice, or a sampled gateway request could pair
+with an unsampled shard execution. The worker installs a
+:class:`SelectiveTracer` (samples nothing by default); when a ``run`` frame
+carries ``"trace": true`` the request's key is allow-listed, the engine
+records its usual span subtree, and the worker pops exactly that trace and
+ships it back serialized (unix-anchored) for the gateway to graft.
+
+Fault points: ``cluster.worker.exit`` fires in the request handler and takes
+the whole process down with ``os._exit`` — no atexit, no flush, the honest
+shape of a SIGKILL'd shard — which is how the chaos suite makes a shard die
+mid-flight deterministically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..faults import core as _faults
+from ..serve.engine import Request, ServeEngine
+from ..trace import core as _trace_core
+from ..trace.core import Tracer
+from . import protocol
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    array_digest,
+    decode_array,
+    encode_array,
+    recv_frame,
+    send_frame,
+    spans_to_wire,
+)
+
+
+class SelectiveTracer(Tracer):
+    """A tracer that samples nothing except explicitly allow-listed keys.
+
+    The cross-process sampling contract: the *gateway* makes the head
+    decision once per request; the shard obeys. ``allow`` arms one key,
+    :meth:`start_trace` consumes it, and :meth:`pop_trace` extracts a
+    finished trace's spans (removing them, so the buffer never accumulates
+    spans nobody will collect).
+    """
+
+    def __init__(self, *, max_spans: int = 100_000):
+        super().__init__(sample_rate=0.0, max_spans=max_spans)
+        self._allowed: set[str] = set()
+        self._allow_lock = threading.Lock()
+
+    def allow(self, key: str) -> None:
+        with self._allow_lock:
+            self._allowed.add(key)
+
+    def sampled(self, key: str) -> bool:
+        with self._allow_lock:
+            if key in self._allowed:
+                self._allowed.discard(key)  # one trace per allowance
+                return True
+        return False
+
+    def pop_trace(self, trace_id: str) -> list:
+        """Remove and return the spans of one finished trace."""
+        with self._lock:
+            mine = [s for s in self._spans if s.trace_id == trace_id]
+            self._spans = [s for s in self._spans if s.trace_id != trace_id]
+        return mine
+
+
+class ShardServer:
+    """The worker's accept loop + per-connection request handling."""
+
+    def __init__(
+        self,
+        *,
+        slot: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine_kwargs: Optional[dict] = None,
+    ):
+        self.slot = slot
+        kwargs = dict(engine_kwargs or {})
+        self.engine = ServeEngine(**kwargs)
+        self.tracer = SelectiveTracer()
+        _trace_core.install(self.tracer)
+        #: autotune configs present at boot — a warm-started replacement
+        #: shard reports > 0 here, a cold one 0 (the chaos suite asserts it)
+        self.boot_configs = (
+            self.engine.tuner.stats()["configs"]
+            if self.engine.tuner is not None else 0
+        )
+        self._images: dict[str, np.ndarray] = {}
+        self._images_lock = threading.Lock()
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"shard-{slot}-accept", daemon=True
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        self.start()
+        self._shutdown.wait()
+        self.close()
+
+    def close(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.engine.close()
+        if _trace_core.active() is self.tracer:
+            _trace_core.uninstall()
+
+    # ----------------------------------------------------------- accept loop
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name=f"shard-{self.slot}-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    header, payload = recv_frame(conn)
+                except (ConnectionError, OSError):
+                    return
+                try:
+                    reply, out_payload = self.handle(header, payload)
+                except ProtocolError as exc:
+                    reply, out_payload = (
+                        {"ok": False, "error": str(exc),
+                         "error_kind": "bad_request"},
+                        b"",
+                    )
+                try:
+                    send_frame(conn, reply, out_payload)
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # --------------------------------------------------------------- handlers
+
+    def handle(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        """Dispatch one frame; returns (reply header, reply payload)."""
+        op = header.get("op")
+        if op == "run":
+            return self._op_run(header, payload)
+        if op == "put_image":
+            return self._op_put_image(header, payload)
+        if op == "stats":
+            return self._op_stats(header)
+        if op == "snapshot":
+            return self._op_snapshot()
+        if op in ("ping", "hello"):
+            return ({
+                "ok": True, "op": op, "slot": self.slot, "pid": os.getpid(),
+                "version": PROTOCOL_VERSION,
+                "boot_configs": self.boot_configs,
+            }, b"")
+        if op == "shutdown":
+            self._shutdown.set()
+            return ({"ok": True, "op": "shutdown"}, b"")
+        raise ProtocolError(f"unknown op {op!r}")
+
+    def _op_put_image(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        ref = header.get("ref")
+        if not isinstance(ref, str) or not ref:
+            raise ProtocolError("put_image needs a non-empty string 'ref'")
+        image = decode_array(header.get("array", {}), payload)
+        with self._images_lock:
+            self._images[ref] = image
+        return ({"ok": True, "ref": ref}, b"")
+
+    def _op_run(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        if _faults._current is not None:
+            # Fault point: the shard process dies mid-request. os._exit skips
+            # every cleanup hook on purpose — a crashed shard does not flush
+            # its tuner or close its sockets, and the failover path must cope
+            # with exactly that.
+            act = _faults.fire("cluster.worker.exit",
+                               key=str(header.get("key", "")), slot=self.slot)
+            if act is not None:
+                os._exit(17)
+
+        if header.get("ref") is not None:
+            with self._images_lock:
+                image = self._images.get(header["ref"])
+            if image is None:
+                raise ProtocolError(f"unknown image ref {header['ref']!r}")
+        elif payload:
+            image = decode_array(header.get("array", {}), payload)
+        else:
+            raise ProtocolError("run needs an image (inline payload or 'ref')")
+
+        try:
+            request = Request(
+                app=header["app"],
+                image=image,
+                pattern=header.get("pattern", "clamp"),
+                variant=header.get("variant", "isp+m"),
+                exec_mode=header.get("exec_mode", "vectorized"),
+                constant=float(header.get("constant", 0.0)),
+                timeout_s=header.get("timeout_s"),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad run request: {exc}") from exc
+
+        if header.get("trace"):
+            # The gateway sampled this request; arm its key so the engine's
+            # start_trace succeeds for exactly this one.
+            self.tracer.allow(f"r{request.request_id}")
+
+        response = self.engine.run([request])[0]
+
+        reply: dict = {
+            "ok": response.ok,
+            "request_id": response.request_id,
+            "variant": response.variant,
+            "cache_hit": response.cache_hit,
+            "fallbacks": list(response.fallbacks),
+            "retries": response.retries,
+            "queue_seconds": response.queue_seconds,
+            "execute_seconds": response.execute_seconds,
+            "slot": self.slot,
+        }
+        if not response.ok:
+            reply["error"] = response.error
+            reply["error_kind"] = response.error_kind
+
+        if response.trace_id is not None:
+            spans = self.tracer.pop_trace(response.trace_id)
+            reply["spans"] = spans_to_wire(spans, self.tracer.epoch_unix)
+
+        out_payload = b""
+        if response.output is not None:
+            if header.get("return") == "digest":
+                reply["digest"] = array_digest(response.output)
+            else:
+                meta, out_payload = encode_array(response.output)
+                reply["array"] = meta
+        return reply, out_payload
+
+    def _op_stats(self, header: dict) -> tuple[dict, bytes]:
+        include_samples = bool(header.get("samples", True))
+        return ({
+            "ok": True,
+            "slot": self.slot,
+            "pid": os.getpid(),
+            "boot_configs": self.boot_configs,
+            "stats": self.engine.stats(),
+            "metrics": self.engine.metrics.snapshot(
+                include_samples=include_samples
+            ),
+        }, b"")
+
+    def _op_snapshot(self) -> tuple[dict, bytes]:
+        tuner = self.engine.tuner
+        if tuner is None or tuner.path is None:
+            return ({"ok": True, "saved": False}, b"")
+        try:
+            tuner.save()
+        except OSError as exc:
+            return ({"ok": False, "saved": False, "error": str(exc),
+                     "error_kind": "bad_request"}, b"")
+        return ({"ok": True, "saved": True, "path": str(tuner.path),
+                 "configs": tuner.stats()["configs"]}, b"")
+
+
+# ---------------------------------------------------------------------------
+# Process entry point (``python -m repro.cluster.worker``)
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.worker",
+        description="one cluster shard: a ServeEngine behind a TCP port",
+    )
+    parser.add_argument("--slot", required=True,
+                        help="stable shard slot name (routing identity)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 = pick a free port (reported on stdout)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--plan-cache-size", type=int, default=64)
+    parser.add_argument("--autotune-path", default=None,
+                        help="tuner persistence file (enables the tuner; "
+                        "pre-seeded by the warm-start tier)")
+    parser.add_argument("--default-timeout-s", type=float, default=None)
+    parser.add_argument("--faults", default=None,
+                        help="JSON FaultPlan (inline or @file) to arm "
+                        "process-wide — the chaos suite's determinism ships "
+                        "to shards this way")
+    args = parser.parse_args(argv)
+
+    engine_kwargs = dict(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        plan_cache_size=args.plan_cache_size,
+        default_timeout_s=args.default_timeout_s,
+    )
+    if args.autotune_path is not None:
+        engine_kwargs["autotune_path"] = args.autotune_path
+
+    fault_cm = None
+    if args.faults:
+        raw = args.faults
+        if raw.startswith("@"):
+            with open(raw[1:], "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        plan = _faults.FaultPlan.from_json(json.loads(raw))
+        fault_cm = _faults.armed(plan)
+        fault_cm.__enter__()
+
+    server = ShardServer(slot=args.slot, host=args.host, port=args.port,
+                         engine_kwargs=engine_kwargs)
+    # The READY line is the spawn handshake: the manager reads it to learn
+    # the bound port before routing anything at this shard.
+    print(json.dumps({
+        "ready": True, "slot": args.slot, "host": server.host,
+        "port": server.port, "pid": os.getpid(),
+        "boot_configs": server.boot_configs,
+    }), flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        if fault_cm is not None:
+            fault_cm.__exit__(None, None, None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,17 @@ point                           site / effect
 ``serve.engine.execute``        per request execution (keyed by request id)
                                 — ``error`` raises, ``latency`` sleeps
 ``serve.engine.sanitize``       plan build — injected sanitizer rejection
+``cluster.gateway.send``        gateway -> shard dispatch — simulated network
+                                partition (the router must fail over)
+``cluster.worker.exit``         shard worker request handling — abrupt
+                                process death (``os._exit``) mid-request
 ==============================  =============================================
+
+Cluster workers run in separate processes, so a :class:`FaultPlan` crosses
+the process boundary serialized: :meth:`FaultPlan.to_json` /
+:meth:`FaultPlan.from_json` round-trip a plan losslessly, and
+``repro.cluster`` ships it to each shard on spawn — the same seed then
+produces the same injected-fault trace fleet-wide.
 """
 
 from __future__ import annotations
@@ -106,6 +116,29 @@ class FaultSpec:
     def payload_dict(self) -> dict:
         return dict(self.payload)
 
+    def to_json(self) -> dict:
+        return {
+            "point": self.point,
+            "kind": self.kind,
+            "rate": self.rate,
+            "at": list(self.at) if self.at is not None else None,
+            "max_fires": self.max_fires,
+            "match": dict(self.match) if self.match is not None else None,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        return cls.make(
+            data["point"],
+            data.get("kind", "error"),
+            rate=float(data.get("rate", 1.0)),
+            at=data.get("at"),
+            max_fires=data.get("max_fires"),
+            match=data.get("match"),
+            **data.get("payload", {}),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultPlan:
@@ -118,6 +151,16 @@ class FaultPlan:
     @classmethod
     def make(cls, seed: int, specs: list[FaultSpec]) -> "FaultPlan":
         return cls(seed=int(seed), specs=tuple(specs))
+
+    def to_json(self) -> dict:
+        """Lossless wire form, for shipping a plan to shard subprocesses."""
+        return {"seed": self.seed,
+                "specs": [s.to_json() for s in self.specs]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        return cls.make(int(data["seed"]),
+                        [FaultSpec.from_json(s) for s in data.get("specs", [])])
 
 
 @dataclasses.dataclass(frozen=True)

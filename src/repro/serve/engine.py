@@ -359,6 +359,8 @@ class ServeEngine:
         self._space_free = threading.Condition(self._lock)
         self._queue: deque[_Pending] = deque()
         self._closed = False
+        self._close_lock = threading.Lock()
+        self._tuner_saved = False
         self._threads = [
             threading.Thread(target=self._worker_loop, name=f"serve-{i}",
                              daemon=True)
@@ -897,15 +899,28 @@ class ServeEngine:
 
     def close(self, *, timeout: Optional[float] = 30.0) -> None:
         """Stop accepting work, drain the queue, join the workers; persist
-        the tuner's learned table when it has a cache path."""
+        the tuner's learned table when it has a cache path.
+
+        Idempotent and thread-safe: a second (or concurrent) close also
+        waits for the drain instead of returning while workers are still
+        running, a submitter blocked on backpressure is woken (and raises
+        :class:`EngineClosed`, typed, rather than hanging), and the tuner
+        table is persisted exactly once. Shard lifecycle management calls
+        close from signal handlers and monitor threads concurrently, so
+        none of these paths may raise or deadlock.
+        """
         with self._lock:
-            if self._closed:
-                return
             self._closed = True
             self._not_empty.notify_all()
             self._space_free.notify_all()
+        me = threading.current_thread()
         for t in self._threads:
-            t.join(timeout)
+            if t is not me:  # close() from a worker must not self-join
+                t.join(timeout)
+        with self._close_lock:
+            if self._tuner_saved:
+                return
+            self._tuner_saved = True
         if self.tuner is not None and self.tuner.path is not None:
             try:
                 self.tuner.save()

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class Counter:
@@ -119,11 +119,16 @@ class Histogram:
             samples = sorted(self._samples)
         return _nearest_rank(samples, q)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
+        """Point-in-time summary; ``include_samples=True`` additionally
+        carries the (sorted) sample window, which is what makes snapshots
+        mergeable across shards (:meth:`MetricsRegistry.merge` pools the
+        windows so merged percentiles are computed over real observations,
+        not averaged percentiles)."""
         with self._lock:
             samples = sorted(self._samples)
             count, total, peak = self._count, self._sum, self._max
-        return {
+        snap = {
             "count": count,
             "window_count": len(samples),
             "mean": total / count if count else 0.0,
@@ -131,8 +136,12 @@ class Histogram:
             "p90": _nearest_rank(samples, 90.0),
             "p99": _nearest_rank(samples, 99.0),
             "max": peak if peak is not None else 0.0,
+            "sum": total,
             "unit": self.unit,
         }
+        if include_samples:
+            snap["samples"] = samples
+        return snap
 
 
 class MetricsRegistry:
@@ -170,8 +179,14 @@ class MetricsRegistry:
         with self._lock:
             return dict(self._counters), dict(self._gauges), dict(self._histograms)
 
-    def snapshot(self) -> dict:
-        """One nested dict: {"counters": {...}, "gauges": {...}, "histograms": {...}}."""
+    def snapshot(self, include_samples: bool = False) -> dict:
+        """One nested dict: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+
+        ``include_samples=True`` produces a *mergeable* snapshot: histograms
+        carry their sample windows so :meth:`merge` can pool them. This is
+        the form shard workers ship to the cluster gateway (it is plain
+        JSON-serializable data, safe to send over the wire).
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
@@ -179,7 +194,68 @@ class MetricsRegistry:
         return {
             "counters": {n: c.value for n, c in sorted(counters.items())},
             "gauges": {n: g.value for n, g in sorted(gauges.items())},
-            "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
+            "histograms": {n: h.snapshot(include_samples)
+                           for n, h in sorted(histograms.items())},
+        }
+
+    @staticmethod
+    def merge(snapshots: Sequence[dict]) -> dict:
+        """Merge per-shard :meth:`snapshot` dicts into one aggregate view.
+
+        Semantics, per instrument kind:
+
+        * **counters** — summed (each shard counts disjoint events);
+        * **gauges** — last write wins (later snapshots in the sequence
+          override earlier ones; callers order the sequence by recency);
+        * **histograms** — pooled: lifetime ``count``/``sum``/``max`` are
+          combined exactly, and percentiles are recomputed over the union of
+          the shards' sample windows when the snapshots carry samples
+          (``snapshot(include_samples=True)``). Snapshots without samples
+          still merge — counts and sums stay exact — but the merged
+          percentiles then only describe the windows that *did* ship
+          samples.
+
+        Returns a dict in the same shape ``snapshot(include_samples=True)``
+        produces, so a merge is itself mergeable (associativity lets a
+        gateway fold shard snapshots incrementally).
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        pooled: dict[str, dict] = {}
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snap.get("gauges", {}).items():
+                gauges[name] = value
+            for name, h in snap.get("histograms", {}).items():
+                agg = pooled.setdefault(name, {
+                    "count": 0, "window_count": 0, "sum": 0.0, "max": 0.0,
+                    "samples": [], "unit": h.get("unit", ""),
+                })
+                agg["count"] += h.get("count", 0)
+                agg["window_count"] += h.get("window_count", 0)
+                agg["sum"] += h.get("sum", 0.0)
+                agg["max"] = max(agg["max"], h.get("max", 0.0))
+                agg["samples"].extend(h.get("samples", ()))
+        histograms: dict[str, dict] = {}
+        for name, agg in pooled.items():
+            samples = sorted(agg["samples"])
+            histograms[name] = {
+                "count": agg["count"],
+                "window_count": agg["window_count"],
+                "mean": agg["sum"] / agg["count"] if agg["count"] else 0.0,
+                "p50": _nearest_rank(samples, 50.0),
+                "p90": _nearest_rank(samples, 90.0),
+                "p99": _nearest_rank(samples, 99.0),
+                "max": agg["max"],
+                "sum": agg["sum"],
+                "unit": agg["unit"],
+                "samples": samples,
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
         }
 
     def render(self) -> str:

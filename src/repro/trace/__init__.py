@@ -29,6 +29,7 @@ from .exporters import (
     chrome_trace,
     metric_name,
     parse_prometheus_text,
+    prometheus_merged_text,
     prometheus_text,
     validate_chrome_trace,
     write_chrome_trace,
@@ -57,6 +58,7 @@ __all__ = [
     "measured_vs_predicted",
     "metric_name",
     "parse_prometheus_text",
+    "prometheus_merged_text",
     "profile_regions",
     "prometheus_text",
     "recording",

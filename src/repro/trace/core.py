@@ -199,6 +199,43 @@ class Tracer:
         self._collect(span)
         return span
 
+    def adopt_spans(
+        self, spans: list[Span], *, parent: Span, prefix: str = ""
+    ) -> list[Span]:
+        """Graft spans recorded elsewhere (another process) under ``parent``.
+
+        This is the receiving half of cross-process trace propagation: a
+        cluster shard records its own span subtree for a request (rooted at
+        the serve engine's ``request`` span) and ships it back serialized;
+        the gateway rebases the times onto its timeline and adopts them here
+        so the exported trace is ONE stitched tree.
+
+        ``prefix`` namespaces the foreign span/thread ids (span ids are only
+        unique per tracer — two shards both emit ``s000001``). Every foreign
+        root (``parent_id is None``) is re-parented onto ``parent``; child
+        links are remapped with the same prefix, so no adopted span can be
+        an orphan as long as ``spans`` is a closed set (parents shipped with
+        their children). Callers pass spans whose ``start_s``/``end_s`` are
+        already expressed on *this* tracer's timeline.
+        """
+        adopted = []
+        for s in spans:
+            adopted.append(Span(
+                trace_id=parent.trace_id,
+                span_id=f"{prefix}{s.span_id}",
+                parent_id=(f"{prefix}{s.parent_id}" if s.parent_id is not None
+                           else parent.span_id),
+                name=s.name,
+                start_s=s.start_s,
+                end_s=s.end_s,
+                attributes=dict(s.attributes),
+                status=s.status,
+                thread=f"{prefix}{s.thread}" if prefix else s.thread,
+            ))
+        for span in adopted:
+            self._collect(span)
+        return adopted
+
     def _collect(self, span: Span) -> None:
         with self._lock:
             if len(self._spans) >= self.max_spans:

@@ -207,6 +207,68 @@ def prometheus_text(registry: "MetricsRegistry", prefix: str = "repro_") -> str:
     return "\n".join(lines) + "\n"
 
 
+def prometheus_merged_text(
+    snapshots: dict[str, dict], prefix: str = "repro_"
+) -> str:
+    """Render per-shard metric snapshots as one merged Prometheus exposition.
+
+    ``snapshots`` maps a shard id (e.g. ``"shard-0"``, ``"gateway"``) to a
+    :meth:`repro.serve.metrics.MetricsRegistry.snapshot` dict — ideally taken
+    with ``include_samples=True`` so merged percentiles pool real samples.
+    Every series carries a ``shard=`` label; the cross-shard aggregate
+    (counters summed, gauges last-write, histogram windows pooled via
+    :meth:`~repro.serve.metrics.MetricsRegistry.merge`) is emitted with
+    ``shard="merged"``. One ``# TYPE`` header per metric, so the output
+    passes :func:`parse_prometheus_text` — the same validator the
+    single-process exporter is held to.
+    """
+    from ..serve.metrics import MetricsRegistry
+
+    if "merged" in snapshots:
+        raise ValueError('shard id "merged" is reserved for the aggregate')
+    ordered = dict(sorted(snapshots.items()))
+    ordered["merged"] = MetricsRegistry.merge(list(ordered.values()))
+    lines: list[str] = []
+
+    def series(kind: str) -> list[str]:
+        names: set[str] = set()
+        for snap in ordered.values():
+            names.update(snap.get(kind, {}))
+        return sorted(names)
+
+    for raw in series("counters"):
+        name = metric_name(raw, prefix) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        for shard, snap in ordered.items():
+            if raw in snap.get("counters", {}):
+                lines.append(f'{name}{{shard="{shard}"}} '
+                             f'{snap["counters"][raw]}')
+
+    for raw in series("gauges"):
+        name = metric_name(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        for shard, snap in ordered.items():
+            if raw in snap.get("gauges", {}):
+                lines.append(f'{name}{{shard="{shard}"}} '
+                             f'{snap["gauges"][raw]:g}')
+
+    for raw in series("histograms"):
+        name = metric_name(raw, prefix)
+        lines.append(f"# TYPE {name} summary")
+        for shard, snap in ordered.items():
+            h = snap.get("histograms", {}).get(raw)
+            if h is None:
+                continue
+            for q, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+                lines.append(f'{name}{{quantile="{q:g}",shard="{shard}"}} '
+                             f'{h[key]:g}')
+            lines.append(f'{name}_sum{{shard="{shard}"}} '
+                         f'{h.get("sum", 0.0):g}')
+            lines.append(f'{name}_count{{shard="{shard}"}} {h["count"]}')
+
+    return "\n".join(lines) + "\n"
+
+
 def parse_prometheus_text(text: str) -> dict[str, float]:
     """Strictly parse a text exposition; raises ``ValueError`` on malformed
     lines. Returns ``{name{labels}: value}`` for every sample."""

@@ -1,0 +1,239 @@
+"""Cluster chaos: shard death, network partitions, warm-started respawns.
+
+The cluster inherits the serve stack's one correctness contract and is held
+to it across process boundaries: under injected or real failure, every
+accepted request either completes **bit-exact** (digest-verified against a
+locally computed reference) or fails with a **typed** error from
+``CLUSTER_ERROR_KINDS`` — never an untyped error, never silent corruption,
+never a hang.
+
+Scenarios:
+
+* SIGKILL one of three shards mid-load — the router fails the dead slot
+  over along its rendezvous order, the manager respawns into the same
+  slot, and the whole workload lands bit-exact-or-typed (with the load
+  generator's one heal/retry round, fully served).
+* The replacement shard warm-starts: its engine boots with the dead
+  shard's snapshotted autotune table (``boot_configs > 0``), not cold
+  priors.
+* An injected gateway->shard partition (``cluster.gateway.send``) — the
+  shard is healthy but unreachable; dispatch must fail over, the monitor
+  must put the slot back in rotation afterwards.
+* An injected in-shard process death (``cluster.worker.exit`` shipped to
+  the worker via the serialized FaultPlan) — the process dies mid-request
+  via ``os._exit``; the connection error converts to failover + respawn.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, armed
+from repro.cluster import (
+    CLUSTER_ERROR_KINDS,
+    ClusterRequest,
+    Gateway,
+    LocalCluster,
+    SyncGateway,
+    build_cluster_workload,
+    run_load,
+)
+
+
+def _gateway(cluster, **kwargs):
+    return SyncGateway(Gateway(cluster.router,
+                               metrics_source=cluster.metrics_snapshots,
+                               **kwargs))
+
+
+class TestShardKill:
+    def test_kill_one_of_three_mid_load(self, tmp_path):
+        """The acceptance scenario: SIGKILL mid-flight, zero untyped
+        errors, full recovery after the heal round."""
+        with LocalCluster(shards=3, warmstart_dir=tmp_path,
+                          snapshot_interval_s=0.25) as cluster:
+            gw = _gateway(cluster)
+            try:
+                workload, pool = build_cluster_workload(
+                    90, size=64, seed=21, variant="auto")
+                killer = threading.Timer(
+                    1.0, lambda: cluster.kill("shard-1"))
+                killer.start()
+                # run_load digest-verifies every ok response and asserts
+                # every error is typed; with the heal/retry round a single
+                # shard death must not lose any request.
+                report = run_load(gw, workload, pool, concurrency=10)
+                killer.join()
+                assert report["ok"] == 90, report
+                assert not report["errors"], report
+                # the dead slot came back and the cluster respawned exactly once
+                assert cluster.wait_live("shard-1", timeout=30)
+                assert cluster.respawns >= 1
+            finally:
+                gw.close()
+
+    def test_replacement_shard_warm_starts(self, tmp_path):
+        """A respawned shard boots from the autotune snapshot, not cold."""
+        with LocalCluster(shards=2, warmstart_dir=tmp_path,
+                          snapshot_interval_s=0.2) as cluster:
+            gw = _gateway(cluster)
+            try:
+                # auto traffic teaches the tuners; the snapshot loop persists.
+                workload, pool = build_cluster_workload(
+                    60, size=64, seed=22, variant="auto")
+                report = run_load(gw, workload, pool, concurrency=8)
+                assert not report["errors"]
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if all(cluster.warmstart.configs(s) > 0
+                           for s in ("shard-0", "shard-1")):
+                        break
+                    time.sleep(0.1)
+                assert cluster.warmstart.configs("shard-0") > 0
+                assert cluster.warmstart.configs("shard-1") > 0
+
+                cold_boot = cluster.shard("shard-0").boot_configs
+                assert cold_boot == 0  # the first boot really was cold
+
+                cluster.kill("shard-0")
+                assert cluster.wait_live("shard-0", timeout=30)
+                warm_boot = cluster.shard("shard-0").boot_configs
+                assert warm_boot > 0, (
+                    "replacement shard booted with cold priors despite "
+                    f"a snapshot holding {cluster.warmstart.configs('shard-0')}"
+                    " configs")
+            finally:
+                gw.close()
+
+    def test_respawned_slot_serves_again(self, tmp_path):
+        with LocalCluster(shards=2, warmstart_dir=tmp_path,
+                          snapshot_interval_s=0) as cluster:
+            gw = _gateway(cluster)
+            try:
+                cluster.kill("shard-0")
+                assert cluster.wait_live("shard-0", timeout=30)
+                workload, pool = build_cluster_workload(20, size=64, seed=23)
+                report = run_load(gw, workload, pool, concurrency=4)
+                assert report["ok"] == 20
+                assert len(report["by_slot"]) == 2  # both slots serving
+            finally:
+                gw.close()
+
+
+class TestGatewayPartition:
+    def test_injected_partition_fails_over(self, tmp_path):
+        """cluster.gateway.send: the shard is healthy, the path is not —
+        dispatch fails over and the request still completes bit-exact."""
+        plan = FaultPlan.make(404, [
+            FaultSpec.make("cluster.gateway.send", "error",
+                           rate=0.3, max_fires=8),
+        ])
+        with LocalCluster(shards=3, warmstart_dir=tmp_path,
+                          snapshot_interval_s=0) as cluster:
+            gw = _gateway(cluster)
+            try:
+                with armed(plan) as injector:
+                    workload, pool = build_cluster_workload(
+                        40, size=64, seed=24)
+                    report = run_load(gw, workload, pool, concurrency=6)
+                    fired = injector.counts().get("cluster.gateway.send", 0)
+                assert fired > 0, "the partition fault never fired"
+                assert report["failovers"] >= fired - report["retried"]
+                assert report["ok"] == 40, report
+                assert not report["errors"], report
+                counters = gw.gateway.metrics.snapshot()["counters"]
+                assert counters["gateway.partitions_injected"] == fired
+                # the monitor heals partition-marked slots: all live again
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if len(cluster.table.live_slots()) == 3:
+                        break
+                    time.sleep(0.05)
+                assert len(cluster.table.live_slots()) == 3
+            finally:
+                gw.close()
+
+    def test_every_slot_partitioned_is_typed_unavailable(self):
+        """When no shard is reachable the failure is typed, not raised."""
+        import asyncio
+
+        from repro.cluster import Router, RoutingTable
+
+        table = RoutingTable()
+        for i in range(2):
+            # Ports that nothing listens on: every dial fails fast.
+            table.set_addr(f"shard-{i}", ("127.0.0.1", 1))
+        gw = Gateway(Router(table))
+        resp = asyncio.run(gw.submit(ClusterRequest(
+            "gaussian",
+            image=np.zeros((32, 32), dtype=np.float32))))
+        assert not resp.ok
+        assert resp.error_kind == "shard_unavailable"
+        assert resp.failovers == 2
+
+
+class TestWorkerExit:
+    def test_in_shard_process_death_is_absorbed(self, tmp_path):
+        """cluster.worker.exit ships to the shard in its spawn command; the
+        shard os._exit()s mid-request. The gateway sees a dead connection,
+        fails over, and the manager respawns the slot."""
+        faults = FaultPlan.make(505, [
+            # Every shard-1 process dies on its first run request (the fault
+            # fires before any serving, so the connection error always
+            # converts to failover). max_fires is per process, so each
+            # respawn dies once too — sustained churn on one slot.
+            FaultSpec.make("cluster.worker.exit", "crash", rate=1.0,
+                           max_fires=1, match={"slot": "shard-1"}),
+        ]).to_json()
+        with LocalCluster(shards=3, warmstart_dir=tmp_path,
+                          snapshot_interval_s=0,
+                          faults_json=faults) as cluster:
+            gw = _gateway(cluster)
+            try:
+                workload, pool = build_cluster_workload(
+                    60, size=64, seed=25)
+                report = run_load(gw, workload, pool, concurrency=8)
+                # every request served or typed; with the heal round the
+                # deaths are fully absorbed
+                assert report["ok"] == 60, report
+                assert not report["errors"], report
+                assert cluster.respawns >= 1, (
+                    "no shard died: the exit fault never fired")
+            finally:
+                gw.close()
+
+
+class TestTypedErrorUniverse:
+    def test_all_load_errors_come_from_the_typed_set(self, tmp_path):
+        """Belt-and-braces under combined faults: run_load itself asserts
+        kind membership; this scenario layers engine-level faults (shipped
+        to shards) on top of gateway partitions to widen the error mix."""
+        shard_faults = FaultPlan.make(606, [
+            FaultSpec.make("serve.engine.execute", "error", rate=0.1,
+                           max_fires=20),
+        ]).to_json()
+        gateway_faults = FaultPlan.make(707, [
+            FaultSpec.make("cluster.gateway.send", "error", rate=0.1,
+                           max_fires=5),
+        ])
+        with LocalCluster(shards=2, warmstart_dir=tmp_path,
+                          snapshot_interval_s=0,
+                          faults_json=shard_faults) as cluster:
+            gw = _gateway(cluster)
+            try:
+                with armed(gateway_faults):
+                    workload, pool = build_cluster_workload(
+                        50, size=64, seed=26)
+                    # verify=True digest-checks every ok response; run_load
+                    # raises on any untyped kind. Engine retries absorb most
+                    # injected execute errors; whatever surfaces is typed.
+                    report = run_load(gw, workload, pool, concurrency=6)
+                for kind in report["errors"]:
+                    assert kind in CLUSTER_ERROR_KINDS
+                assert report["ok"] + sum(report["errors"].values()) == 50
+            finally:
+                gw.close()

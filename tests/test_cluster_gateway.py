@@ -1,0 +1,194 @@
+"""Gateway integration: a real 3-shard LocalCluster plus pure-policy units.
+
+The cluster fixture is module-scoped (spawning three interpreter processes
+is the dominant cost); every test drives the same cluster through its own
+SyncGateway, so gateway state never leaks between tests while the shard
+pool stays warm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CLUSTER_ERROR_KINDS,
+    ClusterRequest,
+    Gateway,
+    LocalCluster,
+    Router,
+    RoutingTable,
+    SyncGateway,
+    array_digest,
+    build_cluster_workload,
+    run_load,
+)
+from repro.serve.plan import build_plan
+from repro.trace import parse_prometheus_text
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    warm = tmp_path_factory.mktemp("warmstart")
+    with LocalCluster(shards=3, warmstart_dir=warm,
+                      snapshot_interval_s=0) as c:
+        yield c
+
+
+@pytest.fixture
+def gateway(cluster):
+    gw = SyncGateway(Gateway(cluster.router,
+                             metrics_source=cluster.metrics_snapshots))
+    yield gw
+    gw.close()
+
+
+RNG = np.random.default_rng(7)
+IMG = RNG.random((64, 64), dtype=np.float32)
+
+
+class TestBasicServing:
+    def test_inline_image_roundtrip_bit_exact(self, gateway):
+        resp = gateway.submit(ClusterRequest("gaussian", image=IMG))
+        assert resp.ok, resp.error
+        assert resp.slot is not None
+        ref = build_plan("gaussian", "clamp", 64, 64,
+                         variant="isp+m").execute(IMG)
+        assert np.array_equal(resp.output, ref)
+
+    def test_digest_return_mode(self, gateway):
+        resp = gateway.submit(ClusterRequest(
+            "sobel", image=IMG, pattern="mirror", return_mode="digest"))
+        assert resp.ok and resp.output is None
+        ref = build_plan("sobel", "mirror", 64, 64,
+                         variant="isp+m").execute(IMG)
+        assert resp.digest == array_digest(ref)
+
+    def test_same_signature_routes_to_same_shard(self, gateway):
+        slots = {
+            gateway.submit(ClusterRequest("laplace", image=IMG,
+                                          return_mode="digest")).slot
+            for _ in range(6)
+        }
+        assert len(slots) == 1
+
+    def test_put_image_then_reference(self, cluster, gateway):
+        gateway.put_image(cluster.table.slots(), "shared-img", IMG)
+        resp = gateway.submit(ClusterRequest(
+            "gaussian", image_ref="shared-img", shape=IMG.shape,
+            return_mode="digest"))
+        assert resp.ok, resp.error
+
+    def test_unknown_image_ref_is_typed_bad_request(self, gateway):
+        resp = gateway.submit(ClusterRequest(
+            "gaussian", image_ref="no-such-ref", shape=(64, 64)))
+        assert not resp.ok
+        assert resp.error_kind == "bad_request"
+        assert "unknown image ref" in resp.error
+
+    def test_engine_errors_stay_typed(self, gateway):
+        # A degenerate geometry that the shard's engine rejects or degrades
+        # must come back as an engine-typed kind, never a raw traceback.
+        resp = gateway.submit(ClusterRequest(
+            "gaussian", image=np.zeros((2, 2), dtype=np.float32)))
+        assert resp.ok or resp.error_kind in CLUSTER_ERROR_KINDS
+
+
+class TestLoadRun:
+    def test_load_run_verified(self, gateway):
+        workload, pool = build_cluster_workload(40, size=64, seed=11)
+        report = run_load(gateway, workload, pool, concurrency=8)
+        assert report["ok"] == 40
+        assert not report["errors"]
+        assert report["verified"]
+        # content-hash routing: the 10 kinds spread over more than 1 shard
+        assert len(report["by_slot"]) >= 2
+        assert report["throughput_rps"] > 0
+
+    def test_merged_metrics_text_parses_and_labels_shards(self, gateway):
+        workload, pool = build_cluster_workload(10, size=64, seed=12)
+        run_load(gateway, workload, pool, concurrency=4)
+        text = gateway.metrics_text()
+        samples = parse_prometheus_text(text)  # strict; raises on malformed
+        shards = {k.split('shard="')[1].split('"')[0]
+                  for k in samples if 'shard="' in k}
+        assert {"shard-0", "shard-1", "shard-2", "gateway",
+                "merged"} <= shards
+        # The merged counter equals the sum of the shard counters.
+        name = "repro_engine_requests_submitted_total"
+        total = sum(samples[f'{name}{{shard="shard-{i}"}}'] for i in range(3))
+        assert samples[f'{name}{{shard="merged"}}'] == total
+
+
+class TestAdmissionPolicy:
+    """Pure policy units — no shards needed (admission precedes routing)."""
+
+    def _gw(self, **kwargs):
+        table = RoutingTable()
+        table.set_addr("shard-0", ("127.0.0.1", 1))  # never dialed here
+        return Gateway(Router(table), **kwargs)
+
+    def _req(self, **kwargs):
+        kwargs.setdefault("image_ref", "x")
+        kwargs.setdefault("shape", (8, 8))
+        return ClusterRequest("gaussian", **kwargs)
+
+    def test_admission_cap(self):
+        gw = self._gw(max_inflight=2)
+        assert gw._admit(self._req()) is None
+        assert gw._admit(self._req()) is None
+        assert gw._admit(self._req()) == "admission"
+
+    def test_release_frees_capacity(self):
+        gw = self._gw(max_inflight=1)
+        r = self._req()
+        assert gw._admit(r) is None
+        assert gw._admit(self._req()) == "admission"
+        gw._release(r)
+        assert gw._admit(self._req()) is None
+
+    def test_batch_priority_watermark(self):
+        # batch admits only below the watermark; interactive up to the cap.
+        gw = self._gw(max_inflight=4, batch_watermark=0.5)
+        a, b = self._req(priority="batch"), self._req(priority="batch")
+        assert gw._admit(a) is None
+        assert gw._admit(b) is None
+        assert gw._admit(self._req(priority="batch")) == "admission"
+        assert gw._admit(self._req(priority="interactive")) is None
+
+    def test_tenant_quota(self):
+        gw = self._gw(max_inflight=10, tenant_quota=2)
+        assert gw._admit(self._req(tenant="t1")) is None
+        assert gw._admit(self._req(tenant="t1")) is None
+        assert gw._admit(self._req(tenant="t1")) == "quota"
+        assert gw._admit(self._req(tenant="t2")) is None  # others unaffected
+
+    def test_rejections_are_typed_through_submit(self):
+        import asyncio
+
+        gw = self._gw(max_inflight=1, tenant_quota=1)
+        held = self._req()
+        assert gw._admit(held) is None
+        resp = asyncio.run(gw.submit(self._req()))
+        assert not resp.ok and resp.error_kind == "admission"
+        gw._release(held)
+        counters = gw.metrics.snapshot()["counters"]
+        assert counters["gateway.rejected_admission"] == 1
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ClusterRequest("gaussian")
+        with pytest.raises(ValueError, match="shape"):
+            ClusterRequest("gaussian", image_ref="x")
+        with pytest.raises(ValueError, match="priority"):
+            self._req(priority="background")
+
+    def test_no_live_shards_is_typed(self):
+        import asyncio
+
+        table = RoutingTable()
+        table.set_addr("shard-0", ("127.0.0.1", 1))
+        table.mark_dead("shard-0")
+        gw = Gateway(Router(table))
+        resp = asyncio.run(gw.submit(self._req()))
+        assert not resp.ok and resp.error_kind == "shard_unavailable"

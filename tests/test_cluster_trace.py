@@ -1,0 +1,132 @@
+"""Cross-process trace propagation: gateway -> router -> shard -> back.
+
+One traced request must yield ONE stitched span tree on the gateway's
+tracer: the gateway's root span, its ``shard_call`` child, and under that
+the shard engine's own subtree (queue/plan/execute spans), shipped over
+the wire unix-anchored, rebased into the gateway tracer's epoch, and
+grafted with slot-prefixed span ids. No orphan spans, no second root, and
+the whole thing exports as a valid Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterRequest,
+    Gateway,
+    LocalCluster,
+    SyncGateway,
+)
+from repro.trace import chrome_trace, validate_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    warm = tmp_path_factory.mktemp("warmstart")
+    with LocalCluster(shards=2, warmstart_dir=warm,
+                      snapshot_interval_s=0) as c:
+        yield c
+
+
+@pytest.fixture
+def gateway(cluster):
+    gw = SyncGateway(Gateway(cluster.router, sample_rate=1.0,
+                             trace_seed=123,
+                             metrics_source=cluster.metrics_snapshots))
+    yield gw
+    gw.close()
+
+
+IMG = np.random.default_rng(3).random((64, 64)).astype(np.float32)
+
+
+def _submit_traced(gateway, **kwargs):
+    kwargs.setdefault("image", IMG)
+    resp = gateway.submit(ClusterRequest("gaussian", **kwargs))
+    assert resp.ok, resp.error
+    assert resp.trace_id, "sample_rate=1.0 must trace every request"
+    return resp
+
+
+class TestStitchedTree:
+    def test_single_tree_no_orphans(self, gateway):
+        resp = _submit_traced(gateway)
+        spans = [s for s in gateway.gateway.tracer.spans()
+                 if s.trace_id == resp.trace_id]
+        assert spans, "traced request produced no spans"
+
+        ids = {s.span_id for s in spans}
+        orphans = [s for s in spans
+                   if s.parent_id is not None and s.parent_id not in ids]
+        roots = [s for s in spans if s.parent_id is None]
+        assert not orphans, [s.name for s in orphans]
+        assert len(roots) == 1
+        assert roots[0].name == "gateway.request"
+
+    def test_shard_subtree_hangs_under_shard_call(self, gateway):
+        resp = _submit_traced(gateway, pattern="mirror")
+        spans = [s for s in gateway.gateway.tracer.spans()
+                 if s.trace_id == resp.trace_id]
+        by_id = {s.span_id: s for s in spans}
+
+        calls = [s for s in spans if s.name == "shard_call"]
+        assert len(calls) == 1  # no failover: exactly one attempt
+        call = calls[0]
+        assert call.attributes["slot"] == resp.slot
+
+        # The shard's spans arrive slot-prefixed and parented (directly or
+        # transitively) under the shard_call span.
+        remote = [s for s in spans if s.span_id.startswith(f"{resp.slot}.")]
+        assert remote, "no shard spans were grafted"
+        assert {"request"} <= {s.name for s in remote}
+        for s in remote:
+            cur = s
+            while cur.parent_id is not None:
+                cur = by_id[cur.parent_id]
+            assert cur.span_id == call.parent_id or cur.name == \
+                "gateway.request"
+        # The shard-side root is a direct child of shard_call.
+        remote_roots = [s for s in remote
+                        if not by_id[s.parent_id].span_id.startswith(
+                            f"{resp.slot}.")]
+        assert all(s.parent_id == call.span_id for s in remote_roots)
+
+    def test_remote_times_nest_inside_call_span(self, gateway):
+        resp = _submit_traced(gateway, pattern="repeat")
+        spans = [s for s in gateway.gateway.tracer.spans()
+                 if s.trace_id == resp.trace_id]
+        call = next(s for s in spans if s.name == "shard_call")
+        remote = [s for s in spans if s.span_id.startswith(f"{resp.slot}.")]
+        # Clock rebasing: the shard's work happened while the gateway's
+        # shard_call span was open (generous slack for clock fuzz).
+        for s in remote:
+            assert s.start_s >= call.start_s - 0.050
+            assert s.end_s <= call.end_s + 0.050
+
+    def test_untraced_requests_ship_no_spans(self, cluster):
+        gw = SyncGateway(Gateway(cluster.router, sample_rate=0.0,
+                                 metrics_source=cluster.metrics_snapshots))
+        try:
+            resp = gw.submit(ClusterRequest("gaussian", image=IMG))
+            assert resp.ok
+            assert resp.trace_id is None
+            tracer = gw.gateway.tracer
+            assert tracer is None or tracer.spans() == []
+        finally:
+            gw.close()
+
+    def test_chrome_export_of_stitched_trace_is_valid(self, gateway):
+        for pattern in ("clamp", "mirror", "constant"):
+            _submit_traced(gateway, pattern=pattern)
+        doc = chrome_trace(gateway.gateway.tracer)
+        problems = validate_chrome_trace(doc)
+        assert not problems, problems
+        json.dumps(doc)  # serializable end to end
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "gateway.request" in names
+        assert "shard_call" in names
+        assert "request" in names  # the shard engine's own root span

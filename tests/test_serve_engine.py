@@ -408,3 +408,57 @@ class TestStatsShape:
             assert {"count", "mean", "p50", "p90", "p99", "max"} <= set(
                 stats["latency"][name]
             )
+
+
+class TestCloseLifecycle:
+    """close() is part of the cluster's crash-and-respawn story: shard
+    lifecycle code calls it from signal handlers, monitor threads, and
+    worker threads — idempotently, concurrently, sometimes reentrantly.
+    None of those paths may raise, deadlock, or double-persist the tuner."""
+
+    def test_double_close_is_idempotent(self, image):
+        engine = ServeEngine(workers=2)
+        engine.run([Request(app="gaussian", image=image, variant="isp")])
+        engine.close()
+        engine.close()  # must be a no-op, not an error
+        with pytest.raises(EngineClosed):
+            engine.submit(Request(app="gaussian", image=image))
+
+    def test_concurrent_close_from_many_threads(self, image):
+        engine = ServeEngine(workers=2)
+        engine.run([Request(app="gaussian", image=image, variant="isp")])
+        errors = []
+
+        def _close():
+            try:
+                engine.close(timeout=10)
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_close) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "close() deadlocked"
+        assert not errors
+
+    def test_close_persists_tuner_exactly_once(self, image, tmp_path):
+        path = tmp_path / "tuner.json"
+        engine = ServeEngine(workers=2, autotune_path=str(path))
+        engine.run([Request(app="gaussian", image=image, variant="auto")
+                    for _ in range(4)])
+        threads = [threading.Thread(target=engine.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert path.exists()
+        mtime = path.stat().st_mtime_ns
+        engine.close()  # late close after the table was already persisted
+        assert path.stat().st_mtime_ns == mtime  # not rewritten
+
+    def test_context_manager_exit_then_explicit_close(self, image):
+        with ServeEngine(workers=1) as engine:
+            engine.run([Request(app="sobel", image=image, variant="isp")])
+        engine.close()  # after __exit__ already closed it

@@ -38,7 +38,14 @@ class TestHistogram:
         snap = Histogram("h").snapshot()
         assert snap == {"count": 0, "window_count": 0, "mean": 0.0,
                         "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0,
-                        "unit": ""}
+                        "sum": 0.0, "unit": ""}
+
+    def test_snapshot_samples_only_on_request(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.observe(1.0)
+        assert "samples" not in h.snapshot()
+        assert h.snapshot(include_samples=True)["samples"] == [1.0, 2.0]
 
     def test_percentiles_and_mean(self):
         h = Histogram("h")
@@ -122,3 +129,67 @@ class TestRegistry:
         assert counters["c"].help == "counts things"
         assert histograms["h"].unit == "s"
         assert gauges == {}
+
+
+class TestMerge:
+    """Cross-shard snapshot merging (the cluster gateway's aggregation)."""
+
+    def _registry(self, *, requests: int, gauge: float,
+                  latencies: list[float]) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("engine.requests").inc(requests)
+        reg.gauge("tuner.configs").set(gauge)
+        h = reg.histogram("engine.execute_seconds", unit="s")
+        for v in latencies:
+            h.observe(v)
+        return reg
+
+    def test_counters_sum(self):
+        a = self._registry(requests=3, gauge=1, latencies=[0.1])
+        b = self._registry(requests=5, gauge=2, latencies=[0.2])
+        merged = MetricsRegistry.merge(
+            [a.snapshot(include_samples=True), b.snapshot(include_samples=True)]
+        )
+        assert merged["counters"]["engine.requests"] == 8
+
+    def test_gauges_last_write_wins(self):
+        a = self._registry(requests=0, gauge=1.0, latencies=[])
+        b = self._registry(requests=0, gauge=7.0, latencies=[])
+        merged = MetricsRegistry.merge([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]["tuner.configs"] == 7.0
+
+    def test_histograms_pool_samples(self):
+        a = self._registry(requests=0, gauge=0, latencies=[0.1, 0.2, 0.3])
+        b = self._registry(requests=0, gauge=0, latencies=[0.4, 0.5])
+        merged = MetricsRegistry.merge(
+            [a.snapshot(include_samples=True), b.snapshot(include_samples=True)]
+        )
+        h = merged["histograms"]["engine.execute_seconds"]
+        assert h["count"] == 5
+        assert h["sum"] == pytest.approx(1.5)
+        assert h["max"] == pytest.approx(0.5)
+        # p50 over the pooled window, not an average of per-shard p50s
+        assert h["p50"] == pytest.approx(0.3)
+        assert h["unit"] == "s"
+        assert h["samples"] == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_merge_is_foldable(self):
+        # merge(merge(a, b), c) == merge(a, b, c): a gateway can fold shard
+        # snapshots incrementally.
+        snaps = [
+            self._registry(requests=i, gauge=i,
+                           latencies=[0.1 * i]).snapshot(include_samples=True)
+            for i in (1, 2, 3)
+        ]
+        once = MetricsRegistry.merge(snaps)
+        folded = MetricsRegistry.merge([MetricsRegistry.merge(snaps[:2]),
+                                        snaps[2]])
+        assert once == folded
+
+    def test_merge_without_samples_keeps_counts_exact(self):
+        a = self._registry(requests=2, gauge=0, latencies=[0.1, 0.2])
+        merged = MetricsRegistry.merge([a.snapshot(), a.snapshot()])
+        h = merged["histograms"]["engine.execute_seconds"]
+        assert h["count"] == 4
+        assert h["sum"] == pytest.approx(0.6)
+        assert h["samples"] == []
