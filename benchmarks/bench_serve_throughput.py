@@ -26,9 +26,9 @@ def build():
                            seed=stable_seed("bench_serve_throughput"))
 
 
-def test_serve_throughput(benchmark, report):
+def test_serve_throughput(benchmark, report, bench_summary):
     rep = benchmark.pedantic(build, rounds=1, iterations=1)
-    report("serve_throughput", format_report(rep), data={
+    data = {
         "requests": rep["requests"],
         "distinct_workloads": rep["distinct_workloads"],
         "hit_rate": rep["served"]["hit_rate"],
@@ -36,7 +36,9 @@ def test_serve_throughput(benchmark, report):
         "baseline_rps": rep["baseline"]["throughput_rps"],
         "speedup": rep["speedup"],
         "errors": rep["errors"],
-    })
+    }
+    report("serve_throughput", format_report(rep), data=data)
+    bench_summary("serve_throughput", data)
 
     assert rep["errors"] == 0
     assert rep["served"]["hit_rate"] >= 0.90

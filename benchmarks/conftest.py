@@ -16,12 +16,36 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_summary():
+    """Write a machine-readable ``BENCH_<name>.json`` at the repo root.
+
+    Rendered tables under ``benchmarks/results/`` are for humans quoting
+    them in EXPERIMENTS.md; these summaries are the machine-readable
+    trajectory — one flat JSON file per benchmark, overwritten per run, so
+    tooling (and CI) can diff headline numbers across commits without
+    parsing text tables.
+    """
+    import json
+    import time
+
+    def _write(name: str, data: dict) -> pathlib.Path:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        payload = {"bench": name, "generated_unix": time.time(), "data": data}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[bench summary saved to {path}]")
+        return path
+
+    return _write
 
 
 @pytest.fixture

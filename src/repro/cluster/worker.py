@@ -18,6 +18,11 @@ Operations (header ``op`` field):
               ``return="digest"`` sends back a SHA-256 of the output bytes
               instead of the pixels (bit-exactness checks at 10k requests
               should not cost 10 GB of loopback traffic)
+``run_batch`` execute N same-workload requests shipped as one inline
+              ``(N, H, W)`` stack; the engine collapses them into a single
+              kernel-level batched evaluation and the reply carries the
+              stacked outputs (or per-image digests) plus per-request
+              outcome rows
 ``stats``     engine stats + a metrics snapshot (with histogram samples, so
               the gateway can merge percentiles from pooled observations)
 ``snapshot``  persist the autotuner table now (the warm-start tier calls
@@ -198,6 +203,8 @@ class ShardServer:
         op = header.get("op")
         if op == "run":
             return self._op_run(header, payload)
+        if op == "run_batch":
+            return self._op_run_batch(header, payload)
         if op == "put_image":
             return self._op_put_image(header, payload)
         if op == "stats":
@@ -290,6 +297,70 @@ class ShardServer:
                 reply["digest"] = array_digest(response.output)
             else:
                 meta, out_payload = encode_array(response.output)
+                reply["array"] = meta
+        return reply, out_payload
+
+    def _op_run_batch(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        """N same-workload requests in one frame — batch shapes over the wire.
+
+        The payload is an ``(N, H, W)`` stack (the array codec is
+        shape-generic); the requests share one signature, so the engine's
+        micro-batcher hands all N to one worker and the kernel-level batch
+        path serves them in a single ``(N, H, W)`` evaluation.
+        """
+        if not payload:
+            raise ProtocolError("run_batch needs an inline (N, H, W) payload")
+        stack = decode_array(header.get("array", {}), payload)
+        if stack.ndim != 3 or stack.shape[0] < 1:
+            raise ProtocolError(
+                f"run_batch payload must be (N, H, W), got shape {stack.shape}"
+            )
+        try:
+            requests = [
+                Request(
+                    app=header["app"],
+                    image=stack[i],
+                    pattern=header.get("pattern", "clamp"),
+                    variant=header.get("variant", "isp+m"),
+                    exec_mode=header.get("exec_mode", "vectorized"),
+                    constant=float(header.get("constant", 0.0)),
+                    timeout_s=header.get("timeout_s"),
+                )
+                for i in range(stack.shape[0])
+            ]
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad run_batch request: {exc}") from exc
+
+        responses = self.engine.run(requests)
+
+        results = []
+        for resp in responses:
+            row: dict = {
+                "ok": resp.ok,
+                "request_id": resp.request_id,
+                "variant": resp.variant,
+                "cache_hit": resp.cache_hit,
+                "retries": resp.retries,
+                "execute_seconds": resp.execute_seconds,
+            }
+            if not resp.ok:
+                row["error"] = resp.error
+                row["error_kind"] = resp.error_kind
+            results.append(row)
+        reply: dict = {
+            "ok": all(r.ok for r in responses),
+            "count": len(responses),
+            "results": results,
+            "slot": self.slot,
+        }
+        out_payload = b""
+        if all(r.output is not None for r in responses):
+            if header.get("return") == "digest":
+                reply["digests"] = [array_digest(r.output) for r in responses]
+            else:
+                meta, out_payload = encode_array(
+                    np.stack([r.output for r in responses])
+                )
                 reply["array"] = meta
         return reply, out_payload
 

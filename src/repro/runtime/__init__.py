@@ -14,21 +14,44 @@ from .executor import (
     run_pipeline_simt,
     select_variants,
 )
+from .make_border import (
+    ELEMENT_BYTES,
+    ELEMENT_DTYPE,
+    make_border,
+    pad_key,
+    padded_bytes,
+    padded_for,
+    padded_shape,
+)
 from .padding import PaddingEstimate, measure_padding_kernel, pad_copy_time_us
-from .vectorized import run_kernel_vectorized, run_pipeline_vectorized
+from .vectorized import (
+    VECTORIZED_VARIANTS,
+    degenerate_geometry,
+    run_kernel_vectorized,
+    run_pipeline_vectorized,
+)
 
 __all__ = [
+    "ELEMENT_BYTES",
+    "ELEMENT_DTYPE",
     "FineClass",
     "KernelMeasurement",
     "KernelProfile",
     "PipelineMeasurement",
     "SimulationResult",
+    "VECTORIZED_VARIANTS",
     "Variant",
     "clear_profile_cache",
+    "degenerate_geometry",
     "fine_block_classes",
+    "make_border",
     "measure_padding_kernel",
     "measure_pipeline",
     "pad_copy_time_us",
+    "pad_key",
+    "padded_bytes",
+    "padded_for",
+    "padded_shape",
     "PaddingEstimate",
     "profile_kernel",
     "run_kernel_vectorized",

@@ -1,0 +1,133 @@
+"""Pre-padded border materialization — the raw-speed tier's ``make_border``.
+
+Paper Section I frames padding as the costly software alternative to ISP:
+"the required additional memory copy ... is costly". That is true for a
+*single* filter invocation — but for repeated filters on the same image, a
+multi-tap window, or a multi-stage pipeline, the copy amortizes: pay one
+gather to materialize the apron, then every tap of every stage runs the
+check-free Body evaluator over the whole padded image. This module is the
+host-side analogue of RustyViT's ``make_border_cpu.rs`` (SNIPPETS.md): one
+function that turns an ``(..., H, W)`` image into an
+``(..., H+2hy, W+2hx)`` buffer with the border pattern materialized.
+
+The index mappings are *not* re-implemented here: :func:`make_border`
+reuses :func:`repro.runtime.vectorized._map_axis` with both sides checked —
+the exact closed-form total mappings fixed in PR 2 — so a padded cell at any
+depth past the edge (over-wide windows included, where ``np.pad`` needs
+per-pattern care) holds precisely the value the checked executors would
+read. Leading axes are preserved, which is what makes the padded buffer
+batch-aware for free: an ``(N, H, W)`` stack pads into ``(N, H+2hy,
+W+2hx)`` with one gather.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl.boundary import Boundary
+
+#: The one element type every executor in this repository computes in.
+#: Anything that prices a buffer (the padding cost model, the cluster
+#: protocol, memory-footprint accounting) must derive its element size from
+#: here instead of hardcoding ``4``.
+ELEMENT_DTYPE = np.dtype(np.float32)
+ELEMENT_BYTES = ELEMENT_DTYPE.itemsize
+
+
+def padded_shape(
+    shape: tuple[int, ...], hx: int, hy: int
+) -> tuple[int, ...]:
+    """Shape of the padded buffer for an ``(..., H, W)`` input."""
+    if len(shape) < 2:
+        raise ValueError(f"expected an (..., H, W) shape, got {shape}")
+    return (*shape[:-2], shape[-2] + 2 * hy, shape[-1] + 2 * hx)
+
+
+def padded_bytes(width: int, height: int, hx: int, hy: int) -> int:
+    """Footprint of one padded single-image buffer, in bytes."""
+    return (width + 2 * hx) * (height + 2 * hy) * ELEMENT_BYTES
+
+
+def make_border(
+    src: np.ndarray,
+    hx: int,
+    hy: int,
+    boundary: Boundary,
+    constant: float = 0.0,
+) -> np.ndarray:
+    """Materialize the border into an ``(..., H+2hy, W+2hx)`` padded buffer.
+
+    All four concrete patterns (CLAMP / MIRROR / REPEAT / CONSTANT) are
+    expressible, at any half-extent — including over-wide windows where the
+    apron is deeper than the image, the regime the PR-2 total mappings were
+    fixed for. ``hx == hy == 0`` returns the input itself (point operators
+    need no apron, and the zero-copy identity is what lets the cost model
+    charge nothing for them).
+    """
+    from .vectorized import _map_axis
+
+    src = np.asarray(src, dtype=ELEMENT_DTYPE)
+    if src.ndim < 2:
+        raise ValueError(
+            f"expected an (..., H, W) image, got shape {src.shape}"
+        )
+    if hx < 0 or hy < 0:
+        raise ValueError(f"negative half-extent ({hx}, {hy})")
+    if boundary is Boundary.UNDEFINED:
+        raise ValueError("cannot materialize an UNDEFINED border")
+    if hx == 0 and hy == 0:
+        return src
+    h, w = src.shape[-2:]
+    ys, vy = _map_axis(
+        np.arange(-hy, h + hy), h, boundary, True, True
+    )
+    xs, vx = _map_axis(
+        np.arange(-hx, w + hx), w, boundary, True, True
+    )
+    out = src[..., ys[:, None], xs[None, :]]
+    if boundary is Boundary.CONSTANT:
+        valid = vy[:, None] & vx[None, :]
+        out = np.where(valid, out, ELEMENT_DTYPE.type(constant))
+    return np.ascontiguousarray(out, dtype=ELEMENT_DTYPE)
+
+
+#: Key identifying one padded buffer: which image, under which pattern.
+PadKey = tuple[str, str, float, int, int]
+
+
+def pad_key(
+    name: str, boundary: Boundary, constant: float, hx: int, hy: int
+) -> PadKey:
+    return (name, boundary.value, float(constant), int(hx), int(hy))
+
+
+def padded_for(
+    images: dict[str, np.ndarray],
+    name: str,
+    hx: int,
+    hy: int,
+    boundary: Boundary,
+    constant: float = 0.0,
+    cache: Optional[dict] = None,
+) -> np.ndarray:
+    """Padded buffer for ``images[name]``, via ``cache`` when given.
+
+    The cache maps :func:`pad_key` to ``(source array, padded array)`` and
+    is validated by *identity*: an entry is only reused while its key still
+    resolves to the same source object, so a caller-owned cache shared
+    across pipeline stages (or across repeated same-image requests) can
+    never serve a stale apron after an image is rebound. Entries keep their
+    source alive for exactly as long as the caller keeps the cache.
+    """
+    src = images[name]
+    if cache is None:
+        return make_border(src, hx, hy, boundary, constant)
+    key = pad_key(name, boundary, constant, hx, hy)
+    entry = cache.get(key)
+    if entry is not None and entry[0] is src:
+        return entry[1]
+    padded = make_border(src, hx, hy, boundary, constant)
+    cache[key] = (src, padded)
+    return padded

@@ -26,6 +26,7 @@ from ..compiler.isp import Variant
 from ..gpu.device import DeviceSpec, GTX680
 from ..gpu.timing import LAUNCH_OVERHEAD_US, TimingEstimate, estimate_time
 from .executor import profile_kernel
+from .make_border import ELEMENT_BYTES
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,9 +49,15 @@ def pad_copy_time_us(
 
     The pad kernel streams the source once and writes the padded buffer
     once; we price it at peak bandwidth (a best case for the baseline).
+    Element size comes from :mod:`repro.runtime.make_border` — the same
+    constant the measured prepad path computes in — not a hardcoded 4.
+    A zero-extent window needs no pad kernel at all, so it is charged
+    neither the copy nor the launch overhead.
     """
-    padded = (width + 2 * hx) * (height + 2 * hy) * 4
-    src = width * height * 4
+    padded = (width + 2 * hx) * (height + 2 * hy) * ELEMENT_BYTES
+    if hx == 0 and hy == 0:
+        return 0.0, padded
+    src = width * height * ELEMENT_BYTES
     seconds = (padded + src) / (device.mem_bandwidth_gbs * 1e9)
     return seconds * 1e6 + LAUNCH_OVERHEAD_US, padded
 
@@ -70,10 +77,6 @@ def measure_padding_kernel(
     copy_us, padded_bytes = pad_copy_time_us(
         device, desc.width, desc.height, hx, hy
     )
-    if hx == 0 and hy == 0:
-        copy_us = 0.0  # point operators need no padding at all
-        padded_bytes = desc.width * desc.height * 4
-
     prof = profile_kernel(desc, variant=Variant.ISP, block=block, device=device)
     body = next(c for c in prof.classes if c.name == "xM|yM")
     from ..gpu.cost import cost_table_for

@@ -10,13 +10,26 @@ on the host. Two variants mirror the GPU code shapes:
 * ``isp`` — the iteration space is partitioned at *pixel* granularity into
   the nine regions (the CPU partitioning of paper Section III-C, Eq. 1); the
   Body region evaluates with pure slicing — no index mapping at all — and
-  only the thin border strips pay for the mapping.
+  only the thin border strips pay for the mapping;
+* ``isp_warp`` — the nine regions with warp-aligned x cuts (paper
+  Listing 5's granularity);
+* ``prepad`` — the raw-speed tier: :func:`repro.runtime.make_border
+  .make_border` materializes the apron once, then the single check-free
+  Body evaluator runs over the whole padded image with offset coordinates.
+  The copy is O(area) but amortizes across taps, pipeline stages (one
+  ``pad_cache`` shared across calls) and repeated same-image requests —
+  exactly the serve workload where the paper's "padding is costly" framing
+  (Section I) inverts.
 
 Because the border strips are O(perimeter) while the body is O(area), the
 host speedup of ``isp`` over ``naive`` grows with image size exactly like the
 paper's Figure 3 predicts, which makes this executor a genuinely *measured*
 (wall-clock) reproduction of the ISP effect; ``benchmarks/
 bench_wallclock_vectorized.py`` times it with pytest-benchmark.
+
+Every variant is batch-aware: images may carry leading axes (``(N, H, W)``),
+which evaluate in one NumPy call per tap — the kernel-level batching the
+serve engine stacks same-signature requests into.
 """
 
 from __future__ import annotations
@@ -78,6 +91,29 @@ class _RegionRect:
 #: re-routing in paper Listing 5.
 WARP_WIDTH = 32
 
+#: Every vectorized code shape this executor can run.
+VECTORIZED_VARIANTS = ("naive", "isp", "isp_warp", "prepad")
+
+
+def degenerate_geometry(width: int, height: int, hx: int, hy: int) -> bool:
+    """Pixel-granularity degenerate-geometry predicate, shared by every
+    caller that must agree on when the nine-region scheme is expressible.
+
+    An axis is degenerate when some pixel needs checks on *both* of its
+    sides: pixel ``x`` needs left checks iff ``x < hx`` and right checks iff
+    ``x >= width - hx``, so a both-sided pixel exists iff
+    ``width - hx < hx``, i.e. ``width < 2*hx``. The boundary case
+    ``width == 2*hx`` is *not* degenerate — the Body strip is empty but
+    every remaining strip is single-sided, which the region evaluators
+    handle exactly (pinned by the ``w in {2hx-1, 2hx, 2hx+1}`` edge tests).
+    This is precisely :class:`repro.compiler.regions.RegionGeometry`'s
+    ``degenerate`` at block granularity ``(1, 1)``, which is what makes the
+    two layers' fallback conditions agree (asserted by
+    ``tests/test_runtime_vectorized.py``); the compiler's *block-granular*
+    condition is strictly more conservative for real block shapes.
+    """
+    return (hx > 0 and width < 2 * hx) or (hy > 0 and height < 2 * hy)
+
 
 def _axis_strips(
     lo_cut: int, hi_cut: int, size: int, lo_check: str, hi_check: str
@@ -113,11 +149,11 @@ def _regions_from_cuts(
 def _pixel_regions(width: int, height: int, hx: int, hy: int) -> list[_RegionRect]:
     """Nine pixel-granularity regions (paper Eq. 1 generalized to all sides).
 
-    Requires non-degenerate geometry (window smaller than the image); the
-    caller falls back to the naive single region otherwise, mirroring the
-    compiler's degenerate-geometry fallback.
+    Requires non-degenerate geometry per :func:`degenerate_geometry` (the
+    pixel-granularity analogue of the compiler's block-granular fallback);
+    the caller falls back to the naive single region otherwise.
     """
-    if width < 2 * hx or height < 2 * hy:
+    if degenerate_geometry(width, height, hx, hy):
         raise ValueError("degenerate pixel-region geometry")
     xs = _axis_strips(hx, width - hx, width, "left", "right")
     ys = _axis_strips(hy, height - hy, height, "top", "bottom")
@@ -138,7 +174,7 @@ def _warp_regions(
     aligned region evaluations — the same trade the paper's warp-grained
     kernels make, which is what gives the autotuner a real three-way choice.
     """
-    if width < 2 * hx or height < 2 * hy:
+    if degenerate_geometry(width, height, hx, hy):
         raise ValueError("degenerate pixel-region geometry")
     xl = -(-hx // warp) * warp if hx > 0 else 0
     xr = ((width - hx) // warp) * warp if hx > 0 else width
@@ -263,7 +299,7 @@ class _RegionEvaluator:
     def _eval_access(self, access: PixelAccess) -> np.ndarray:
         rect = self.rect
         img = self.images[access.accessor.image.name]
-        h, w = img.shape
+        h, w = img.shape[-2:]
         boundary = access.accessor.boundary
 
         check_left = "left" in rect.checks and access.dx < 0
@@ -273,8 +309,10 @@ class _RegionEvaluator:
 
         if not any((check_left, check_right, check_top, check_bottom)):
             # Body fast path: a pure slice — the host analogue of the
-            # check-free Body region code.
+            # check-free Body region code. The ellipsis carries any leading
+            # batch axes through untouched.
             return img[
+                ...,
                 rect.y0 + access.dy : rect.y1 + access.dy,
                 rect.x0 + access.dx : rect.x1 + access.dx,
             ]
@@ -294,7 +332,7 @@ class _RegionEvaluator:
             assert ys.size == 0 or (ys.min() >= 0 and ys.max() < h), (
                 f"{boundary.value} y-mapping out of bounds for {access!r}"
             )
-        values = img[np.ix_(ys, xs)]
+        values = img[..., ys[:, None], xs[None, :]]
         if vx is not None or vy is not None:
             valid = np.ones((ys.size, xs.size), dtype=bool)
             if vy is not None:
@@ -305,6 +343,36 @@ class _RegionEvaluator:
                 valid, values, np.float32(access.accessor.constant)
             ).astype(np.float32)
         return values
+
+
+class _PrepadEvaluator(_RegionEvaluator):
+    """The raw-speed tier's evaluator: every access is a pure slice into a
+    pre-padded buffer at offset ``(hx, hy)`` — the check-free Body code
+    shape applied to the *whole* image, which is only sound because
+    :func:`~repro.runtime.make_border.make_border` already materialized
+    every pattern's mapping into the apron.
+    """
+
+    def __init__(
+        self,
+        desc: KernelDescription,
+        pads: dict,
+        rect: _RegionRect,
+    ):
+        super().__init__(desc, {}, rect)
+        self.pads = pads
+        self.hx, self.hy = desc.extent
+
+    def _eval_access(self, access: PixelAccess) -> np.ndarray:
+        acc = access.accessor
+        img = self.pads[(acc.image.name, acc.boundary.value,
+                         float(acc.constant))]
+        rect = self.rect
+        return img[
+            ...,
+            rect.y0 + access.dy + self.hy : rect.y1 + access.dy + self.hy,
+            rect.x0 + access.dx + self.hx : rect.x1 + access.dx + self.hx,
+        ]
 
 
 def _split_rows(rects: list[_RegionRect], tile_rows: int) -> list[_RegionRect]:
@@ -329,20 +397,60 @@ def _split_rows(rects: list[_RegionRect], tile_rows: int) -> list[_RegionRect]:
     return out
 
 
+def _lead_shape(
+    desc: KernelDescription, images: dict[str, np.ndarray]
+) -> tuple[int, ...]:
+    """Common leading (batch) shape of every accessed input.
+
+    Plain single-image execution has the empty leading shape; an
+    ``(N, H, W)`` stack leads with ``(N,)``. Mixed leading shapes across
+    inputs are rejected — one kernel call is one batch.
+    """
+    lead: Optional[tuple[int, ...]] = None
+    for acc in desc.accessors:
+        img = images[acc.image.name]
+        # rank via shape, not .ndim: the sanitizer's canary wrappers are
+        # duck-typed images exposing only shape/__getitem__
+        if len(img.shape) < 2:
+            raise ValueError(
+                f"input {acc.image.name!r} must be (..., H, W), "
+                f"got shape {img.shape}"
+            )
+        if lead is None:
+            lead = img.shape[:-2]
+        elif img.shape[:-2] != lead:
+            raise ValueError(
+                f"inconsistent batch shapes across inputs: {lead} vs "
+                f"{img.shape[:-2]} for {acc.image.name!r}"
+            )
+    return lead if lead is not None else ()
+
+
 def run_kernel_vectorized(
     desc: KernelDescription,
     images: dict[str, np.ndarray],
     *,
     variant: str = "isp",
     tile_rows: Optional[int] = None,
+    pad_cache: Optional[dict] = None,
 ) -> np.ndarray:
     """Evaluate one kernel over its full iteration space.
 
     ``variant`` is ``"naive"`` (single region, full checks), ``"isp"``
-    (nine pixel-granularity regions, Body check-free) or ``"isp_warp"``
-    (nine regions with warp-aligned x cuts). ``tile_rows`` caps the
+    (nine pixel-granularity regions, Body check-free), ``"isp_warp"``
+    (nine regions with warp-aligned x cuts) or ``"prepad"`` (materialize
+    each input's border once via :func:`repro.runtime.make_border
+    .make_border`, then run the single check-free Body evaluator over the
+    whole padded image with offset coordinates). ``tile_rows`` caps the
     height of any evaluated rectangle (memory-bounded streaming for large
     images); ``None`` evaluates each region in one shot.
+
+    Inputs may carry leading batch axes — ``(N, H, W)`` stacks evaluate
+    in one call and produce an ``(N, H, W)`` output (kernel-level
+    batching). ``pad_cache``, when given, lets ``prepad`` reuse padded
+    buffers across calls on the same source arrays (see
+    :func:`repro.runtime.make_border.padded_for`); callers that loop over
+    taps/stages/requests on one image pay the gather exactly once.
     """
     trace_ctx = None
     if _trace_core._current is not None:
@@ -361,7 +469,9 @@ def run_kernel_vectorized(
                 raise FaultError("runtime.vectorized.kernel", act.kind)
     h, w = desc.height, desc.width
     hx, hy = desc.extent
-    out = np.empty((h, w), dtype=np.float32)
+    lead = _lead_shape(desc, images)
+    out = np.empty((*lead, h, w), dtype=np.float32)
+    pads: Optional[dict] = None
     checks = set()
     if hx > 0:
         checks |= {"left", "right"}
@@ -371,21 +481,45 @@ def run_kernel_vectorized(
     if variant == "naive":
         rects = naive_rects
     elif variant in ("isp", "isp_warp"):
-        if w < 2 * hx or h < 2 * hy:
+        if degenerate_geometry(w, h, hx, hy):
             rects = naive_rects  # degenerate: fall back, like the compiler
         elif variant == "isp":
             rects = _pixel_regions(w, h, hx, hy)
         else:
             rects = _warp_regions(w, h, hx, hy)
+    elif variant == "prepad":
+        from .make_border import padded_for
+
+        # No degenerate fallback: the total mappings in make_border handle
+        # any apron depth, over-wide windows included.
+        rects = [_RegionRect(0, w, 0, h, frozenset())]
+        pads = {}
+        for acc in desc.accessors:
+            key = (acc.image.name, acc.boundary.value, float(acc.constant))
+            if key in pads:
+                continue
+            # UNDEFINED promises every tap stays in bounds, so the apron's
+            # values are unobservable — CLAMP is an in-bounds-sound stand-in
+            # that keeps the gather total.
+            boundary = acc.boundary
+            if boundary is Boundary.UNDEFINED:
+                boundary = Boundary.CLAMP
+            pads[key] = padded_for(
+                images, acc.image.name, hx, hy, boundary,
+                float(acc.constant), cache=pad_cache,
+            )
     else:
         raise ValueError(f"unknown vectorized variant {variant!r}")
     if tile_rows is not None:
         rects = _split_rows(rects, tile_rows)
     for rect in rects:
-        ev = _RegionEvaluator(desc, images, rect)
+        if pads is not None:
+            ev: _RegionEvaluator = _PrepadEvaluator(desc, pads, rect)
+        else:
+            ev = _RegionEvaluator(desc, images, rect)
         value = ev.eval(desc.expr)
-        out[rect.y0 : rect.y1, rect.x0 : rect.x1] = np.broadcast_to(
-            value, (rect.y1 - rect.y0, rect.x1 - rect.x0)
+        out[..., rect.y0 : rect.y1, rect.x0 : rect.x1] = np.broadcast_to(
+            value, (*lead, rect.y1 - rect.y0, rect.x1 - rect.x0)
         )
     if trace_ctx is not None:
         tracer, parent = trace_ctx
@@ -402,9 +536,18 @@ def run_pipeline_vectorized(
     *,
     variant: str = "isp",
     tile_rows: Optional[int] = None,
+    pad_cache: Optional[dict] = None,
 ) -> dict[str, np.ndarray]:
-    """Run all pipeline stages; returns every produced image by name."""
+    """Run all pipeline stages; returns every produced image by name.
+
+    Under ``variant="prepad"`` one pad cache spans every stage, so an
+    image consumed by several stages (or several taps) under the same
+    pattern is padded exactly once for the whole pipeline. Pass
+    ``pad_cache`` to extend that reuse across *calls* on the same inputs.
+    """
     images: dict[str, np.ndarray] = {}
+    if variant == "prepad" and pad_cache is None:
+        pad_cache = {}
     for img in pipeline.inputs:
         if inputs is not None and img.name in inputs:
             images[img.name] = np.asarray(inputs[img.name], dtype=np.float32)
@@ -413,6 +556,7 @@ def run_pipeline_vectorized(
     for kernel in pipeline:
         desc = trace_kernel(kernel)
         images[desc.output_name] = run_kernel_vectorized(
-            desc, images, variant=variant, tile_rows=tile_rows
+            desc, images, variant=variant, tile_rows=tile_rows,
+            pad_cache=pad_cache,
         )
     return images

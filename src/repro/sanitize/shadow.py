@@ -99,7 +99,12 @@ class _CanaryArray:
         return np.asarray(key) + self.pad
 
     def __getitem__(self, key):
-        assert isinstance(key, tuple) and len(key) == 2
+        assert isinstance(key, tuple), key
+        if len(key) == 3 and key[0] is Ellipsis:
+            # batch-aware evaluators index (..., rows, cols); a canary is
+            # always 2-D, so the leading ellipsis selects nothing
+            key = key[1:]
+        assert len(key) == 2, key
         return self._backing[self._translate(key[0]), self._translate(key[1])]
 
 

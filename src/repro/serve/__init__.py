@@ -20,6 +20,7 @@ from .autotune import (
     AutoTuner,
     TunerKey,
     pipeline_gain,
+    pipeline_priors,
     tuner_key,
 )
 from .bench import build_workload, format_report, run_baseline, run_serve_bench
@@ -66,6 +67,7 @@ __all__ = [
     "Request",
     "TunerKey",
     "pipeline_gain",
+    "pipeline_priors",
     "tuner_key",
     "Response",
     "ResponseHandle",

@@ -53,7 +53,7 @@ from .metrics import MetricsRegistry
 from .plan import combined_digest
 
 #: Concrete vectorized code shapes the tuner arbitrates between.
-TUNE_CANDIDATES = ("naive", "isp", "isp_warp")
+TUNE_CANDIDATES = ("naive", "isp", "isp_warp", "prepad")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -110,6 +110,43 @@ def pipeline_gain(
     return math.exp(sum(math.log(max(g, 1e-12)) for g in gains) / len(gains))
 
 
+def pipeline_priors(
+    descs: Sequence[KernelDescription],
+    *,
+    block: tuple[int, int] = (32, 4),
+    device: DeviceSpec = None,
+) -> dict:
+    """Both model priors for a pipeline: ISP gain and prepad gain.
+
+    ``gain`` is :func:`pipeline_gain` (Eq. 10, partition vs naive);
+    ``prepad_gain`` is the analytic padding model's naive-over-prepad ratio
+    (:func:`repro.model.prediction.predict_prepad`), geometric-mean over
+    bordered kernels like the ISP side. Both are 1.0 (neutral) for
+    point-operator-only pipelines.
+    """
+    from ..model.prediction import predict_prepad
+
+    kwargs = {"block": block}
+    if device is not None:
+        kwargs["device"] = device
+    prepad_gains = []
+    for desc in descs:
+        if not desc.needs_border_handling:
+            continue
+        prepad_gains.append(predict_prepad(desc, **kwargs).gain)
+    if prepad_gains:
+        prepad_gain = math.exp(
+            sum(math.log(max(g, 1e-12)) for g in prepad_gains)
+            / len(prepad_gains)
+        )
+    else:
+        prepad_gain = 1.0
+    return {
+        "gain": pipeline_gain(descs, block=block, device=device),
+        "prepad_gain": prepad_gain,
+    }
+
+
 @dataclasses.dataclass
 class VariantStats:
     """Measured state of one candidate variant within one configuration."""
@@ -157,12 +194,16 @@ class ConfigState:
 
     key: TunerKey
     model_gain: float
-    #: the model's binary prediction: "isp" when G > 1, else "naive"
+    #: the model's prediction: "prepad" when the padding model's gain beats
+    #: both 1.0 and the ISP gain, else "isp" when G > 1, else "naive"
     model_choice: str
     stats: dict[str, VariantStats]
     committed: Optional[str] = None
     switches: int = 0
     since_probe: int = 0
+    #: analytic padding-model gain (naive / prepad time); None for states
+    #: restored from pre-prepad persistence files
+    model_prepad_gain: Optional[float] = None
 
     def eligible(self, candidates: Sequence[str], max_failures: int) -> list[str]:
         elig = [c for c in candidates if self.stats[c].failures < max_failures]
@@ -270,13 +311,15 @@ class AutoTuner:
     # -------------------------------------------------------------- decisions
 
     def decide(
-        self, key: TunerKey, prior: Callable[[], float]
+        self, key: TunerKey, prior: Callable[[], Union[float, dict]]
     ) -> tuple[str, str]:
         """Pick the variant to build/execute for one request of ``key``.
 
-        ``prior`` returns the model's pipeline gain G; it is only invoked the
-        first time a configuration is seen. Returns ``(variant, phase)`` with
-        phase one of ``"trial"``, ``"probe"``, ``"serve"``.
+        ``prior`` returns the model priors — either the bare pipeline gain G
+        (float) or a :func:`pipeline_priors` dict carrying the prepad gain
+        too; it is only invoked the first time a configuration is seen.
+        Returns ``(variant, phase)`` with phase one of ``"trial"``,
+        ``"probe"``, ``"serve"``.
         """
         state = self._state_for(key, prior)
         with self._lock:
@@ -325,17 +368,33 @@ class AutoTuner:
             return None
         return candidate
 
-    def _state_for(self, key: TunerKey, prior: Callable[[], float]) -> ConfigState:
+    def _state_for(
+        self, key: TunerKey, prior: Callable[[], Union[float, dict]]
+    ) -> ConfigState:
         with self._lock:
             state = self._states.get(key)
         if state is not None:
             return state
-        gain = float(prior())
+        # The prior is either the bare ISP gain (legacy float) or a dict with
+        # both model priors — {"gain": G, "prepad_gain": G_pad}.
+        raw = prior()
+        if isinstance(raw, dict):
+            gain = float(raw.get("gain", 1.0))
+            prepad_gain = raw.get("prepad_gain")
+            prepad_gain = None if prepad_gain is None else float(prepad_gain)
+        else:
+            gain = float(raw)
+            prepad_gain = None
+        choice = "isp" if gain > 1.0 else "naive"
+        if (prepad_gain is not None and "prepad" in self.candidates
+                and prepad_gain > max(gain, 1.0)):
+            choice = "prepad"
         fresh = ConfigState(
             key=key,
             model_gain=gain,
-            model_choice="isp" if gain > 1.0 else "naive",
+            model_choice=choice,
             stats={c: VariantStats() for c in self.candidates},
+            model_prepad_gain=prepad_gain,
         )
         with self._lock:
             state = self._states.setdefault(key, fresh)
@@ -427,6 +486,7 @@ class AutoTuner:
                 return {}
             return {
                 "model_gain": state.model_gain,
+                "model_prepad_gain": state.model_prepad_gain,
                 "model_choice": state.model_choice,
                 "committed": state.committed,
                 "switches": state.switches,
@@ -491,6 +551,7 @@ class AutoTuner:
                     {
                         **dataclasses.asdict(state.key),
                         "model_gain": state.model_gain,
+                        "model_prepad_gain": state.model_prepad_gain,
                         "model_choice": state.model_choice,
                         "committed": state.committed,
                         "switches": state.switches,
@@ -544,6 +605,7 @@ class AutoTuner:
                 committed = entry.get("committed")
                 if committed not in self.candidates:
                     committed = None
+                prepad_gain = entry.get("model_prepad_gain")
                 self._states[key] = ConfigState(
                     key=key,
                     model_gain=float(entry["model_gain"]),
@@ -551,6 +613,9 @@ class AutoTuner:
                     stats=stats,
                     committed=committed,
                     switches=int(entry.get("switches", 0)),
+                    model_prepad_gain=(
+                        None if prepad_gain is None else float(prepad_gain)
+                    ),
                 )
                 restored += 1
             self._update_agreement_gauge()

@@ -4,8 +4,10 @@ Request lifecycle::
 
     submit() --[bounded deque, backpressure]--> worker dequeues a batch of
     requests sharing one workload signature --> plan cache (build on miss)
-    --> per-request execution (vectorized host path, tiled for large images;
-    or SIMT simulation under a timeout with vectorized fallback) --> Response.
+    --> kernel-level batched execution (one (N, H, W) vectorized call for
+    the whole micro-batch) when eligible, else per-request execution
+    (vectorized host path, tiled for large images; or SIMT simulation under
+    a timeout with vectorized fallback) --> Response.
 
 Robustness decisions, per DESIGN "production-shaped" goals:
 
@@ -60,7 +62,7 @@ from ..faults.core import FaultError
 from ..trace import core as _trace_core
 from ..gpu.device import DeviceSpec, GTX680
 from ..sanitize.static import SanitizeError
-from .autotune import AutoTuner, TunerKey, pipeline_gain, tuner_key
+from .autotune import AutoTuner, TunerKey, pipeline_priors, tuner_key
 from .breaker import VariantBreaker
 from .cache import PlanCache
 from .metrics import MetricsRegistry
@@ -276,6 +278,7 @@ class ServeEngine:
         tile_threshold_rows: int = 1024,
         tile_rows: int = 256,
         sanitize_plans: bool = True,
+        kernel_batching: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         autotune: Union[bool, AutoTuner] = False,
         autotune_path: Optional[str] = None,
@@ -298,6 +301,7 @@ class ServeEngine:
         self.tile_threshold_rows = tile_threshold_rows
         self.tile_rows = tile_rows
         self.sanitize_plans = sanitize_plans
+        self.kernel_batching = kernel_batching
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
 
@@ -348,6 +352,12 @@ class ServeEngine:
             "engine.plans_sanitize_rejected",
             "plans rejected by the static bounds sanitizer")
         self._c_batches = m.counter("engine.batches")
+        self._c_kernel_batches = m.counter(
+            "engine.kernel_batches",
+            "micro-batches executed as a single (N,H,W) kernel call")
+        self._c_kernel_batched = m.counter(
+            "engine.kernel_batched_requests",
+            "requests served by kernel-level batched execution")
         self._c_cache_hits = m.counter("engine.plan_cache_hits")
         self._c_cache_misses = m.counter("engine.plan_cache_misses")
         self._h_queue = m.histogram("engine.queue_seconds", unit="s")
@@ -497,7 +507,7 @@ class ServeEngine:
                 t_tune = time.perf_counter()
                 variant, phase = self.tuner.decide(
                     key_t,
-                    lambda: pipeline_gain(
+                    lambda: pipeline_priors(
                         descs, block=self.block, device=self.device
                     ),
                 )
@@ -732,6 +742,7 @@ class ServeEngine:
         if not hit:
             self._c_cache_misses.inc()
 
+        runnable: list[tuple[_Pending, Response]] = []
         for p, r in zip(batch, responses):
             r.plan_key = plan.key
             r.variant = plan.variant
@@ -760,6 +771,26 @@ class ServeEngine:
                     self._c_queue_timeout.inc()
                 continue
             p.phase = "executing"
+            runnable.append((p, r))
+
+        # Kernel-level batching: same-signature requests that survived the
+        # queue-deadline check collapse into one (N, H, W) evaluation — the
+        # Python/plan overhead of every stage is paid once for the whole
+        # micro-batch. Disabled under fault injection (fault points are
+        # keyed per request id; collapsing requests would change which
+        # requests a replayed plan hits) and for per-request tiling asks.
+        # Any batched failure falls back to the per-request retry path
+        # below, so batching can only ever speed requests up, not change
+        # their outcome.
+        if (self.kernel_batching
+                and len(runnable) > 1
+                and leader.request.exec_mode == "vectorized"
+                and _faults._current is None
+                and all(p.request.tile_rows is None for p, _ in runnable)
+                and self._execute_kernel_batch(plan, runnable, tuner_ctx)):
+            return
+
+        for p, r in runnable:
             t0 = time.perf_counter()
             # Bounded retry with exponential backoff: transient failures
             # (injected faults, co-tenant hiccups) get self.retries more
@@ -831,6 +862,50 @@ class ServeEngine:
                         self.tuner.penalize(key_t, decided)
             if self._finish(p, r) and r.error_kind == "timeout_execute":
                 self._c_exec_timeout.inc()
+
+    def _execute_kernel_batch(
+        self,
+        plan: ExecutionPlan,
+        pairs: list[tuple[_Pending, Response]],
+        tuner_ctx: Optional[tuple[TunerKey, str]],
+    ) -> bool:
+        """Serve ``pairs`` with one batched plan execution.
+
+        Returns False (having resolved nothing) when the batched call
+        fails for any reason — the caller's per-request path then serves
+        every request individually, with its full retry budget. On success
+        each request is charged the amortized wall time (elapsed / N): that
+        is the figure the autotuner and the plan EMA must learn, because it
+        is what a request actually costs under this policy.
+        """
+        t0 = time.perf_counter()
+        try:
+            stack = np.stack([p.request.image for p, _ in pairs])
+            outputs = plan.execute_batch(stack)
+        except Exception:
+            return False
+        t1 = time.perf_counter()
+        per_request = (t1 - t0) / len(pairs)
+        self._c_kernel_batches.inc()
+        self._c_kernel_batched.inc(len(pairs))
+        for i, (p, r) in enumerate(pairs):
+            r.output = outputs[i]
+            r.execute_seconds = per_request
+            self._h_execute.observe(per_request)
+            if p.span is not None:
+                p.tracer.record_span(
+                    "execute", p.span, t0, t1,
+                    exec_mode=p.request.exec_mode, variant=plan.variant,
+                    kernel_batch=len(pairs),
+                )
+            self.breaker.record_success(plan.variant)
+            if not r.fallbacks:
+                plan.note_execution(per_request)
+                if tuner_ctx is not None:
+                    self.tuner.observe(tuner_ctx[0], tuner_ctx[1],
+                                       per_request)
+            self._finish(p, r)
+        return True
 
     def _finish(self, pending: _Pending, response: Response) -> bool:
         """Resolve a request (first-claim-wins); returns whether *this*

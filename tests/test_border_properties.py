@@ -363,6 +363,79 @@ class TestImplementationsAgree:
             assert ir_valid == bool(vec_valid[0])
 
 
+# --------------------------------------------------------------------------
+# Layer 3: make_border — the materialized form of the same mappings.
+# --------------------------------------------------------------------------
+
+
+_PAD_ORACLES = [
+    (Boundary.CLAMP, clamp_oracle),
+    (Boundary.MIRROR, reflect_oracle),
+    (Boundary.REPEAT, wrap_oracle),
+]
+
+
+@st.composite
+def pad_case(draw):
+    w = draw(st.integers(min_value=1, max_value=16))
+    h = draw(st.integers(min_value=1, max_value=16))
+    # apron up to 3x the image: well past the over-wide-window regime
+    hx = draw(st.integers(min_value=0, max_value=3 * w))
+    hy = draw(st.integers(min_value=0, max_value=3 * h))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return w, h, hx, hy, seed
+
+
+class TestMakeBorderMatchesOracles:
+    """Every padded cell, at any apron depth, holds exactly the source pixel
+    the brute-force oracle maps it to — the prepad executor's soundness rests
+    on this property."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(pad_case(), st.sampled_from([b for b, _ in _PAD_ORACLES]))
+    def test_padded_cells_match_oracle(self, case, boundary):
+        from repro.runtime.make_border import make_border
+
+        w, h, hx, hy, seed = case
+        oracle = dict(_PAD_ORACLES)[boundary]
+        src = np.random.default_rng(seed).random((h, w)).astype(np.float32)
+        out = make_border(src, hx, hy, boundary)
+        assert out.shape == (h + 2 * hy, w + 2 * hx)
+        for py in range(out.shape[0]):
+            for px in range(out.shape[1]):
+                sy = oracle(py - hy, h)
+                sx = oracle(px - hx, w)
+                assert out[py, px] == src[sy, sx], (boundary, py, px)
+
+    @settings(deadline=None, max_examples=40)
+    @given(pad_case(), st.floats(min_value=-2.0, max_value=2.0, width=32))
+    def test_constant_cells(self, case, constant):
+        from repro.runtime.make_border import make_border
+
+        w, h, hx, hy, seed = case
+        src = np.random.default_rng(seed).random((h, w)).astype(np.float32)
+        out = make_border(src, hx, hy, Boundary.CONSTANT, constant)
+        interior = out[hy:hy + h, hx:hx + w]
+        assert np.array_equal(interior, src)
+        mask = np.ones(out.shape, dtype=bool)
+        mask[hy:hy + h, hx:hx + w] = False
+        assert (out[mask] == np.float32(constant)).all()
+
+    @settings(deadline=None, max_examples=20)
+    @given(pad_case(), st.sampled_from([b for b, _ in _PAD_ORACLES]),
+           st.integers(min_value=1, max_value=4))
+    def test_batch_axis_pads_per_image(self, case, boundary, n):
+        from repro.runtime.make_border import make_border
+
+        w, h, hx, hy, seed = case
+        stack = np.random.default_rng(seed).random((n, h, w)).astype(np.float32)
+        out = make_border(stack, hx, hy, boundary)
+        assert out.shape == (n, h + 2 * hy, w + 2 * hx)
+        for i in range(n):
+            assert np.array_equal(out[i], make_border(stack[i], hx, hy,
+                                                      boundary))
+
+
 def test_unchecked_axis_is_identity():
     """The Body region's whole point: no checks, untouched coordinate,
     zero emitted instructions."""

@@ -340,3 +340,71 @@ class TestWarmStartStore:
         store.path_for("0").write_text("{not json")
         assert store.read("0") is None
         assert store.configs("0") == 0
+
+
+# ---------------------------------------------------------------------------
+# run_batch op (in-process ShardServer.handle — no sockets)
+# ---------------------------------------------------------------------------
+
+class TestRunBatchOp:
+    """One frame, N same-signature requests, one (N, H, W) reply payload."""
+
+    @pytest.fixture(scope="class")
+    def shard(self):
+        from repro.cluster.worker import ShardServer
+
+        server = ShardServer(slot="t0", engine_kwargs={
+            "workers": 1, "batch_size": 8})
+        yield server
+        server.close()
+
+    def _stack(self, n=4, size=48, seed=5):
+        rng = np.random.default_rng(seed)
+        return rng.random((n, size, size)).astype(np.float32)
+
+    def test_array_mode_bit_exact(self, shard):
+        from repro.serve.plan import build_plan
+
+        stack = self._stack()
+        meta, payload = encode_array(stack)
+        reply, out_payload = shard.handle({
+            "op": "run_batch", "app": "gaussian", "pattern": "mirror",
+            "variant": "prepad", "array": meta,
+        }, payload)
+        assert reply["ok"], reply
+        assert reply["count"] == 4
+        assert reply["slot"] == "t0"
+        assert all(row["ok"] for row in reply["results"])
+        assert all(row["variant"] == "prepad" for row in reply["results"])
+        outputs = decode_array(reply["array"], out_payload)
+        assert outputs.shape == stack.shape
+        plan = build_plan("gaussian", "mirror", 48, 48, variant="prepad")
+        for i in range(stack.shape[0]):
+            assert np.array_equal(outputs[i], plan.execute(stack[i])), i
+
+    def test_digest_mode(self, shard):
+        from repro.serve.plan import build_plan
+
+        stack = self._stack(n=3)
+        meta, payload = encode_array(stack)
+        reply, out_payload = shard.handle({
+            "op": "run_batch", "app": "sobel", "variant": "prepad",
+            "array": meta, "return": "digest",
+        }, payload)
+        assert reply["ok"], reply
+        assert out_payload == b""
+        plan = build_plan("sobel", "clamp", 48, 48, variant="prepad")
+        assert reply["digests"] == [
+            array_digest(plan.execute(stack[i])) for i in range(3)
+        ]
+
+    def test_empty_payload_rejected(self, shard):
+        with pytest.raises(ProtocolError, match="inline"):
+            shard.handle({"op": "run_batch", "app": "gaussian"}, b"")
+
+    def test_non_batch_shape_rejected(self, shard):
+        meta, payload = encode_array(
+            np.zeros((8, 8), dtype=np.float32))
+        with pytest.raises(ProtocolError, match=r"\(N, H, W\)"):
+            shard.handle({"op": "run_batch", "app": "gaussian",
+                          "array": meta}, payload)

@@ -76,6 +76,34 @@ class TestDifferential:
         assert np.abs(vec - ref).max() < 1e-5, pattern
         assert np.abs(simt - vec).max() < 1e-5
 
+        # The pre-padded mode evaluates through an entirely different data
+        # path (one materialized gather + check-free slicing) and must be
+        # bit-exact with the checked evaluators.
+        prepad = run_kernel_vectorized(desc, {"inp": src}, variant="prepad")
+        assert np.array_equal(prepad, vec), pattern
+
+    @settings(max_examples=20, deadline=None)
+    @given(case=random_case(), batch_n=st.sampled_from([1, 3, 8]))
+    def test_batched_execution_bitexact(self, case, batch_n):
+        """An (N, H, W) stack evaluates bit-identically to N single calls,
+        for every variant including prepad."""
+        coeffs, width, height, pattern, constant, _, _, seed = case
+        rng = np.random.default_rng(seed)
+        stack = rng.random((batch_n, height, width)).astype(np.float32)
+        kernel = make_conv_kernel(width, height, pattern, coeffs, constant)
+        desc = trace_kernel(kernel)
+
+        for variant in ("naive", "isp", "isp_warp", "prepad"):
+            batched = run_kernel_vectorized(
+                desc, {"inp": stack}, variant=variant
+            )
+            assert batched.shape == (batch_n, height, width), variant
+            for i in range(batch_n):
+                single = run_kernel_vectorized(
+                    desc, {"inp": stack[i]}, variant=variant
+                )
+                assert np.array_equal(batched[i], single), (variant, pattern, i)
+
     @settings(max_examples=10, deadline=None)
     @given(case=random_case())
     def test_naive_and_isp_bitexact(self, case):
@@ -91,6 +119,29 @@ class TestDifferential:
                 ).output
             )
         assert np.array_equal(outs[0], outs[1]), pattern
+
+
+class TestPrepadEdges:
+    """Tiny images and over-wide windows: the regime np.pad-style padding
+    gets wrong and the PR-2 total mappings exist for."""
+
+    def test_prepad_tiny_images_overwide_windows(self):
+        rng = np.random.default_rng(7)
+        coeffs = rng.uniform(-1, 1, size=(5, 5)).astype(np.float32)
+        for pattern in PATTERNS:
+            for (w, h) in [(1, 1), (2, 3), (3, 3), (4, 2), (5, 5)]:
+                src = rng.random((h, w)).astype(np.float32)
+                kernel = make_conv_kernel(w, h, pattern, coeffs, 0.5)
+                desc = trace_kernel(kernel)
+                naive = run_kernel_vectorized(
+                    desc, {"inp": src}, variant="naive"
+                )
+                prepad = run_kernel_vectorized(
+                    desc, {"inp": src}, variant="prepad"
+                )
+                ref = correlate(src, coeffs, pattern, 0.5)
+                assert np.array_equal(prepad, naive), (pattern, w, h)
+                assert np.abs(prepad - ref).max() < 1e-5, (pattern, w, h)
 
 
 class TestTextureDifferential:

@@ -1,0 +1,230 @@
+"""The raw-speed tier's foundations: make_border, the shared degenerate
+predicate, the element-size single source, and the prepad cost prior.
+
+The differential/property coverage of prepad *execution* lives in
+``test_differential_random.py`` and ``test_border_properties.py``; this file
+pins the module contracts around it:
+
+* :func:`make_border` input validation, zero-extent identity, caching
+  semantics of :func:`padded_for` (identity-validated, never stale);
+* the satellite-1 bugfix: :func:`degenerate_geometry` is the *one*
+  pixel-granularity fallback predicate, its ``w == 2*hx`` boundary is not
+  degenerate (empty Body, all strips single-sided — still sound), and it
+  agrees exactly with the compiler's :class:`RegionGeometry` at block
+  granularity ``(1, 1)`` over a full sweep;
+* the satellite-2 bugfix: ``pad_copy_time_us`` derives its element size
+  from :mod:`repro.runtime.make_border` and a zero-extent window is charged
+  neither copy nor launch overhead;
+* :func:`repro.model.prediction.predict_prepad` shapes (neutral for point
+  operators and degenerate geometries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.frontend import trace_kernel
+from repro.compiler.regions import RegionGeometry
+from repro.dsl import Boundary
+from repro.runtime.make_border import (
+    ELEMENT_BYTES,
+    ELEMENT_DTYPE,
+    make_border,
+    pad_key,
+    padded_bytes,
+    padded_for,
+    padded_shape,
+)
+from repro.runtime.vectorized import (
+    VECTORIZED_VARIANTS,
+    degenerate_geometry,
+    run_kernel_vectorized,
+)
+
+from .conftest import make_conv_kernel
+
+
+class TestMakeBorderContract:
+    def test_zero_extent_returns_input_object(self):
+        src = np.ones((4, 5), dtype=np.float32)
+        assert make_border(src, 0, 0, Boundary.CLAMP) is src
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match=r"\(\.\.\., H, W\)"):
+            make_border(np.ones(5, dtype=np.float32), 1, 1, Boundary.CLAMP)
+
+    def test_rejects_negative_extent(self):
+        src = np.ones((4, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="negative half-extent"):
+            make_border(src, -1, 0, Boundary.CLAMP)
+
+    def test_rejects_undefined_boundary(self):
+        src = np.ones((4, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="UNDEFINED"):
+            make_border(src, 1, 1, Boundary.UNDEFINED)
+
+    def test_output_is_contiguous_float32(self):
+        src = np.arange(20, dtype=np.float64).reshape(4, 5)
+        out = make_border(src, 2, 1, Boundary.MIRROR)
+        assert out.dtype == ELEMENT_DTYPE
+        assert out.flags["C_CONTIGUOUS"]
+        assert out.shape == padded_shape((4, 5), 2, 1)
+
+    def test_padded_shape_and_bytes_agree(self):
+        shape = padded_shape((7, 9), 3, 2)
+        assert shape == (7 + 4, 9 + 6)
+        assert padded_bytes(9, 7, 3, 2) == shape[0] * shape[1] * ELEMENT_BYTES
+
+
+class TestPaddedForCache:
+    def test_cache_hit_requires_source_identity(self):
+        cache: dict = {}
+        a = np.random.default_rng(0).random((6, 6)).astype(np.float32)
+        images = {"inp": a}
+        first = padded_for(images, "inp", 2, 2, Boundary.CLAMP, cache=cache)
+        again = padded_for(images, "inp", 2, 2, Boundary.CLAMP, cache=cache)
+        assert again is first  # same source object: reused
+
+        # Rebinding the name to a *different* array must re-pad even though
+        # the cache key (name, pattern, extent) is identical — a stale apron
+        # would silently serve the old image's border.
+        images["inp"] = a + 1.0
+        fresh = padded_for(images, "inp", 2, 2, Boundary.CLAMP, cache=cache)
+        assert fresh is not first
+        assert np.array_equal(
+            fresh, make_border(images["inp"], 2, 2, Boundary.CLAMP)
+        )
+
+    def test_distinct_patterns_get_distinct_entries(self):
+        cache: dict = {}
+        images = {"inp": np.random.default_rng(1).random((5, 5))
+                  .astype(np.float32)}
+        padded_for(images, "inp", 1, 1, Boundary.CLAMP, cache=cache)
+        padded_for(images, "inp", 1, 1, Boundary.MIRROR, cache=cache)
+        padded_for(images, "inp", 2, 1, Boundary.CLAMP, cache=cache)
+        assert len(cache) == 3
+        assert pad_key("inp", Boundary.CLAMP, 0.0, 1, 1) in cache
+
+    def test_no_cache_always_pads(self):
+        images = {"inp": np.ones((4, 4), dtype=np.float32)}
+        a = padded_for(images, "inp", 1, 1, Boundary.REPEAT)
+        b = padded_for(images, "inp", 1, 1, Boundary.REPEAT)
+        assert a is not b
+
+
+class TestDegenerateGeometryPredicate:
+    """Satellite-1 bugfix: one shared fallback predicate, exact thresholds."""
+
+    def test_edge_pins_around_twice_extent(self):
+        # w == 2*hx - 1: the T/B strips would straddle both edges -> degenerate
+        # w == 2*hx    : empty Body, single-sided strips exactly tile -> fine
+        # w == 2*hx + 1: one-column Body -> fine
+        for hx in (1, 2, 4):
+            h = 32
+            assert degenerate_geometry(2 * hx - 1, h, hx, 0)
+            assert not degenerate_geometry(2 * hx, h, hx, 0)
+            assert not degenerate_geometry(2 * hx + 1, h, hx, 0)
+        for hy in (1, 2, 4):
+            w = 32
+            assert degenerate_geometry(w, 2 * hy - 1, 0, hy)
+            assert not degenerate_geometry(w, 2 * hy, 0, hy)
+            assert not degenerate_geometry(w, 2 * hy + 1, 0, hy)
+
+    def test_zero_extent_never_degenerate(self):
+        assert not degenerate_geometry(1, 1, 0, 0)
+
+    def test_agrees_with_compiler_geometry_at_pixel_granularity(self):
+        """The executor's pixel-granularity predicate IS the compiler's
+        RegionGeometry.degenerate at block (1, 1) — the two layers cannot
+        disagree about when ISP falls back."""
+        for w in range(1, 13):
+            for h in range(1, 13):
+                for hx in range(0, 5):
+                    for hy in range(0, 5):
+                        geom = RegionGeometry.compute(w, h, hx, hy, (1, 1))
+                        assert degenerate_geometry(w, h, hx, hy) == \
+                            geom.degenerate, (w, h, hx, hy)
+
+    def test_executor_correct_across_the_boundary(self):
+        """w in {2hx-1, 2hx, 2hx+1}: isp (falling back or partitioning) and
+        prepad all match naive bit-exactly."""
+        rng = np.random.default_rng(3)
+        coeffs = rng.uniform(-1, 1, size=(5, 5)).astype(np.float32)
+        hx = 2
+        for w in (2 * hx - 1, 2 * hx, 2 * hx + 1):
+            for pattern in (Boundary.CLAMP, Boundary.MIRROR,
+                            Boundary.REPEAT, Boundary.CONSTANT):
+                src = rng.random((9, w)).astype(np.float32)
+                desc = trace_kernel(
+                    make_conv_kernel(w, 9, pattern, coeffs, 0.25)
+                )
+                naive = run_kernel_vectorized(desc, {"inp": src},
+                                              variant="naive")
+                for variant in VECTORIZED_VARIANTS:
+                    out = run_kernel_vectorized(desc, {"inp": src},
+                                                variant=variant)
+                    assert np.array_equal(out, naive), (variant, pattern, w)
+
+
+class TestPadCopyCost:
+    """Satellite-2 bugfix: one element-size source, no phantom launch."""
+
+    def test_element_size_comes_from_make_border(self):
+        from repro.gpu.device import GTX680
+
+        from repro.runtime.padding import pad_copy_time_us
+
+        w, h, hx, hy = 64, 32, 3, 2
+        _, padded = pad_copy_time_us(GTX680, w, h, hx, hy)
+        assert padded == padded_bytes(w, h, hx, hy)
+
+    def test_zero_extent_charges_nothing(self):
+        from repro.gpu.device import GTX680
+
+        from repro.runtime.padding import pad_copy_time_us
+
+        us, padded = pad_copy_time_us(GTX680, 128, 128, 0, 0)
+        assert us == 0.0  # no pad kernel: no copy, no launch overhead
+        assert padded == 128 * 128 * ELEMENT_BYTES
+
+    def test_point_operator_estimate_has_zero_copy(self):
+        from repro.runtime.padding import measure_padding_kernel
+        from repro.serve.plan import trace_app
+
+        descs = trace_app("sobel", "clamp", 64, 64)
+        point = [d for d in descs if d.is_point_operator]
+        assert point
+        est = measure_padding_kernel(point[0])
+        assert est.copy_us == 0.0
+        assert est.kernel_us > 0.0
+
+
+class TestPredictPrepad:
+    def test_bordered_kernel_has_positive_costs(self):
+        from repro.model.prediction import predict_prepad
+        from repro.serve.plan import trace_app
+
+        desc = trace_app("gaussian", "clamp", 512, 512)[0]
+        pred = predict_prepad(desc)
+        assert pred.copy_us > 0.0
+        assert pred.kernel_us > 0.0
+        assert pred.naive_us > 0.0
+        assert pred.total_us == pred.copy_us + pred.kernel_us
+        assert pred.gain == pred.naive_us / pred.total_us
+
+    def test_point_operator_is_neutral(self):
+        from repro.model.prediction import predict_prepad
+        from repro.serve.plan import trace_app
+
+        descs = trace_app("sobel", "clamp", 64, 64)
+        point = [d for d in descs if d.is_point_operator][0]
+        assert predict_prepad(point).gain == 1.0
+
+    def test_degenerate_geometry_is_neutral(self):
+        from repro.model.prediction import predict_prepad
+
+        rng = np.random.default_rng(0)
+        coeffs = rng.uniform(-1, 1, (5, 5)).astype(np.float32)
+        desc = trace_kernel(make_conv_kernel(3, 3, Boundary.CLAMP, coeffs))
+        assert predict_prepad(desc).gain == 1.0

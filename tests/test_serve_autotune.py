@@ -34,7 +34,12 @@ def make_tuner(**kw):
 
 
 def drain_trials(tuner, key, timings, prior=2.0):
-    """Run the full trial phase, feeding ``timings[variant]`` per trial."""
+    """Run the full trial phase, feeding ``timings[variant]`` per trial.
+
+    Tests written around the three original arms need not mention prepad:
+    unless a timing is given for it, it trials at a never-winning 9.0 s.
+    """
+    timings = {"prepad": 9.0, **timings}
     while True:
         variant, phase = tuner.decide(key, lambda: prior)
         if phase != "trial":
@@ -51,7 +56,8 @@ class TestDecisionLifecycle:
             assert phase == "trial"
             seen.append(variant)
             tuner.observe(KEY, variant, {"naive": 3.0, "isp": 1.0,
-                                         "isp_warp": 2.0}[variant])
+                                         "isp_warp": 2.0,
+                                         "prepad": 4.0}[variant])
         assert sorted(seen) == sorted(TUNE_CANDIDATES)
         variant, phase = tuner.decide(KEY, lambda: 2.0)
         assert (variant, phase) == ("isp", "serve")
@@ -106,6 +112,7 @@ class TestMinScoring:
             "naive": iter([0.050, 0.001]),   # contaminated, then clean
             "isp": iter([0.004, 0.004]),
             "isp_warp": iter([0.005, 0.005]),
+            "prepad": iter([0.006, 0.006]),
         }
         while True:
             variant, phase = tuner.decide(KEY, lambda: 0.5)
@@ -287,6 +294,105 @@ class TestModelSeeding:
         assert k1 == k2
         k3 = tuner_key(descs, "clamp", DEVICES["RTX2080"])
         assert k3 != k1
+
+
+class TestPrepadArm:
+    """The raw-speed tier as a fourth arm: priors, ordering, persistence."""
+
+    def test_dict_prior_can_choose_prepad(self):
+        tuner = make_tuner()
+        # Padding model beats both the ISP gain and 1.0: prepad is the
+        # model's pick and therefore runs the very first trial.
+        variant, phase = tuner.decide(
+            KEY, lambda: {"gain": 1.4, "prepad_gain": 2.5})
+        assert (variant, phase) == ("prepad", "trial")
+        assert tuner.explain(KEY)["model_choice"] == "prepad"
+        assert tuner.explain(KEY)["model_prepad_gain"] == 2.5
+
+    def test_dict_prior_defers_to_isp_when_prepad_weaker(self):
+        tuner = make_tuner()
+        variant, _ = tuner.decide(
+            KEY, lambda: {"gain": 2.0, "prepad_gain": 1.5})
+        assert variant == "isp"
+        variant, _ = tuner.decide(
+            KEY2, lambda: {"gain": 0.8, "prepad_gain": 0.9})
+        assert variant == "naive"
+
+    def test_float_prior_still_accepted(self):
+        """Legacy callers hand back the bare ISP gain; the prepad prior is
+        simply unknown (None), never a crash."""
+        tuner = make_tuner()
+        variant, phase = tuner.decide(KEY, lambda: 2.0)
+        assert (variant, phase) == ("isp", "trial")
+        assert tuner.explain(KEY)["model_prepad_gain"] is None
+
+    def test_prepad_commit_when_it_wins_trials(self):
+        tuner = make_tuner()
+        variant, phase = drain_trials(
+            tuner, KEY,
+            {"naive": 3.0, "isp": 2.0, "isp_warp": 2.5, "prepad": 1.0},
+            prior={"gain": 1.2, "prepad_gain": 3.0})
+        assert (variant, phase) == ("prepad", "serve")
+        row = tuner.table()[0]
+        assert row["committed"] == "prepad"
+        # model said prepad (non-naive side), measurement committed prepad:
+        # that is agreement under the Eq. 10 binary split.
+        assert row["agrees"] is True
+
+    def test_model_prepad_gain_roundtrips_persistence(self, tmp_path):
+        path = tmp_path / "tune.json"
+        tuner = make_tuner(path=path)
+        drain_trials(tuner, KEY,
+                     {"naive": 3.0, "isp": 2.0, "isp_warp": 2.5,
+                      "prepad": 1.0},
+                     prior={"gain": 1.2, "prepad_gain": 3.0})
+        tuner.save()
+        payload = json.loads(path.read_text())
+        assert payload["configs"][0]["model_prepad_gain"] == 3.0
+        assert payload["configs"][0]["committed"] == "prepad"
+
+        warm = AutoTuner(trials_per_variant=1, path=path)
+        variant, phase = warm.decide(KEY, lambda: 0.0)
+        assert (variant, phase) == ("prepad", "serve")
+        assert warm.explain(KEY)["model_prepad_gain"] == 3.0
+
+    def test_pre_prepad_persistence_files_load_clean(self, tmp_path):
+        """A table saved before the prepad arm existed has no
+        model_prepad_gain key and no prepad stats — it must restore with
+        None / fresh stats, not KeyError."""
+        path = tmp_path / "tune.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "candidates": ["naive", "isp", "isp_warp"],
+            "configs": [{
+                "digest": "abc123", "width": 64, "height": 64,
+                "pattern": "clamp", "device": "GTX680",
+                "model_gain": 2.0, "model_choice": "isp",
+                "committed": "isp", "switches": 0,
+                "stats": {"isp": {"best_seconds": 0.001,
+                                  "observations": 2}},
+            }],
+        }))
+        warm = AutoTuner(path=path)
+        assert warm.explain(KEY)["model_prepad_gain"] is None
+        assert warm.table()[0]["committed"] == "isp"
+        assert warm.table()[0]["stats"]["prepad"].observations == 0
+
+    def test_pipeline_priors_shape(self):
+        from repro.serve import pipeline_priors
+
+        priors = pipeline_priors(trace_app("gaussian", "clamp", 256, 256),
+                                 device=DEVICES["GTX680"])
+        assert set(priors) == {"gain", "prepad_gain"}
+        assert priors["gain"] == pytest.approx(pipeline_gain(
+            trace_app("gaussian", "clamp", 256, 256),
+            device=DEVICES["GTX680"]))
+        assert priors["prepad_gain"] > 0
+        # Point-operator-only pipelines: both priors neutral.
+        point_only = [d for d in trace_app("night", "clamp", 64, 64)
+                      if not d.needs_border_handling]
+        neutral = pipeline_priors(point_only, device=DEVICES["GTX680"])
+        assert neutral == {"gain": 1.0, "prepad_gain": 1.0}
 
 
 class TestEngineIntegration:

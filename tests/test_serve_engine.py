@@ -162,6 +162,152 @@ class TestConcurrency:
         assert stats["engine"]["engine.plan_cache_misses"] == 1
 
 
+class TestPlanBatchExecution:
+    """ExecutionPlan.execute_batch: one (N, H, W) call, batch-agnostic plans."""
+
+    def test_execute_batch_bitexact_for_every_variant(self, rng):
+        from repro.serve.plan import PLAN_VARIANTS, build_plan
+
+        stack = rng.random((3, 32, 32), dtype=np.float32)
+        for variant in PLAN_VARIANTS:
+            if variant in ("isp", "isp_warp"):
+                continue  # 32x32 with block (32, 4) is degenerate for pure ISP
+            plan = build_plan("laplace", "mirror", 32, 32, variant=variant)
+            batched = plan.execute_batch(stack)
+            assert batched.shape == (3, 32, 32), variant
+            for i in range(3):
+                assert np.array_equal(batched[i], plan.execute(stack[i])), (
+                    variant, i)
+
+    def test_plan_identity_is_batch_agnostic(self, rng):
+        """Batch size is an execution-time property: the same PlanKey (and so
+        the same cached plan) serves N=1 and N=8."""
+        from repro.serve.plan import build_plan, plan_key, trace_app
+
+        descs = trace_app("gaussian", "clamp", 64, 64)
+        k1 = plan_key(descs, variant="prepad", pattern="clamp")
+        k8 = plan_key(descs, variant="prepad", pattern="clamp")
+        assert k1 == k8  # nothing batch-shaped to differ on
+        plan = build_plan("gaussian", "clamp", 64, 64, variant="prepad")
+        single = plan.execute(rng.random((64, 64), dtype=np.float32))
+        stack = rng.random((8, 64, 64), dtype=np.float32)
+        assert plan.execute_batch(stack).shape == (8, 64, 64)
+        assert single.shape == (64, 64)
+
+    def test_batch_shape_validation(self, rng):
+        from repro.serve.plan import build_plan
+
+        plan = build_plan("sobel", "clamp", 32, 32, variant="naive")
+        with pytest.raises(ValueError, match="batch image shape"):
+            plan.execute_batch(rng.random((32, 32), dtype=np.float32))
+        with pytest.raises(ValueError, match="request image shape"):
+            plan.execute(rng.random((2, 32, 32), dtype=np.float32))
+
+    def test_prepad_plan_builds_and_sanitizes(self):
+        from repro.serve.plan import build_plan
+
+        plan = build_plan("gaussian", "mirror", 64, 64, variant="prepad")
+        assert all(v == "prepad" for _, v in plan.stages())
+        # The SIMT shape backing sanitize is the fully checked kernel; the
+        # static sanitizer must pass it like any naive build.
+        reports = plan.sanitize()
+        assert reports and all(r.ok for r in reports)
+
+
+class TestKernelBatching:
+    """Engine-level (N, H, W) collapse of same-signature micro-batches."""
+
+    def _run_gated(self, engine, image, n=6, tile_rows=None):
+        """Block the single worker on the first (singleton) batch so the
+        remaining requests pile up and dequeue as one micro-batch."""
+        gate = threading.Event()
+        original = ServeEngine._execute
+
+        def gated(self, plan, pending, response):
+            gate.wait(10.0)
+            return original(self, plan, pending, response)
+
+        taken = threading.Event()
+
+        def gated_marking(self, plan, pending, response):
+            taken.set()
+            return gated(self, plan, pending, response)
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ServeEngine, "_execute", gated_marking)
+            handles = [engine.submit(Request(app="gaussian", image=image,
+                                             variant="prepad",
+                                             tile_rows=tile_rows))]
+            # Wait until the worker has dequeued request 1 (a singleton
+            # batch, so it runs _execute and parks on the gate) before
+            # queueing the rest — they then dequeue as one micro-batch.
+            taken.wait(10.0)
+            handles += [
+                engine.submit(Request(app="gaussian", image=image,
+                                      variant="prepad", tile_rows=tile_rows))
+                for _ in range(n - 1)
+            ]
+            time.sleep(0.05)
+            gate.set()
+            return [h.result(timeout=30) for h in handles]
+
+    def test_same_signature_requests_collapse_to_one_kernel_call(self, image):
+        with ServeEngine(workers=1, batch_size=8) as engine:
+            responses = self._run_gated(engine, image)
+            stats = engine.stats()
+        assert all(r.ok for r in responses)
+        ref = _direct("gaussian", image, "clamp", variant="prepad")
+        for r in responses:
+            assert np.array_equal(r.output, ref)
+        # Requests 2..6 were queued behind the gate: exactly one kernel batch
+        # of 5 (the first request went down the singleton path).
+        assert stats["engine"]["engine.kernel_batches"] == 1
+        assert stats["engine"]["engine.kernel_batched_requests"] == 5
+        # Batched requests are real executions: latency is observed per
+        # request, not per batch.
+        assert stats["latency"]["engine.execute_seconds"]["count"] == 6
+
+    def test_kernel_batching_can_be_disabled(self, image):
+        with ServeEngine(workers=1, batch_size=8,
+                         kernel_batching=False) as engine:
+            responses = self._run_gated(engine, image)
+            stats = engine.stats()["engine"]
+        assert all(r.ok for r in responses)
+        assert stats.get("engine.kernel_batches", 0) == 0
+
+    def test_tiled_requests_bypass_the_batched_path(self, image):
+        """tile_rows changes the evaluation strategy per request; such
+        batches fall back to per-request execution (still bit-identical)."""
+        with ServeEngine(workers=1, batch_size=8) as engine:
+            responses = self._run_gated(engine, image, tile_rows=7)
+            stats = engine.stats()["engine"]
+        assert all(r.ok for r in responses)
+        assert stats.get("engine.kernel_batches", 0) == 0
+        ref = _direct("gaussian", image, "clamp", variant="prepad")
+        for r in responses:
+            assert np.array_equal(r.output, ref)
+
+    def test_batch_failure_falls_back_to_per_request_execution(self, image):
+        """If the one-shot stacked call fails, the engine must retry the
+        micro-batch request-by-request — batching can only ever speed
+        things up, never change an outcome."""
+        from repro.serve.plan import ExecutionPlan
+
+        def boom(self, images, *, tile_rows=None):
+            raise RuntimeError("injected batch failure")
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ExecutionPlan, "execute_batch", boom)
+            with ServeEngine(workers=1, batch_size=8) as engine:
+                responses = self._run_gated(engine, image)
+                stats = engine.stats()["engine"]
+        assert all(r.ok for r in responses), [r.error for r in responses]
+        assert stats.get("engine.kernel_batches", 0) == 0
+        ref = _direct("gaussian", image, "clamp", variant="prepad")
+        for r in responses:
+            assert np.array_equal(r.output, ref)
+
+
 class TestDegradation:
     def test_compile_error_falls_back_to_naive(self, rng):
         # bilateral (5x5 window) on a 16x16 image with 32x4 blocks has a
