@@ -384,7 +384,11 @@ def cmd_trace(args) -> int:
 
 def cmd_sanitize(args) -> int:
     from repro.compiler import Variant
-    from repro.sanitize import run_differential, sanitize_corpus
+    from repro.sanitize import (
+        run_differential,
+        run_pipeline_differential,
+        sanitize_corpus,
+    )
 
     apps = args.apps.split(",") if args.apps else None
     sizes = args.size
@@ -413,6 +417,12 @@ def cmd_sanitize(args) -> int:
         for m in diff.mismatches:
             print("  ", m)
         ok = ok and diff.ok
+    if args.pipelines:
+        pdiff = run_pipeline_differential()
+        print("pipeline", pdiff.summary())
+        for m in pdiff.mismatches:
+            print("  ", m)
+        ok = ok and pdiff.ok
     if not ok:
         print("sanitize FAILED", file=sys.stderr)
     return 0 if ok else 1
@@ -648,6 +658,10 @@ def main(argv=None) -> int:
     p.add_argument("--differential", action="store_true",
                    help="also run the cross-variant differential harness "
                         "(tiny images x large windows vs NumPy reference)")
+    p.add_argument("--pipelines", action="store_true",
+                   help="also run the pipeline differential: fused vs "
+                        "staged vs reference over conv chains and the "
+                        "sobel/night apps, bit-exact at every tile shape")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per sanitized kernel variant")
     p.set_defaults(func=cmd_sanitize)

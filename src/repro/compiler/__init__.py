@@ -11,6 +11,7 @@ from .border import instructions_per_side
 from .codegen_cuda import emit_cuda
 from .driver import DEFAULT_BLOCK, CompiledKernel, compile_kernel
 from .frontend import FrontendError, KernelDescription, canonical_expr, trace_kernel
+from .fusion import FusedPlan, cumulative_halos, fuse_descs
 from .isp import CompileError, Variant, generate_isp, generate_naive, generate_texture
 from .passes import (
     eliminate_dead_code,
@@ -29,6 +30,7 @@ __all__ = [
     "CompileError",
     "CompiledKernel",
     "FrontendError",
+    "FusedPlan",
     "KernelDescription",
     "Region",
     "RegionGeometry",
@@ -36,6 +38,8 @@ __all__ = [
     "Variant",
     "canonical_expr",
     "compile_kernel",
+    "cumulative_halos",
+    "fuse_descs",
     "emit_cuda",
     "eliminate_dead_code",
     "estimate_registers",

@@ -3,8 +3,16 @@
 The paper's Sobel filter is three kernels (x-derivative, y-derivative,
 magnitude) and the Night filter is five (four à-trous stages plus tone
 mapping). A :class:`Pipeline` is an ordered list of kernels whose images
-chain producer -> consumer; the runtime executes the stages in order and the
-benchmark harness sums per-kernel times, as NVProf does for the paper.
+chain producer -> consumer; the staged runtime executes the stages in order
+and the benchmark harness sums per-kernel times, as NVProf does for the
+paper.
+
+Beyond the ordered list, a pipeline is a producer→consumer *graph*: each
+kernel produces one image and reads images produced by earlier kernels or
+supplied externally. :meth:`Pipeline.consumers` / :meth:`Pipeline.producer_of`
+expose that graph, which is what the fusion pass
+(:mod:`repro.compiler.fusion`) walks back-to-front to propagate halos for
+overlapped-tile execution.
 """
 
 from __future__ import annotations
@@ -27,7 +35,9 @@ class Pipeline:
 
     def _validate_chaining(self) -> None:
         """Every accessor image must be produced earlier or be an external
-        input; every output must be unique."""
+        input; every output must be unique; an external input may not shadow
+        any produced image's name."""
+        all_produced = {k.iter_space.output.name for k in self.kernels}
         produced: set[str] = set()
         for k in self.kernels:
             out = k.iter_space.output
@@ -39,6 +49,20 @@ class Pipeline:
                 if acc.image.name == out.name:
                     raise ValueError(
                         f"pipeline {self.name!r}: kernel {k.name!r} reads its own output"
+                    )
+                # A read of a not-yet-produced name that a *later* stage
+                # produces is an external input shadowing a pipeline image:
+                # the staged executor would feed this kernel the external
+                # array while the name lookup elsewhere (digests, fusion,
+                # prepad caches) resolves to the produced image. Reject the
+                # collision outright.
+                if (acc.image.name in all_produced
+                        and acc.image.name not in produced):
+                    raise ValueError(
+                        f"pipeline {self.name!r}: kernel {k.name!r} reads "
+                        f"{acc.image.name!r} before it is produced — an "
+                        "external input must not share a produced image's "
+                        "name"
                     )
             produced.add(out.name)
 
@@ -57,6 +81,41 @@ class Pipeline:
     @property
     def output(self) -> Image:
         return self.kernels[-1].iter_space.output
+
+    def producer_of(self, name: str) -> Kernel | None:
+        """The kernel producing ``name``, or None for external inputs."""
+        for k in self.kernels:
+            if k.iter_space.output.name == name:
+                return k
+        return None
+
+    def consumers(self) -> dict[str, list[Kernel]]:
+        """Producer→consumer edges: image name -> kernels that read it.
+
+        Covers both produced images and external inputs; a produced image
+        with no entry (or an empty list) is *dead* — written but never read
+        and not the final output, so fusion skips it entirely.
+        """
+        edges: dict[str, list[Kernel]] = {}
+        for k in self.kernels:
+            for acc in k.accessors:
+                edges.setdefault(acc.image.name, []).append(k)
+        return edges
+
+    def live_stages(self) -> set[str]:
+        """Output names whose stages feed the final output (back-to-front
+        reachability over the consumer graph)."""
+        live = {self.output.name}
+        for k in reversed(self.kernels):
+            if k.iter_space.output.name not in live:
+                continue
+            for acc in k.accessors:
+                live.add(acc.image.name)
+        return {
+            k.iter_space.output.name
+            for k in self.kernels
+            if k.iter_space.output.name in live
+        }
 
     def __iter__(self) -> Iterator[Kernel]:
         return iter(self.kernels)

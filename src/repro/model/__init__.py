@@ -7,10 +7,18 @@ from .instructions import (
     estimate_instructions,
     region_cost_per_pixel,
 )
-from .prediction import Prediction, clear_model_cache, predict_for, predict_kernel
+from .prediction import (
+    FusedPrediction,
+    Prediction,
+    clear_model_cache,
+    predict_for,
+    predict_fused,
+    predict_kernel,
+)
 
 __all__ = [
     "Calibration",
+    "FusedPrediction",
     "InstructionEstimate",
     "ModelBlockCounts",
     "Prediction",
@@ -21,6 +29,7 @@ __all__ = [
     "estimate_instructions",
     "index_bounds",
     "predict_for",
+    "predict_fused",
     "predict_kernel",
     "region_cost_per_pixel",
     "switch_cost",

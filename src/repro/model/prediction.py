@@ -43,6 +43,7 @@ _ARTIFACT_CACHE: dict[tuple, tuple] = {}
 def clear_model_cache() -> None:
     _ARTIFACT_CACHE.clear()
     _PREPAD_CACHE.clear()
+    _FUSED_CACHE.clear()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -200,6 +201,130 @@ def predict_prepad(
         naive_us=naive_us,
     )
     _PREPAD_CACHE[key] = pred
+    return pred
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedPrediction:
+    """Analytic fused-vs-staged crossover for a multi-kernel pipeline.
+
+    The Jangda & Guha (arXiv:1909.07190) tradeoff in the terms of this
+    model: staged execution pays every stage's kernel *plus* a DRAM
+    round-trip per intermediate image (one write by the producer, one read
+    per consumer, priced at peak bandwidth like
+    :func:`repro.runtime.padding.pad_copy_time_us`); fused execution keeps
+    intermediates tile-resident but re-runs each stage over its halo, so
+    every stage's kernel cost is amplified by the fused schedule's exact
+    computed-area ratio (:meth:`repro.compiler.fusion.FusedPlan
+    .amplification` — geometry, not an estimate). ``gain > 1`` predicts
+    fusion: the saved traffic outweighs the redundant halo recompute.
+    Single-kernel pipelines are neutral by construction (no intermediates,
+    amplification exactly 1).
+    """
+
+    pipeline: str
+    device: str
+    #: per-stage simulated naive kernel time (us)
+    compute_us: dict[str, float]
+    #: per-stage fused computed-area / image-area (0.0 = dead stage skipped)
+    amplification: dict[str, float]
+    #: DRAM round-trip cost of every staged intermediate (us)
+    traffic_us: float
+
+    @property
+    def staged_us(self) -> float:
+        return sum(self.compute_us.values()) + self.traffic_us
+
+    @property
+    def fused_us(self) -> float:
+        return sum(
+            us * self.amplification.get(name, 0.0)
+            for name, us in self.compute_us.items()
+        )
+
+    @property
+    def gain(self) -> float:
+        if self.fused_us <= 0.0 or self.staged_us <= 0.0:
+            return 1.0
+        return self.staged_us / self.fused_us
+
+    @property
+    def use_fused(self) -> bool:
+        return self.gain > 1.0
+
+
+_FUSED_CACHE: dict[tuple, "FusedPrediction"] = {}
+
+
+def predict_fused(
+    descs,
+    *,
+    tile_rows: Optional[int] = None,
+    tile_cols: Optional[int] = None,
+    block: tuple[int, int] = (32, 4),
+    device: DeviceSpec = GTX680,
+    name: str = "pipeline",
+) -> FusedPrediction:
+    """Analytic prior for fused overlapped-tile pipeline execution.
+
+    ``descs`` are the traced stages in pipeline order (what
+    ``serve.plan.trace_app`` returns). Neutral (gain exactly 1.0) when any
+    stage is unprofilable — degenerate geometry leaves no Body profile to
+    price compute with, so measurement decides, same stance as
+    :func:`predict_prepad`.
+    """
+    from ..compiler.fusion import fuse_descs
+    from ..runtime.make_border import ELEMENT_BYTES
+
+    descs = tuple(descs)
+    key = (
+        tuple(d.stable_digest() for d in descs),
+        tile_rows, tile_cols, block, device.name,
+    )
+    cached = _FUSED_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    plan = fuse_descs(descs, tile_rows=tile_rows, tile_cols=tile_cols,
+                      name=name)
+    amp = plan.amplification()
+    neutral = FusedPrediction(
+        pipeline=name, device=device.name,
+        compute_us={d.output_name: 1.0 for d in descs},
+        amplification={d.output_name: 1.0 for d in descs},
+        traffic_us=0.0,
+    )
+    from ..runtime.executor import profile_kernel
+
+    compute: dict[str, float] = {}
+    for d in descs:
+        try:
+            compute[d.output_name] = profile_kernel(
+                d, variant=Variant.NAIVE, block=block, device=device
+            ).timing(device).time_us
+        except (CompileError, ValueError, StopIteration):
+            _FUSED_CACHE[key] = neutral
+            return neutral
+
+    readers: dict[str, int] = {}
+    for d in descs:
+        for acc in d.accessors:
+            readers[acc.image.name] = readers.get(acc.image.name, 0) + 1
+    area_bytes = plan.width * plan.height * ELEMENT_BYTES
+    traffic_bytes = sum(
+        (1 + readers.get(d.output_name, 0)) * area_bytes
+        for d in descs[:-1]
+    )
+    traffic_us = traffic_bytes / (device.mem_bandwidth_gbs * 1e9) * 1e6
+
+    pred = FusedPrediction(
+        pipeline=name,
+        device=device.name,
+        compute_us=compute,
+        amplification=amp,
+        traffic_us=traffic_us,
+    )
+    _FUSED_CACHE[key] = pred
     return pred
 
 

@@ -23,6 +23,7 @@ from .make_border import (
     padded_for,
     padded_shape,
 )
+from .fused import run_fused, run_pipeline_fused
 from .padding import PaddingEstimate, measure_padding_kernel, pad_copy_time_us
 from .vectorized import (
     VECTORIZED_VARIANTS,
@@ -54,7 +55,9 @@ __all__ = [
     "padded_shape",
     "PaddingEstimate",
     "profile_kernel",
+    "run_fused",
     "run_kernel_vectorized",
+    "run_pipeline_fused",
     "run_pipeline_simt",
     "run_pipeline_vectorized",
     "select_variants",

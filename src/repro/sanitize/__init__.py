@@ -20,8 +20,10 @@ static pass on every newly built plan.
 from .differential import (
     DifferentialReport,
     Mismatch,
+    make_chain_pipeline,
     make_conv_pipeline,
     run_differential,
+    run_pipeline_differential,
 )
 from .intervals import Interval
 from .shadow import ShadowReport, check_pipeline_simt, check_pipeline_vectorized
@@ -46,8 +48,10 @@ __all__ = [
     "ShadowReport",
     "check_pipeline_simt",
     "check_pipeline_vectorized",
+    "make_chain_pipeline",
     "make_conv_pipeline",
     "run_differential",
+    "run_pipeline_differential",
     "sanitize_compiled",
     "sanitize_corpus",
     "sanitize_function",

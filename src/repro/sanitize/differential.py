@@ -52,6 +52,14 @@ DEFAULT_PATTERNS = (
 DEFAULT_SIMT_VARIANTS = (Variant.NAIVE, Variant.ISP, Variant.ISP_WARP)
 DEFAULT_VEC_VARIANTS = ("naive", "isp")
 
+#: pipeline corpus: per-stage half-extent chains (clipped per-size exactly
+#: like ``DEFAULT_HALF_EXTENTS``), tile shapes for the fused executor — the
+#: (1, None) and (2, 5) entries force tiles *smaller than the halo*, where
+#: every tile is all-border — and the registered multi-kernel apps.
+DEFAULT_CHAIN_EXTENTS = ((1,), (2, 1), (1, 2, 1), (7, 3), (99,))
+DEFAULT_TILE_SHAPES = ((None, None), (1, None), (3, 3), (2, 5))
+DEFAULT_PIPELINE_APPS = ("sobel", "night")
+
 
 class _ConvKernel(Kernel):
     def __init__(self, iter_space, acc, mask, kernel_name):
@@ -82,6 +90,37 @@ def make_conv_pipeline(
     acc = Accessor(BoundaryCondition(inp, boundary, constant))
     kernel = _ConvKernel(IterationSpace(out), acc, Mask(mask), name)
     return Pipeline(name, [kernel])
+
+
+def make_chain_pipeline(
+    width: int,
+    height: int,
+    boundary: Boundary,
+    masks: Iterable[np.ndarray],
+    constant: float = 0.0,
+    name: str = "diffchain",
+) -> Pipeline:
+    """Producer->consumer conv chain: ``inp -> t0 -> ... -> out``.
+
+    Each stage convolves the previous stage's output with its own mask under
+    the same border pattern, so the whole chain has a closed-form reference
+    (fold :func:`correlate` over the masks) that is bit-exact against both
+    the staged and the fused executors.
+    """
+    masks = list(masks)
+    if not masks:
+        raise ValueError("chain needs at least one mask")
+    src = Image(width, height, "inp")
+    kernels = []
+    for i, mask in enumerate(masks):
+        last = i == len(masks) - 1
+        dst = Image(width, height, "out" if last else f"t{i}")
+        acc = Accessor(BoundaryCondition(src, boundary, constant))
+        kernels.append(
+            _ConvKernel(IterationSpace(dst), acc, Mask(mask), f"{name}_s{i}")
+        )
+        src = dst
+    return Pipeline(name, kernels)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -218,6 +257,124 @@ def run_differential(
             msg = _compare(expected, actual)
             if msg:
                 _record(report, path, boundary, w, h, he, msg)
+    return report
+
+
+def run_pipeline_differential(
+    *,
+    sizes: Iterable[int] = DEFAULT_SIZES,
+    chain_extents: Iterable[tuple[int, ...]] = DEFAULT_CHAIN_EXTENTS,
+    patterns: Iterable[Boundary] = DEFAULT_PATTERNS,
+    tile_shapes: Iterable[tuple[Optional[int], Optional[int]]] = DEFAULT_TILE_SHAPES,
+    apps: Iterable[str] = DEFAULT_PIPELINE_APPS,
+    staged_variant: str = "isp",
+    constant: float = 1.25,
+    seed: int = 20210521,
+) -> DifferentialReport:
+    """Differential check of *fused* pipeline execution vs staged vs oracle.
+
+    Two corpora, both over tiny images and all border patterns:
+
+    * **conv chains** — every per-stage half-extent chain in
+      ``chain_extents`` (clipped per-size like the single-kernel corpus, so
+      over-wide windows are always present) is executed staged and fused at
+      every tile shape; the oracle is :func:`correlate` folded over the
+      stage masks, which every path must match **bit-exactly**;
+    * **registered apps** (``sobel``, ``night``) — the fused executor must
+      be bit-identical to the staged vectorized executor at every tile
+      shape, including tiles smaller than the pipeline's cumulative halo.
+
+    A crash (fusion error, bounds assertion) is recorded as a mismatch for
+    the same case; the harness never aborts mid-corpus.
+    """
+    from ..compiler import cumulative_halos, trace_kernel
+    from ..filters import PIPELINES
+    from ..runtime.fused import run_pipeline_fused
+    from ..runtime.vectorized import run_pipeline_vectorized
+
+    tile_shapes = list(tile_shapes)
+    rng = np.random.default_rng(seed)
+    report = DifferentialReport()
+
+    for size, chain_req, boundary in itertools.product(
+        sorted(set(sizes)), sorted(set(chain_extents)), patterns
+    ):
+        chain = tuple(min(he, 2 * size + 1) for he in chain_req)
+        if chain != chain_req and chain in chain_extents:
+            continue  # the clipped chain is its own corpus entry
+        w = h = size
+        he_max = max(chain)
+        masks = [
+            rng.uniform(0.25, 1.0, (2 * he + 1, 2 * he + 1)).astype(np.float32)
+            for he in chain
+        ]
+        src = rng.uniform(-1.0, 1.0, (h, w)).astype(np.float32)
+        expected = src
+        for mask in masks:
+            expected = correlate(expected, mask, boundary, constant)
+        pipe = make_chain_pipeline(w, h, boundary, masks, constant)
+        report.cases += 1
+
+        report.comparisons += 1
+        try:
+            staged = run_pipeline_vectorized(
+                pipe, {"inp": src}, variant=staged_variant
+            )["out"]
+        except Exception as exc:  # noqa: BLE001 — corpus must not abort
+            _record(report, "chain/staged", boundary, w, h, he_max,
+                    f"crash: {exc}")
+            staged = None
+        else:
+            msg = _compare(expected, staged)
+            if msg:
+                _record(report, "chain/staged", boundary, w, h, he_max, msg)
+
+        for tr, tc in tile_shapes:
+            path = f"chain/fused[t{tr}x{tc}]"
+            report.comparisons += 1
+            try:
+                actual = run_pipeline_fused(
+                    pipe, {"inp": src}, tile_rows=tr, tile_cols=tc
+                )
+            except Exception as exc:  # noqa: BLE001
+                _record(report, path, boundary, w, h, he_max, f"crash: {exc}")
+                continue
+            msg = _compare(expected, actual)
+            if msg:
+                _record(report, path, boundary, w, h, he_max, msg)
+
+    for app, size, boundary in itertools.product(
+        sorted(set(apps)), sorted(set(sizes)), patterns
+    ):
+        w = h = size
+        src = rng.uniform(-1.0, 1.0, (h, w)).astype(np.float32)
+        pipe = PIPELINES[app](w, h, boundary, constant)
+        halos = cumulative_halos([trace_kernel(k) for k in pipe])
+        he_max = max(
+            (max(hx, hy) for hx, hy in halos.values()), default=0
+        )
+        report.cases += 1
+        try:
+            oracle = run_pipeline_vectorized(
+                pipe, {"inp": src}, variant=staged_variant
+            )["out"]
+        except Exception as exc:  # noqa: BLE001
+            _record(report, f"{app}/staged", boundary, w, h, he_max,
+                    f"crash: {exc}")
+            continue
+        for tr, tc in tile_shapes:
+            path = f"{app}/fused[t{tr}x{tc}]"
+            report.comparisons += 1
+            try:
+                actual = run_pipeline_fused(
+                    pipe, {"inp": src}, tile_rows=tr, tile_cols=tc
+                )
+            except Exception as exc:  # noqa: BLE001
+                _record(report, path, boundary, w, h, he_max, f"crash: {exc}")
+                continue
+            msg = _compare(oracle, actual)
+            if msg:
+                _record(report, path, boundary, w, h, he_max, msg)
     return report
 
 

@@ -52,8 +52,10 @@ from ..gpu.device import DeviceSpec
 from .metrics import MetricsRegistry
 from .plan import combined_digest
 
-#: Concrete vectorized code shapes the tuner arbitrates between.
-TUNE_CANDIDATES = ("naive", "isp", "isp_warp", "prepad")
+#: Concrete vectorized code shapes the tuner arbitrates between. ``fused``
+#: is pipeline-level (overlapped tiles, no materialized intermediates); the
+#: others are per-stage strategies applied to staged execution.
+TUNE_CANDIDATES = ("naive", "isp", "isp_warp", "prepad", "fused")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -121,10 +123,13 @@ def pipeline_priors(
     ``gain`` is :func:`pipeline_gain` (Eq. 10, partition vs naive);
     ``prepad_gain`` is the analytic padding model's naive-over-prepad ratio
     (:func:`repro.model.prediction.predict_prepad`), geometric-mean over
-    bordered kernels like the ISP side. Both are 1.0 (neutral) for
-    point-operator-only pipelines.
+    bordered kernels like the ISP side; ``fused_gain`` is the pipeline-level
+    staged-over-fused ratio (:func:`repro.model.prediction.predict_fused`,
+    the overlapped-tiling crossover). All are 1.0 (neutral) for
+    point-operator-only and single-kernel pipelines respectively.
     """
-    from ..model.prediction import predict_prepad
+    from ..compiler.isp import CompileError
+    from ..model.prediction import predict_fused, predict_prepad
 
     kwargs = {"block": block}
     if device is not None:
@@ -141,9 +146,14 @@ def pipeline_priors(
         )
     else:
         prepad_gain = 1.0
+    try:
+        fused_gain = predict_fused(list(descs), **kwargs).gain
+    except (ValueError, CompileError):
+        fused_gain = 1.0
     return {
         "gain": pipeline_gain(descs, block=block, device=device),
         "prepad_gain": prepad_gain,
+        "fused_gain": fused_gain,
     }
 
 
@@ -204,6 +214,9 @@ class ConfigState:
     #: analytic padding-model gain (naive / prepad time); None for states
     #: restored from pre-prepad persistence files
     model_prepad_gain: Optional[float] = None
+    #: analytic fused-pipeline gain (staged / fused time); None for states
+    #: restored from pre-fusion persistence files
+    model_fused_gain: Optional[float] = None
 
     def eligible(self, candidates: Sequence[str], max_failures: int) -> list[str]:
         elig = [c for c in candidates if self.stats[c].failures < max_failures]
@@ -376,25 +389,34 @@ class AutoTuner:
         if state is not None:
             return state
         # The prior is either the bare ISP gain (legacy float) or a dict with
-        # both model priors — {"gain": G, "prepad_gain": G_pad}.
+        # every model prior — {"gain": G, "prepad_gain": ..., "fused_gain": ...}.
         raw = prior()
         if isinstance(raw, dict):
             gain = float(raw.get("gain", 1.0))
             prepad_gain = raw.get("prepad_gain")
             prepad_gain = None if prepad_gain is None else float(prepad_gain)
+            fused_gain = raw.get("fused_gain")
+            fused_gain = None if fused_gain is None else float(fused_gain)
         else:
             gain = float(raw)
             prepad_gain = None
+            fused_gain = None
         choice = "isp" if gain > 1.0 else "naive"
         if (prepad_gain is not None and "prepad" in self.candidates
                 and prepad_gain > max(gain, 1.0)):
             choice = "prepad"
+        # The fused prior is a *pipeline-level* gain over staged execution;
+        # it outranks the per-stage priors only when it clears them all.
+        if (fused_gain is not None and "fused" in self.candidates
+                and fused_gain > max(gain, prepad_gain or 1.0, 1.0)):
+            choice = "fused"
         fresh = ConfigState(
             key=key,
             model_gain=gain,
             model_choice=choice,
             stats={c: VariantStats() for c in self.candidates},
             model_prepad_gain=prepad_gain,
+            model_fused_gain=fused_gain,
         )
         with self._lock:
             state = self._states.setdefault(key, fresh)
@@ -487,6 +509,7 @@ class AutoTuner:
             return {
                 "model_gain": state.model_gain,
                 "model_prepad_gain": state.model_prepad_gain,
+                "model_fused_gain": state.model_fused_gain,
                 "model_choice": state.model_choice,
                 "committed": state.committed,
                 "switches": state.switches,
@@ -552,6 +575,7 @@ class AutoTuner:
                         **dataclasses.asdict(state.key),
                         "model_gain": state.model_gain,
                         "model_prepad_gain": state.model_prepad_gain,
+                        "model_fused_gain": state.model_fused_gain,
                         "model_choice": state.model_choice,
                         "committed": state.committed,
                         "switches": state.switches,
@@ -606,6 +630,7 @@ class AutoTuner:
                 if committed not in self.candidates:
                     committed = None
                 prepad_gain = entry.get("model_prepad_gain")
+                fused_gain = entry.get("model_fused_gain")
                 self._states[key] = ConfigState(
                     key=key,
                     model_gain=float(entry["model_gain"]),
@@ -615,6 +640,9 @@ class AutoTuner:
                     switches=int(entry.get("switches", 0)),
                     model_prepad_gain=(
                         None if prepad_gain is None else float(prepad_gain)
+                    ),
+                    model_fused_gain=(
+                        None if fused_gain is None else float(fused_gain)
                     ),
                 )
                 restored += 1

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..compiler.driver import CompiledKernel, compile_kernel
 from ..compiler.frontend import KernelDescription, trace_kernel
+from ..compiler.fusion import FusedPlan, fuse_descs
 from ..compiler.isp import CompileError, Variant
 from ..compiler.regions import RegionGeometry
 from ..dsl.boundary import Boundary
@@ -35,9 +36,9 @@ from ..gpu.device import DeviceSpec, GTX680
 from ..runtime.vectorized import run_kernel_vectorized
 
 #: Variant policies a plan can be built with (mirrors the measurement
-#: harness, plus the warp-grained shape of paper Listing 5 and the
-#: raw-speed pre-padded mode).
-PLAN_VARIANTS = ("naive", "isp", "isp_warp", "prepad", "isp+m")
+#: harness, plus the warp-grained shape of paper Listing 5, the raw-speed
+#: pre-padded mode, and fused overlapped-tile pipeline execution).
+PLAN_VARIANTS = ("naive", "isp", "isp_warp", "prepad", "fused", "isp+m")
 
 #: What a *request* may ask for: any buildable plan variant, or ``"auto"`` —
 #: let the engine's autotuner (model prior + measured trials) decide.
@@ -132,6 +133,12 @@ class ExecutionPlan:
     _simt_compiled: Optional[list[CompiledKernel]] = dataclasses.field(
         default=None, repr=False
     )
+    #: fused overlapped-tile schedule — present exactly when the plan was
+    #: built with ``variant="fused"``; geometry-only, so one cached plan per
+    #: pipeline digest serves every request and batch size
+    fused_plan: Optional[FusedPlan] = dataclasses.field(
+        default=None, repr=False
+    )
 
     @property
     def variant(self) -> str:
@@ -197,6 +204,14 @@ class ExecutionPlan:
         images: dict[str, np.ndarray],
         tile_rows: Optional[int],
     ) -> np.ndarray:
+        if self.fused_plan is not None:
+            # One fused execution for the whole pipeline. The fused schedule
+            # carries its own (overlapped) tiling, which already bounds the
+            # per-tile working set — the request-level ``tile_rows``
+            # streaming knob does not apply.
+            from ..runtime.fused import run_fused
+
+            return run_fused(self.fused_plan, images)
         # One pad cache per execution: prepad stages reuse padded buffers
         # across taps and stages of this call (and only this call — the
         # cache dies with the call, so nothing can go stale).
@@ -315,11 +330,12 @@ class ExecutionPlan:
                     "naive": Variant.NAIVE,
                     "isp": Variant.ISP,
                     "isp_warp": Variant.ISP_WARP,
-                    # prepad is a host-side execution strategy; its compiled
-                    # SIMT shape (for sanitize / simulation) is the fully
-                    # checked single-region kernel, which is semantically
-                    # identical.
+                    # prepad and fused are host-side execution strategies;
+                    # their compiled SIMT shape (for sanitize / simulation)
+                    # is the fully checked single-region kernel, which is
+                    # semantically identical.
                     "prepad": Variant.NAIVE,
+                    "fused": Variant.NAIVE,
                 }
                 self._simt_compiled = [
                     compile_kernel(
@@ -379,11 +395,20 @@ def build_plan(
             # No degenerate gate: the total border mappings in make_border
             # cover any apron depth, over-wide windows included.
             choices[desc.output_name] = "prepad"
+        elif variant == "fused":
+            # No degenerate gate either: the fused schedule's halo hulls are
+            # computed by the total border mapping, so over-wide windows and
+            # 1x1 images are covered (pinned by the pipeline differential).
+            choices[desc.output_name] = "fused"
         else:  # isp+m — the model decides per kernel (paper Eq. 10)
             from ..model.prediction import predict_kernel
 
             prediction = predict_kernel(desc, block=block, device=device)
             choices[desc.output_name] = "isp" if prediction.use_isp else "naive"
+
+    fused_plan = None
+    if variant == "fused":
+        fused_plan = fuse_descs(descs, name=app)
 
     return ExecutionPlan(
         key=key,
@@ -392,4 +417,5 @@ def build_plan(
         kernel_variants=choices,
         build_seconds=time.perf_counter() - t0,
         device=device,
+        fused_plan=fused_plan,
     )

@@ -28,7 +28,7 @@ from repro.serve import AutoTuner, TunerKey
 KEY = TunerKey(digest="f" * 64, width=64, height=64,
                pattern="clamp", device="hypothetical")
 
-VARIANTS = ("naive", "isp", "isp_warp", "prepad")
+VARIANTS = ("naive", "isp", "isp_warp", "prepad", "fused")
 
 
 def run_workload(tuner, key, base_times, noise_max, n_requests, rng):
@@ -51,6 +51,7 @@ def run_workload(tuner, key, base_times, noise_max, n_requests, rng):
     # stable even against its own worst noisy sample (an exact tie is a
     # legitimate coin-flip commit, not a stable winner)
     lifts=st.tuples(st.floats(min_value=1.01, max_value=4.0),
+                    st.floats(min_value=1.01, max_value=4.0),
                     st.floats(min_value=1.01, max_value=4.0),
                     st.floats(min_value=1.01, max_value=4.0)),
     trials=st.integers(min_value=1, max_value=3),
@@ -106,7 +107,7 @@ def test_genuine_regime_change_switches_exactly_once(
 
     # phase 1: isp clearly fastest -> commit isp
     phase1 = {"naive": 10e-3, "isp": 2e-3, "isp_warp": 12e-3,
-              "prepad": 14e-3}
+              "prepad": 14e-3, "fused": 16e-3}
     run_workload(tuner, KEY, phase1, 1.2, 4 + probe_every, rng)
     (row,) = tuner.table()
     assert row["committed"] == "isp"
@@ -114,7 +115,7 @@ def test_genuine_regime_change_switches_exactly_once(
     # phase 2: the regime shifts — isp degrades far past the margin while
     # naive probes come back well under it
     phase2 = {"naive": 0.2e-3, "isp": 2e-3, "isp_warp": 12e-3,
-              "prepad": 14e-3}
+              "prepad": 14e-3, "fused": 16e-3}
     run_workload(tuner, KEY, phase2, 1.2, 6 * probe_every, rng)
 
     snap = tuner.metrics.snapshot()["counters"]
@@ -130,11 +131,12 @@ def test_switch_requires_beating_the_margin_strictly():
         tuner = AutoTuner(trials_per_variant=1, hysteresis=0.10,
                           probe_every=1)
         # commit naive at 10ms; rivals slower
-        for _ in range(4):
+        for _ in range(5):
             decided, phase = tuner.decide(KEY, prior=lambda: 0.5)
             tuner.observe(KEY, decided, {"naive": 10e-3, "isp": 20e-3,
                                          "isp_warp": 30e-3,
-                                         "prepad": 40e-3}[decided])
+                                         "prepad": 40e-3,
+                                         "fused": 50e-3}[decided])
         (row,) = tuner.table()
         assert row["committed"] == "naive"
         # drive probes until isp gets re-measured at the boundary value
@@ -146,8 +148,9 @@ def test_switch_requires_beating_the_margin_strictly():
             else:
                 tuner.observe(KEY, decided, {"naive": 10e-3,
                                              "isp_warp": 30e-3,
-                                             "prepad": 40e-3}.get(decided,
-                                                                  target))
+                                             "prepad": 40e-3,
+                                             "fused": 50e-3}.get(decided,
+                                                                 target))
         (row,) = tuner.table()
         switched = row["committed"] != "naive"
         assert switched == expect_switch, (

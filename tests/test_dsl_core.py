@@ -223,3 +223,27 @@ class TestPipeline:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             Pipeline("p", [])
+
+    def test_input_shadowing_produced_name_rejected(self):
+        """A stage reading a name that a *later* stage produces would make
+        the staged executor bind an external array while digests/fusion
+        resolve the produced image — the collision must be rejected."""
+        a, b, c = Image(8, 8, "a"), Image(8, 8, "b"), Image(8, 8, "c")
+        with pytest.raises(ValueError, match="before it is produced"):
+            Pipeline("p", [self._stage(b, c), self._stage(a, b)])
+
+    def test_graph_accessors(self):
+        a, b, c = Image(8, 8, "a"), Image(8, 8, "b"), Image(8, 8, "c")
+        p = Pipeline("p", [self._stage(a, b), self._stage(b, c)])
+        assert p.producer_of("b").name == "k_b"
+        assert p.producer_of("a") is None
+        assert [k.name for k in p.consumers()["b"]] == ["k_c"]
+        assert p.live_stages() == {"b", "c"}
+
+    def test_dead_stage_not_live(self):
+        a, b, c, d = (Image(8, 8, n) for n in "abcd")
+        p = Pipeline("p", [self._stage(a, b), self._stage(a, d),
+                           self._stage(b, c)])
+        # d is written but never read and is not the final output: dead.
+        assert p.live_stages() == {"b", "c"}
+        assert "d" not in p.consumers()

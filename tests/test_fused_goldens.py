@@ -1,0 +1,140 @@
+"""Golden snapshots of fused pipeline plans (sobel + night, all patterns).
+
+Same machinery as ``test_codegen_goldens`` — gzip with ``mtime=0``, content
+digest in the filename, ``--update-goldens`` to regenerate — but the pinned
+text is :meth:`FusedPlan.describe`: the per-stage cumulative halos, the
+amplification factors, and every tile's back-propagated step regions with
+their border-check subrects. Any change to the halo algebra, the hull
+mapping, or the tile scheduler shows up as a readable diff of exactly the
+regions that moved.
+
+Stored under ``tests/goldens/fused/`` so the flat-IR suite's orphan check
+stays oblivious to them.
+"""
+
+from __future__ import annotations
+
+import difflib
+import gzip
+import hashlib
+import pathlib
+
+import pytest
+
+from repro.compiler import fuse_descs
+from repro.serve.plan import trace_app
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens" / "fused"
+
+#: the two multi-kernel apps of the corpus — the only ones fusion changes
+APPS = ("sobel", "night")
+PATTERNS = ("clamp", "mirror", "repeat", "constant")
+#: 64x64 with 16-row tiles: enough tiles that interior/border schedules
+#: both appear, small enough that the night goldens stay reviewable
+SIZE = 64
+TILE_ROWS = 16
+
+COMBOS = [(a, p) for a in APPS for p in PATTERNS]
+
+MAX_DIFF_LINES = 120
+DIGEST_LEN = 12
+
+
+def golden_stem(app: str, pattern: str) -> str:
+    return f"{app}-{pattern}"
+
+
+def content_digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:DIGEST_LEN]
+
+
+def find_golden(app: str, pattern: str) -> list[pathlib.Path]:
+    return sorted(GOLDEN_DIR.glob(f"{golden_stem(app, pattern)}.*.ir.gz"))
+
+
+def read_golden(path: pathlib.Path) -> str:
+    return gzip.decompress(path.read_bytes()).decode()
+
+
+def write_golden(app: str, pattern: str, text: str) -> pathlib.Path:
+    path = GOLDEN_DIR / f"{golden_stem(app, pattern)}.{content_digest(text)}.ir.gz"
+    for stale in find_golden(app, pattern):
+        if stale != path:
+            stale.unlink()
+    path.write_bytes(gzip.compress(text.encode(), mtime=0))
+    return path
+
+
+def render(app: str, pattern: str) -> str:
+    descs = trace_app(app, pattern, SIZE, SIZE)
+    plan = fuse_descs(list(descs), tile_rows=TILE_ROWS, name=app)
+    header = (
+        "# golden fused-plan snapshot — regenerate with:\n"
+        "#   pytest tests/test_fused_goldens.py --update-goldens\n"
+        f"# app={app} pattern={pattern} size={SIZE}x{SIZE} "
+        f"tile_rows={TILE_ROWS}\n"
+    )
+    return header + plan.describe() + "\n"
+
+
+@pytest.mark.parametrize("app,pattern", COMBOS,
+                         ids=[f"{a}-{p}" for a, p in COMBOS])
+def test_fused_plan_matches_golden(app, pattern, update_goldens):
+    actual = render(app, pattern)
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        write_golden(app, pattern, actual)
+        return
+
+    stored = find_golden(app, pattern)
+    if not stored:
+        pytest.fail(
+            f"missing golden fused/{golden_stem(app, pattern)}.*.ir.gz; "
+            f"generate it with `pytest tests/test_fused_goldens.py "
+            f"--update-goldens` and commit the result"
+        )
+    expected = read_golden(stored[-1])
+    if actual == expected:
+        return
+
+    diff = list(difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=f"goldens/fused/{stored[-1].name}",
+        tofile="generated",
+    ))
+    shown = "".join(diff[:MAX_DIFF_LINES])
+    omitted = len(diff) - MAX_DIFF_LINES
+    tail = f"\n... ({omitted} more diff lines)" if omitted > 0 else ""
+    pytest.fail(
+        f"fused plan for {app}/{pattern} diverges from its golden "
+        f"({len(diff)} diff lines). If the change is intentional, rerun "
+        f"with --update-goldens and commit.\n{shown}{tail}"
+    )
+
+
+def test_no_orphan_fused_goldens():
+    valid_stems = {golden_stem(*combo) for combo in COMBOS}
+    seen: dict[str, list[str]] = {}
+    for p in GOLDEN_DIR.iterdir():
+        if p.is_dir() or p.name in (".gitattributes",):
+            continue
+        assert p.suffixes[-2:] == [".ir", ".gz"], f"unexpected file: {p.name}"
+        stem, digest = p.name.split(".")[0], p.name.split(".")[1]
+        assert stem in valid_stems, f"orphan fused golden: {p.name}"
+        assert len(digest) == DIGEST_LEN
+        seen.setdefault(stem, []).append(digest)
+    dupes = {s: d for s, d in seen.items() if len(d) > 1}
+    assert not dupes, f"multiple digests stored for one combo: {dupes}"
+
+
+def test_fused_golden_integrity():
+    checked = 0
+    for path in sorted(GOLDEN_DIR.glob("*.ir.gz")):
+        digest = path.name.split(".")[1]
+        assert content_digest(read_golden(path)) == digest, (
+            f"{path.name}: content does not match its filename digest"
+        )
+        checked += 1
+    assert checked == len(COMBOS)

@@ -1,0 +1,147 @@
+"""Property tests for fused pipeline execution (overlapped tiling).
+
+Two contracts locked down over *random stage chains*:
+
+* **halo algebra** — for a linear producer->consumer chain the cumulative
+  halo computed by :func:`repro.compiler.cumulative_halos` is exactly the
+  suffix sum of the per-stage read extents (docstring of that function);
+* **bit-exactness** — the fused executor, which recomputes halos per
+  overlapped tile and never materializes a full intermediate, returns the
+  same float32 bits as the staged executor for every border pattern, every
+  image size down to 1x1, and every tile shape including tiles smaller
+  than the cumulative halo.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import cumulative_halos, fuse_descs, trace_kernel
+from repro.dsl import Boundary
+from repro.runtime import run_pipeline_fused, run_pipeline_vectorized
+from repro.sanitize import make_chain_pipeline
+
+PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
+
+
+def _masks(extents, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.uniform(0.25, 1.0, (2 * e + 1, 2 * e + 1)).astype(np.float32)
+        for e in extents
+    ]
+
+
+@st.composite
+def chain_case(draw):
+    extents = tuple(draw(st.lists(st.integers(0, 3), min_size=1, max_size=4)))
+    width = draw(st.integers(1, 8))
+    height = draw(st.integers(1, 8))
+    pattern = draw(st.sampled_from(PATTERNS))
+    # tile shapes deliberately include 1 (every tile smaller than any halo)
+    # and None (single whole-image tile).
+    tile_rows = draw(st.sampled_from([None, 1, 2, 5]))
+    tile_cols = draw(st.sampled_from([None, 1, 3]))
+    constant = draw(st.floats(min_value=-1.0, max_value=1.0, width=32))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return extents, width, height, pattern, tile_rows, tile_cols, constant, seed
+
+
+class TestHaloAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        extents=st.lists(st.integers(0, 4), min_size=1, max_size=5),
+        size=st.integers(1, 6),
+    )
+    def test_chain_halo_is_suffix_sum_of_stage_extents(self, extents, size):
+        masks = _masks(extents, seed=9)
+        pipe = make_chain_pipeline(size, size, Boundary.CLAMP, masks)
+        halos = cumulative_halos([trace_kernel(k) for k in pipe])
+
+        k = len(extents)
+        # image written by stage i: suffix sum of downstream extents
+        for i in range(k):
+            name = "out" if i == k - 1 else f"t{i}"
+            want = sum(extents[i + 1:])
+            assert halos[name] == (want, want), (name, halos)
+        # the external input carries the full chain's halo
+        total = sum(extents)
+        assert halos["inp"] == (total, total)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        extents=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+        size=st.integers(2, 8),
+    )
+    def test_whole_image_tile_has_unit_amplification(self, extents, size):
+        pipe = make_chain_pipeline(size, size, Boundary.MIRROR,
+                                   _masks(extents, seed=3))
+        plan = fuse_descs([trace_kernel(k) for k in pipe])
+        amp = plan.amplification()
+        # One tile covering the image: no recompute anywhere.
+        assert amp["out"] == 1.0
+        for name, a in amp.items():
+            assert a == 1.0, (name, amp)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        extents=st.lists(st.integers(1, 3), min_size=2, max_size=4),
+        size=st.integers(4, 8),
+        tile_rows=st.integers(1, 3),
+    )
+    def test_small_tiles_amplify_only_producers(self, extents, size, tile_rows):
+        pipe = make_chain_pipeline(size, size, Boundary.CLAMP,
+                                   _masks(extents, seed=4))
+        plan = fuse_descs([trace_kernel(k) for k in pipe],
+                          tile_rows=tile_rows)
+        amp = plan.amplification()
+        # The final stage writes each output pixel exactly once; producers
+        # are recomputed in every consumer tile's halo.
+        assert amp["out"] == 1.0
+        assert all(a >= 1.0 for a in amp.values()), amp
+
+
+class TestFusedBitExact:
+    @settings(max_examples=60, deadline=None)
+    @given(case=chain_case())
+    def test_fused_matches_staged_chain(self, case):
+        (extents, width, height, pattern, tile_rows, tile_cols,
+         constant, seed) = case
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(-1.0, 1.0, (height, width)).astype(np.float32)
+        pipe = make_chain_pipeline(width, height, pattern,
+                                   _masks(extents, seed), constant)
+        staged = run_pipeline_vectorized(pipe, {"inp": src}, variant="isp")["out"]
+        fused = run_pipeline_fused(pipe, {"inp": src},
+                                   tile_rows=tile_rows, tile_cols=tile_cols)
+        assert np.array_equal(staged, fused), (pattern, tile_rows, tile_cols)
+
+    @settings(max_examples=16, deadline=None)
+    @given(
+        pattern=st.sampled_from(PATTERNS),
+        tile_rows=st.sampled_from([None, 1]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_one_by_one_image(self, pattern, tile_rows, seed):
+        """1x1 image under a wide two-stage chain: all-border tiles."""
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(-1.0, 1.0, (1, 1)).astype(np.float32)
+        pipe = make_chain_pipeline(1, 1, pattern, _masks((2, 1), seed), 0.5)
+        staged = run_pipeline_vectorized(pipe, {"inp": src}, variant="isp")["out"]
+        fused = run_pipeline_fused(pipe, {"inp": src}, tile_rows=tile_rows)
+        assert np.array_equal(staged, fused), pattern
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pattern=st.sampled_from(PATTERNS),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_tiles_smaller_than_halo(self, pattern, seed):
+        """Cumulative halo (3+3=6) dwarfs the 2x2 tiles: every tile is
+        entirely border-handled, and the bits still match staged."""
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(-1.0, 1.0, (6, 6)).astype(np.float32)
+        pipe = make_chain_pipeline(6, 6, pattern, _masks((3, 3), seed), -0.25)
+        staged = run_pipeline_vectorized(pipe, {"inp": src}, variant="isp")["out"]
+        fused = run_pipeline_fused(pipe, {"inp": src}, tile_rows=2, tile_cols=2)
+        assert np.array_equal(staged, fused), pattern

@@ -1,0 +1,189 @@
+"""Unit tests for the fusion pass (repro.compiler.fusion).
+
+The pass is pure geometry — traced kernels + tile shape in, a deterministic
+overlapped-tile schedule out — so everything here is exact: pinned halos for
+the corpus pipelines, coverage/partition invariants of the tile schedules,
+and the dead-stage skip that distinguishes fused cost from staged cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import cumulative_halos, fuse_descs, trace_kernel
+from repro.compiler.fusion import DEFAULT_TILE_ROWS, _axis_hull
+from repro.dsl import Boundary, Image
+from repro.sanitize import make_chain_pipeline
+from repro.serve.plan import trace_app
+
+
+def _chain_descs(size, extents, boundary=Boundary.CLAMP):
+    rng = np.random.default_rng(0)
+    masks = [
+        rng.uniform(0.25, 1.0, (2 * e + 1, 2 * e + 1)).astype(np.float32)
+        for e in extents
+    ]
+    pipe = make_chain_pipeline(size, size, boundary, masks)
+    return [trace_kernel(k) for k in pipe]
+
+
+class TestCumulativeHalos:
+    def test_night_suffix_pattern(self):
+        """The a-trous chain 1,2,4,8 + point tonemap: each image's halo is
+        the sum of the extents *downstream* of it (paper-app pin)."""
+        halos = cumulative_halos(list(trace_app("night", "mirror", 64, 64)))
+        assert halos == {
+            "out": (0, 0),
+            "atrous3": (0, 0),
+            "atrous2": (8, 8),
+            "atrous1": (12, 12),
+            "atrous0": (14, 14),
+            "inp": (15, 15),
+        }
+
+    def test_sobel_diamond(self):
+        """dx and dy are siblings feeding the point-op magnitude: both
+        carry zero halo, the shared input carries the 3x3 extent."""
+        halos = cumulative_halos(list(trace_app("sobel", "clamp", 64, 64)))
+        assert halos == {
+            "out": (0, 0), "dx": (0, 0), "dy": (0, 0), "inp": (1, 1),
+        }
+
+    def test_halos_independent_of_pattern(self):
+        for pat in ("clamp", "mirror", "repeat", "constant"):
+            assert cumulative_halos(
+                list(trace_app("night", pat, 64, 64))
+            )["inp"] == (15, 15)
+
+
+class TestAxisHull:
+    def test_in_range_is_identity(self):
+        assert _axis_hull(2, 5, 10, Boundary.CLAMP) == (2, 5)
+
+    def test_clamp_clips_to_edges(self):
+        assert _axis_hull(-3, 4, 10, Boundary.CLAMP) == (0, 4)
+        assert _axis_hull(7, 14, 10, Boundary.CLAMP) == (7, 10)
+
+    def test_repeat_wraps_to_far_side(self):
+        # reads [-2, 3) under REPEAT touch {8, 9} and {0, 1, 2}: the hull
+        # is the whole axis — a clipped expansion would silently miss the
+        # wrapped-far-side pixels.
+        assert _axis_hull(-2, 3, 10, Boundary.REPEAT) == (0, 10)
+
+    def test_deep_mirror_folds_back(self):
+        # half-extent far beyond the axis: the mirror walk stays in range
+        # but covers it entirely.
+        assert _axis_hull(-25, 27, 3, Boundary.MIRROR) == (0, 3)
+
+    def test_constant_hulls_to_clamped_edge(self):
+        # CONSTANT reads still index the clamped coordinate before the mask
+        # is applied (vectorized evaluator's np.maximum/np.minimum).
+        assert _axis_hull(-5, 2, 10, Boundary.CONSTANT) == (0, 2)
+
+    def test_empty_range(self):
+        assert _axis_hull(4, 4, 10, Boundary.REPEAT) == (4, 4)
+
+
+class TestFusePlan:
+    def test_tile_grid_covers_output_exactly(self):
+        descs = _chain_descs(10, (1, 2))
+        plan = fuse_descs(descs, tile_rows=3, tile_cols=4)
+        covered = np.zeros((10, 10), dtype=int)
+        for tile in plan.tiles:
+            x0, x1, y0, y1 = tile.rect
+            covered[y0:y1, x0:x1] += 1
+        assert (covered == 1).all()
+
+    def test_subrects_partition_each_step_region(self):
+        descs = _chain_descs(9, (2, 1), Boundary.MIRROR)
+        plan = fuse_descs(descs, tile_rows=2, tile_cols=5)
+        for tile in plan.tiles:
+            for step in tile.steps:
+                x0, x1, y0, y1 = step.region
+                cells = np.zeros((y1 - y0, x1 - x0), dtype=int)
+                for sx0, sx1, sy0, sy1, _checks in step.subrects:
+                    assert x0 <= sx0 < sx1 <= x1
+                    assert y0 <= sy0 < sy1 <= y1
+                    cells[sy0 - y0:sy1 - y0, sx0 - x0:sx1 - x0] += 1
+                assert (cells == 1).all(), (tile.rect, step.region)
+
+    def test_interior_tile_is_check_free(self):
+        descs = _chain_descs(64, (1,))
+        plan = fuse_descs(descs, tile_rows=16, tile_cols=16)
+        interior = [
+            t for t in plan.tiles
+            if t.rect == (16, 32, 16, 32)  # no image border in reach
+        ]
+        (tile,) = interior
+        (step,) = tile.steps
+        assert step.subrects == ((16, 32, 16, 32, frozenset()),)
+
+    def test_corner_tile_carries_its_border_checks(self):
+        descs = _chain_descs(64, (1,))
+        plan = fuse_descs(descs, tile_rows=16, tile_cols=16)
+        (step,) = plan.tiles[0].steps  # x[0:16) y[0:16)
+        checks = {c for *_, c in step.subrects}
+        assert frozenset({"left", "top"}) in checks
+        assert frozenset() in checks  # the tile interior stays free
+
+    def test_dead_stage_skipped(self):
+        """A produced-but-never-read image gets no steps, amplification
+        0.0, and is excluded from the live set — fused execution simply
+        never computes it, while staged execution still pays for it."""
+        from tests.conftest import ConvKernel
+        from repro.dsl import (
+            Accessor, BoundaryCondition, IterationSpace, Mask, Pipeline,
+        )
+
+        mask = Mask(np.ones((3, 3), np.float32) / 9)
+        a, b, c, d = (Image(8, 8, n) for n in "abcd")
+
+        def stage(src, dst):
+            acc = Accessor(BoundaryCondition(src, Boundary.CLAMP))
+            return ConvKernel(IterationSpace(dst), acc, mask,
+                              kernel_name=f"k_{dst.name}")
+
+        pipe = Pipeline("deadstage", [stage(a, b), stage(a, d), stage(b, c)])
+        plan = fuse_descs([trace_kernel(k) for k in pipe])
+        assert plan.live == frozenset({"b", "c"})
+        assert "d" not in plan.halos
+        amp = plan.amplification()
+        assert amp["d"] == 0.0
+        assert amp["c"] == 1.0
+        staged_names = {plan.descs[s.stage].output_name
+                        for t in plan.tiles for s in t.steps}
+        assert staged_names == {"b", "c"}
+
+    def test_tile_dims_clamped_to_image(self):
+        descs = _chain_descs(6, (1,))
+        plan = fuse_descs(descs, tile_rows=9999, tile_cols=0)
+        assert plan.tile_rows == 6
+        assert plan.tile_cols == 1
+
+    def test_default_tile_rows(self):
+        descs = _chain_descs(4, (1,))
+        plan = fuse_descs(descs)
+        assert plan.tile_rows == min(DEFAULT_TILE_ROWS, 4)
+        assert plan.tile_cols == 4
+
+    def test_geometry_mismatch_rejected(self):
+        descs = _chain_descs(8, (1,)) + _chain_descs(6, (1,))
+        with pytest.raises(ValueError, match="geometry"):
+            fuse_descs(descs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            fuse_descs([])
+
+    def test_describe_deterministic_and_complete(self):
+        descs = trace_app("sobel", "repeat", 32, 32)
+        a = fuse_descs(list(descs), tile_rows=8, name="sobel").describe()
+        b = fuse_descs(list(descs), tile_rows=8, name="sobel").describe()
+        assert a == b
+        assert "fused-plan sobel" in a
+        assert "halo inp=(1,1)" in a
+        assert a.count("tile x[") == 4
+
+    def test_external_inputs_in_read_order(self):
+        plan = fuse_descs(list(trace_app("sobel", "clamp", 16, 16)))
+        assert plan.external_inputs == ("inp",)
+        assert plan.output_name == "out"

@@ -175,3 +175,67 @@ class TestTableThreeGainGrid:
             per_pattern = {pat: gains[(app, pat)]
                            for pat in ("clamp", "mirror", "repeat", "constant")}
             assert max(per_pattern, key=per_pattern.get) == "repeat", app
+
+
+# ---------------------------------------------------------------------------
+# Fusion model: predict_fused gains for the multi-kernel apps, GTX680.
+# ---------------------------------------------------------------------------
+
+#: gain = staged_us / fused_us at the Table III configuration. The grid
+#: pins the redundant-compute vs saved-memory-traffic crossover: fusion
+#: wins for sobel everywhere (cheap 3x3 halos, three intermediates saved)
+#: and for night under cheap patterns, but *loses* on night/repeat — the
+#: while-loop Repeat mapping makes the deep a-trous halo recompute cost
+#: more than the intermediate traffic it saves.
+PINNED_FUSED_GAINS = {
+    ("sobel", "clamp"): 1.2821428745091468,
+    ("sobel", "mirror"): 1.1399199731394176,
+    ("sobel", "repeat"): 1.1727018068402764,
+    ("sobel", "constant"): 1.2278362029842949,
+    ("night", "clamp"): 1.1387821576725425,
+    ("night", "mirror"): 1.0095026246986107,
+    ("night", "repeat"): 0.5301643154827085,
+    ("night", "constant"): 1.0881146483838822,
+}
+
+
+@pytest.fixture(scope="module")
+def fused_gains():
+    from repro.model import predict_fused
+
+    clear_model_cache()
+    return {
+        (app, pat): predict_fused(
+            list(trace_app(app, pat, SIZE, SIZE)),
+            block=BLOCK, device=GTX680, name=app,
+        )
+        for (app, pat) in PINNED_FUSED_GAINS
+    }
+
+
+class TestFusedGainGrid:
+    def test_gain_values(self, fused_gains):
+        for combo, expected in PINNED_FUSED_GAINS.items():
+            assert fused_gains[combo].gain == pytest.approx(
+                expected, rel=1e-6
+            ), combo
+
+    def test_crossover_shape(self, fused_gains):
+        """The decision the autotuner prior seeds from: fuse sobel always,
+        fuse night except under Repeat's expensive halo recompute."""
+        for pat in ("clamp", "mirror", "repeat", "constant"):
+            assert fused_gains[("sobel", pat)].use_fused, pat
+        assert not fused_gains[("night", "repeat")].use_fused
+        assert fused_gains[("night", "clamp")].use_fused
+
+    def test_single_kernel_pipeline_is_neutral(self):
+        """No intermediates to save, one kernel to fuse: gain is exactly
+        1.0 by construction, so the prior never prefers 'fused' here."""
+        from repro.model import predict_fused
+
+        pred = predict_fused(
+            list(trace_app("gaussian", "mirror", SIZE, SIZE)),
+            block=BLOCK, device=GTX680, name="gaussian",
+        )
+        assert pred.gain == 1.0
+        assert not pred.use_fused

@@ -19,8 +19,10 @@ from repro.runtime import run_kernel_vectorized, run_pipeline_simt
 from repro.sanitize import (
     check_pipeline_simt,
     check_pipeline_vectorized,
+    make_chain_pipeline,
     make_conv_pipeline,
     run_differential,
+    run_pipeline_differential,
 )
 from repro.sanitize.shadow import _CanaryArray
 from tests.conftest import ALL_BOUNDARIES, make_conv_kernel
@@ -58,6 +60,62 @@ class TestDifferentialHarness:
             shadow=True,
         )
         assert report.ok, report.summary()
+
+
+class TestPipelineDifferential:
+    def test_reduced_corpus_bit_exact(self):
+        report = run_pipeline_differential(
+            sizes=(1, 2, 5),
+            chain_extents=((1,), (2, 1), (99,)),
+            patterns=PATTERNS,
+            tile_shapes=((None, None), (1, None), (2, 5)),
+            apps=("sobel",),
+        )
+        assert report.ok, report.summary() + "".join(
+            f"\n  {m}" for m in report.mismatches
+        )
+        assert report.cases > 0 and report.comparisons > report.cases
+
+    def test_chain_pipeline_matches_folded_reference(self):
+        rng = np.random.default_rng(5)
+        masks = [_mask(1, 1, seed=2), _mask(2, 2, seed=3)]
+        src = rng.uniform(-1.0, 1.0, (4, 4)).astype(np.float32)
+        ref = src
+        for m in masks:
+            ref = correlate(ref, m, Boundary.REPEAT, 0.0)
+        pipe = make_chain_pipeline(4, 4, Boundary.REPEAT, masks)
+        from repro.runtime import run_pipeline_vectorized
+
+        out = run_pipeline_vectorized(pipe, {"inp": src}, variant="isp")["out"]
+        assert np.array_equal(out, ref)
+
+    def test_chain_needs_a_mask(self):
+        with pytest.raises(ValueError, match="at least one mask"):
+            make_chain_pipeline(4, 4, Boundary.CLAMP, [])
+
+    def test_detects_seeded_corruption(self, monkeypatch):
+        """The harness is live: a fused executor that corrupts one pixel on
+        non-trivial images must surface as a recorded mismatch, not a pass."""
+        import repro.sanitize.differential as diff_mod
+        from repro.runtime.fused import run_pipeline_fused as real_fused
+
+        def corrupted(pipe, inputs=None, **kwargs):
+            out = real_fused(pipe, inputs, **kwargs)
+            if out.shape[-1] >= 2:
+                out = out.copy()
+                out[..., 0, 0] += np.float32(1.0)
+            return out
+
+        monkeypatch.setattr(
+            "repro.runtime.fused.run_pipeline_fused", corrupted
+        )
+        report = diff_mod.run_pipeline_differential(
+            sizes=(3,), chain_extents=((1,),),
+            patterns=(Boundary.CLAMP,),
+            tile_shapes=((None, None),), apps=(),
+        )
+        assert not report.ok
+        assert any("fused" in m.path for m in report.mismatches)
 
 
 class TestMirrorDeepWrap:

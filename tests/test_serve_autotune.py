@@ -36,10 +36,10 @@ def make_tuner(**kw):
 def drain_trials(tuner, key, timings, prior=2.0):
     """Run the full trial phase, feeding ``timings[variant]`` per trial.
 
-    Tests written around the three original arms need not mention prepad:
-    unless a timing is given for it, it trials at a never-winning 9.0 s.
+    Tests written around the three original arms need not mention prepad or
+    fused: unless a timing is given, they trial at never-winning times.
     """
-    timings = {"prepad": 9.0, **timings}
+    timings = {"prepad": 9.0, "fused": 9.5, **timings}
     while True:
         variant, phase = tuner.decide(key, lambda: prior)
         if phase != "trial":
@@ -57,7 +57,8 @@ class TestDecisionLifecycle:
             seen.append(variant)
             tuner.observe(KEY, variant, {"naive": 3.0, "isp": 1.0,
                                          "isp_warp": 2.0,
-                                         "prepad": 4.0}[variant])
+                                         "prepad": 4.0,
+                                         "fused": 5.0}[variant])
         assert sorted(seen) == sorted(TUNE_CANDIDATES)
         variant, phase = tuner.decide(KEY, lambda: 2.0)
         assert (variant, phase) == ("isp", "serve")
@@ -113,6 +114,7 @@ class TestMinScoring:
             "isp": iter([0.004, 0.004]),
             "isp_warp": iter([0.005, 0.005]),
             "prepad": iter([0.006, 0.006]),
+            "fused": iter([0.007, 0.007]),
         }
         while True:
             variant, phase = tuner.decide(KEY, lambda: 0.5)
@@ -383,16 +385,17 @@ class TestPrepadArm:
 
         priors = pipeline_priors(trace_app("gaussian", "clamp", 256, 256),
                                  device=DEVICES["GTX680"])
-        assert set(priors) == {"gain", "prepad_gain"}
+        assert set(priors) == {"gain", "prepad_gain", "fused_gain"}
         assert priors["gain"] == pytest.approx(pipeline_gain(
             trace_app("gaussian", "clamp", 256, 256),
             device=DEVICES["GTX680"]))
         assert priors["prepad_gain"] > 0
-        # Point-operator-only pipelines: both priors neutral.
+        # Point-operator-only pipelines: every prior neutral.
         point_only = [d for d in trace_app("night", "clamp", 64, 64)
                       if not d.needs_border_handling]
         neutral = pipeline_priors(point_only, device=DEVICES["GTX680"])
-        assert neutral == {"gain": 1.0, "prepad_gain": 1.0}
+        assert neutral == {"gain": 1.0, "prepad_gain": 1.0,
+                           "fused_gain": 1.0}
 
 
 class TestEngineIntegration:
@@ -402,8 +405,10 @@ class TestEngineIntegration:
 
     def test_auto_requests_trial_then_commit(self, image):
         with ServeEngine(workers=1, batch_size=1, autotune=True) as engine:
+            n = (len(engine.tuner.candidates)
+                 * engine.tuner.trials_per_variant + 2)
             reqs = [Request(app="gaussian", image=image, pattern="clamp",
-                            variant="auto") for _ in range(8)]
+                            variant="auto") for _ in range(n)]
             responses = engine.run(reqs)
             assert all(r.ok for r in responses)
             # Every response reports the concrete variant that served it.
