@@ -1,0 +1,123 @@
+"""Cross-device regression matrix — who wins where, across the zoo.
+
+For every device in the zoo (docs/devices.md) x border pattern, measures
+gaussian 512x512 under {naive, isp, isp_warp} on the timing model and
+records the winner plus the speedup spread. The winner grid is compared
+against the checked-in golden ``device_matrix_golden.json``: a flipped cell
+fails the run, because a who-wins-where flip changes what the autotuner and
+``isp+m`` would deploy on that device — exactly the kind of silent drift
+the devices CI job exists to catch.
+
+Intentional flips (a timing-model or cost-table change) are committed like
+IR goldens::
+
+    REPRO_UPDATE_DEVICE_MATRIX=1 PYTHONPATH=src python -m pytest -q \
+        --benchmark-only benchmarks/bench_device_matrix.py
+
+then review the git diff of the golden alongside the WINNERS pins in
+tests/test_device_matrix.py (both must move together).
+
+Emits ``BENCH_device_matrix.json`` (machine-readable trajectory; see
+``conftest.bench_summary``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.compiler import Variant
+from repro.dsl import Boundary
+from repro.filters import PIPELINES
+from repro.gpu import DEVICES
+from repro.reporting import format_table
+from repro.runtime import measure_pipeline
+
+from harness import ZOO_DEVICE_NAMES
+
+APP = "gaussian"
+SIZE = 512
+#: warp-grained dispatch effective on wave32 and wave64 parts alike
+BLOCK = (128, 2)
+PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT,
+            Boundary.CONSTANT]
+VARIANTS = [Variant.NAIVE, Variant.ISP, Variant.ISP_WARP]
+
+GOLDEN = pathlib.Path(__file__).parent / "device_matrix_golden.json"
+UPDATE_ENV = "REPRO_UPDATE_DEVICE_MATRIX"
+
+
+def build():
+    cells = []
+    for device_name in ZOO_DEVICE_NAMES:
+        device = DEVICES[device_name]
+        for pattern in PATTERNS:
+            pipe = PIPELINES[APP](SIZE, SIZE, pattern)
+            times = {
+                v.value: measure_pipeline(pipe, variant=v, block=BLOCK,
+                                          device=device).total_us
+                for v in VARIANTS
+            }
+            winner = min(times, key=times.get)
+            cells.append({
+                "device": device_name,
+                "warp_size": device.warp_size,
+                "pattern": pattern.value,
+                "winner": winner,
+                "times_us": times,
+                "speedup_over_naive": times["naive"] / times[winner],
+            })
+    return cells
+
+
+def _winner_grid(cells):
+    return {f"{c['device']}|{c['pattern']}": c["winner"] for c in cells}
+
+
+def test_device_matrix(benchmark, report, bench_summary):
+    cells = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = [[c["device"], c["warp_size"], c["pattern"], c["winner"],
+             f"{c['times_us']['naive']:.1f}",
+             f"{c['times_us']['isp']:.1f}",
+             f"{c['times_us']['isp_warp']:.1f}",
+             f"{c['speedup_over_naive']:.3f}x"]
+            for c in cells]
+    table = format_table(
+        ["device", "wave", "pattern", "winner", "naive us", "isp us",
+         "isp_warp us", "win"],
+        rows,
+        title=f"device matrix: {APP} {SIZE}x{SIZE}, block "
+              f"{BLOCK[0]}x{BLOCK[1]} — fastest variant per device/pattern",
+    )
+    report("device_matrix", table, data=cells)
+    bench_summary("device_matrix", {
+        "app": APP, "size": SIZE, "block": list(BLOCK), "cells": cells,
+    })
+
+    grid = _winner_grid(cells)
+    if os.environ.get(UPDATE_ENV):
+        GOLDEN.write_text(json.dumps(grid, indent=2, sort_keys=True) + "\n")
+        print(f"[device-matrix golden rewritten at {GOLDEN} — review the "
+              f"git diff]")
+        return
+
+    assert GOLDEN.exists(), (
+        f"missing {GOLDEN.name}; generate with {UPDATE_ENV}=1 and commit"
+    )
+    golden = json.loads(GOLDEN.read_text())
+    flips = {k: (golden.get(k), grid[k]) for k in grid
+             if golden.get(k) != grid[k]}
+    assert not flips, (
+        f"who-wins-where flipped vs {GOLDEN.name}: {flips} — if the "
+        f"timing-model change is intentional, rerun with {UPDATE_ENV}=1 "
+        f"and update tests/test_device_matrix.py::WINNERS in the same commit"
+    )
+    assert set(golden) == set(grid), "golden covers a different grid"
+
+    # Coarse invariants that hold across any sane cost-table change: the
+    # expensive patterns are partition-side on every device.
+    for c in cells:
+        if c["pattern"] in ("mirror", "repeat"):
+            assert c["winner"] != "naive", (c["device"], c["pattern"])

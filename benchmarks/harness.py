@@ -27,6 +27,12 @@ APPS = ["gaussian", "laplace", "bilateral", "sobel", "night"]
 PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT, Boundary.CONSTANT]
 SIZES = [512, 1024, 2048, 4096]
 DEVICE_NAMES = ["GTX680", "RTX2080"]
+#: The full device zoo (docs/devices.md) for the cross-device regression
+#: matrix — the paper's two parts plus Pascal/Ampere and two wave64 AMD
+#: parts. Table/figure benches stay on the paper's grid (DEVICE_NAMES);
+#: zoo-wide benches iterate this list.
+ZOO_DEVICE_NAMES = ["GTX680", "GTX1080", "RTX2080", "RTX3080", "VEGA64",
+                    "MI100"]
 BLOCK = (32, 4)
 
 

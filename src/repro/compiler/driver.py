@@ -86,6 +86,10 @@ def compile_kernel(
         )
     desc = kernel if isinstance(kernel, KernelDescription) else trace_kernel(kernel)
 
+    # The device's warp width shapes warp-grained codegen and the launch
+    # decomposition; absent a device we keep the NVIDIA default.
+    warp_size = device.warp_size if device is not None else 32
+
     effective = variant
     geometry: Optional[RegionGeometry] = None
     if variant in (Variant.ISP, Variant.ISP_WARP):
@@ -119,6 +123,7 @@ def compile_kernel(
             desc, block,
             warp_grained=effective is Variant.ISP_WARP,
             sign_filter=sign_filter,
+            warp_size=warp_size,
         )
         geometry = func.metadata["geometry"]
 
@@ -127,7 +132,8 @@ def compile_kernel(
     verify(func)
 
     regs = estimate_registers(func, device)
-    cfg = LaunchConfig.for_image(desc.width, desc.height, block)
+    cfg = LaunchConfig.for_image(desc.width, desc.height, block,
+                                 warp_size=warp_size)
     return CompiledKernel(
         desc=desc,
         func=func,

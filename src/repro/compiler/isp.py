@@ -215,20 +215,22 @@ def generate_texture(
 
 
 def _warp_bounds(
-    geom: RegionGeometry, block: tuple[int, int]
+    geom: RegionGeometry, block: tuple[int, int], warp_size: int = 32
 ) -> tuple[int, int, int]:
     """(warps_per_row, W_L, W_R) for warp-grained dispatch.
 
     ``W_L`` is the largest warp-x index (within a block row) that still needs
     left checks in a leftmost block; ``W_R`` the smallest warp-x index that
     needs right checks in a rightmost block (paper Listing 5 notation).
+    ``warp_size`` is the device's warp/wavefront width — the strip the
+    dispatch reasons in is exactly one warp of x-positions.
     """
     tx, _ = block
-    warps_per_row = tx // 32
-    w_l = math.ceil(geom.hx / 32) - 1
+    warps_per_row = tx // warp_size
+    w_l = math.ceil(geom.hx / warp_size) - 1
     # Right side: lanes with x-position >= tx - hx within the block need
-    # right checks; their warp index is (tx - hx) // 32 and larger.
-    w_r = (tx - geom.hx) // 32
+    # right checks; their warp index is (tx - hx) // warp_size and larger.
+    w_r = (tx - geom.hx) // warp_size
     return warps_per_row, w_l, w_r
 
 
@@ -238,9 +240,19 @@ def generate_isp(
     *,
     warp_grained: bool = False,
     sign_filter: bool = False,
+    warp_size: int = 32,
 ) -> KernelFunction:
     """Fat kernel with block-grained (Listing 3) or warp-grained (Listing 5)
-    region dispatch."""
+    region dispatch.
+
+    ``warp_size`` sets the warp-grained strip width (the device's
+    warp/wavefront width); block-grained dispatch is unaffected by it.
+    """
+    if warp_size <= 0 or warp_size & (warp_size - 1):
+        raise CompileError(
+            f"{desc.name}: warp_size must be a positive power of two, "
+            f"got {warp_size}"
+        )
     hx, hy = desc.extent
     geom = RegionGeometry.compute(desc.width, desc.height, hx, hy, block)
     if geom.degenerate:
@@ -262,8 +274,8 @@ def generate_isp(
     # paper's window/block combinations).
     use_warp = (
         warp_grained
-        and tx % 32 == 0
-        and tx > 32
+        and tx % warp_size == 0
+        and tx > warp_size
         and hx > 0
         and desc.width % tx == 0
         and geom.bh_l <= 1
@@ -293,9 +305,12 @@ def generate_isp(
         warp_x: Register | None = None
         if use_warp:
             tid_x = b.special(SpecialReg.TID_X)
-            warp_x = b.shr(tid_x, 5)
+            # tid.x >> log2(warp_size): Listing 5's `tid.x >> 5` generalized
+            # to the device's warp width (6 on wave64 parts).
+            warp_x = b.shr(tid_x, warp_size.bit_length() - 1)
         _emit_switch_chain(b, geom, region_labels, set(feasible), ctaid_x,
-                           ctaid_y, warp_x if use_warp else None, block)
+                           ctaid_y, warp_x if use_warp else None, block,
+                           warp_size)
 
     for region in emit_regions:
         b.new_block(region_labels[region])
@@ -315,6 +330,7 @@ def generate_isp(
         grid=geom.grid,
         geometry=geom,
         warp_grained_effective=use_warp,
+        warp_size=warp_size,
     )
     return func
 
@@ -340,6 +356,7 @@ def _emit_switch_chain(
     ctaid_y: Register,
     warp_x: Register | None,
     block: tuple[int, int],
+    warp_size: int = 32,
 ) -> None:
     """The Listing 3 / Listing 5 dispatch chain over feasible regions.
 
@@ -358,7 +375,7 @@ def _emit_switch_chain(
         yield Region.R, [(ctaid_x, CmpOp.GE, geom.bh_r)]
         yield Region.L, [(ctaid_x, CmpOp.LT, geom.bh_l)]
 
-    warps_per_row, w_l, w_r = _warp_bounds(geom, block)
+    warps_per_row, w_l, w_r = _warp_bounds(geom, block, warp_size)
     #: warp-refined targets: inner warps of these regions re-route to cheaper
     #: regions, exactly as paper Listing 5 (TL->T, TR->T, BL->B, BR->B,
     #: L->Body, R->Body).

@@ -3,22 +3,40 @@
 This package stands in for the paper's GTX680/RTX2080 testbed. See DESIGN.md
 ("Substitutions") for the fidelity argument: the simulator models exactly the
 mechanisms the paper's analysis depends on — dynamic instruction counts per
-region, register-limited occupancy, and wave scheduling.
+region, register-limited occupancy, and wave scheduling. A device zoo
+(``DEVICES``) extends the paper's pair with Pascal/Ampere NVIDIA parts and
+wave64 AMD-like specs; the warp width is a ``DeviceSpec`` field threaded
+through the whole stack.
 """
 
 from .cost import CostTable, cost_table_for
-from .device import DEVICES, GTX680, RTX2080, WARP_SIZE, DeviceSpec, get_device
+from .device import (
+    DEVICES,
+    GTX680,
+    GTX1080,
+    MI100,
+    RTX2080,
+    RTX3080,
+    VEGA64,
+    DeviceSpec,
+    get_device,
+)
 from .launch import LaunchConfig, execute_block, launch
 from .memory import GlobalMemory, MemoryError_, transactions_for
 from .occupancy import OccupancyResult, compute_occupancy, registers_per_block
-from .profiler import BlockProfile, Profiler
+from .profiler import EVENT_NAMES, BlockProfile, Profiler
 from .simt import SimtError, WarpContext, WarpExecutor
 from .timing import LAUNCH_OVERHEAD_US, TimingEstimate, estimate_time
 
 __all__ = [
     "DEVICES",
+    "EVENT_NAMES",
     "GTX680",
+    "GTX1080",
+    "MI100",
     "RTX2080",
+    "RTX3080",
+    "VEGA64",
     "WARP_SIZE",
     "LAUNCH_OVERHEAD_US",
     "BlockProfile",
@@ -42,3 +60,13 @@ __all__ = [
     "registers_per_block",
     "transactions_for",
 ]
+
+
+def __getattr__(name: str):
+    if name == "WARP_SIZE":
+        # Deprecated alias — kept so `from repro.gpu import WARP_SIZE` still
+        # works. The device module's shim owns the DeprecationWarning.
+        from . import device
+
+        return device.WARP_SIZE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -103,10 +103,36 @@ def category_of(instr: Instruction) -> str:
 
 _KEPLER = CostTable(imul=1.0, idiv=14.0, sfu=6.0, mem_issue=2.0,
                     mem_transaction=4.0, branch=2.5, divergence_penalty=5.0)
+# Pascal keeps Kepler's SFU ratio but a faster memory path and cheaper
+# divide expansion (dedicated INT path arrived with Volta; GP10x sits
+# between the two evaluated parts on every rate).
+_PASCAL = CostTable(imul=1.0, idiv=12.0, sfu=5.0, mem_issue=1.5,
+                    mem_transaction=3.5, branch=2.0, divergence_penalty=4.0)
 _TURING = CostTable(imul=1.0, idiv=10.0, sfu=4.0, mem_issue=1.0,
                     mem_transaction=3.0, branch=2.0, divergence_penalty=4.0)
+# Ampere: Turing-like issue rates with a wider L2/DRAM path, so the
+# per-transaction charge drops; divergence cost matches Turing's
+# independent-thread-scheduling reconvergence.
+_AMPERE = CostTable(imul=1.0, idiv=10.0, sfu=4.0, mem_issue=1.0,
+                    mem_transaction=2.5, branch=2.0, divergence_penalty=4.0)
+# GCN5 (wave64): scalar/vector split makes branches cheap to issue but a
+# diverged 64-lane wave serializes twice the work, and VALU transcendentals
+# run quarter-rate over 4 SIMD16 passes.
+_GCN = CostTable(imul=1.5, idiv=16.0, sfu=6.0, mem_issue=2.0,
+                 mem_transaction=4.0, branch=1.5, divergence_penalty=8.0)
+# CDNA keeps GCN's wave64 execution model on an HBM2 part: same divergence
+# economics, markedly cheaper memory transactions.
+_CDNA = CostTable(imul=1.0, idiv=12.0, sfu=5.0, mem_issue=1.5,
+                  mem_transaction=2.5, branch=1.5, divergence_penalty=8.0)
 
-_BY_ARCH = {"Kepler": _KEPLER, "Turing": _TURING}
+_BY_ARCH = {
+    "Kepler": _KEPLER,
+    "Pascal": _PASCAL,
+    "Turing": _TURING,
+    "Ampere": _AMPERE,
+    "GCN5": _GCN,
+    "CDNA": _CDNA,
+}
 
 
 def cost_table_for(device: DeviceSpec) -> CostTable:

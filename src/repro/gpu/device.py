@@ -6,13 +6,23 @@ fields below are the public numbers from the CUDA programming guide's
 "Compute Capabilities" tables — exactly the inputs the CUDA occupancy
 calculator uses, plus a few scheduling parameters consumed by the timing model
 (:mod:`repro.gpu.timing`).
+
+Beyond the paper's pair, the zoo carries a Pascal- and an Ampere-class NVIDIA
+part and two wave64 AMD-like parts (GCN5 and CDNA generations). Lappi et al.
+(arXiv:2406.08923) show border-handling and autotuning tradeoffs flip between
+vendors; the ``warp_size`` field is what lets the whole stack — occupancy,
+cost/timing, the SIMT interpreter, and warp-grained ISP codegen — follow the
+device instead of a baked-in 32.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
-WARP_SIZE = 32
+#: Deprecated module constant; kept only for old imports. New code must use
+#: ``DeviceSpec.warp_size`` — see the module ``__getattr__`` shim below.
+_DEFAULT_WARP_SIZE = 32
 
 
 @dataclasses.dataclass(frozen=True)
@@ -24,9 +34,9 @@ class DeviceSpec:
     name / arch / compute_capability:
         Identification.
     sm_count:
-        Number of streaming multiprocessors.
+        Number of streaming multiprocessors (compute units on AMD).
     max_warps_per_sm / max_blocks_per_sm / max_threads_per_block:
-        Hardware scheduler limits.
+        Hardware scheduler limits ("warp" reads "wavefront" on AMD).
     registers_per_sm:
         Size of the SM register file (32-bit registers).
     max_registers_per_thread:
@@ -53,6 +63,11 @@ class DeviceSpec:
         Peak global-memory bandwidth in GB/s; used to price the memory copy
         of the padding baseline (paper Section I: padding requires "additional
         memory copy, which is costly, particularly for ... GPUs").
+    warp_size:
+        SIMT execution width in lanes: 32 on every NVIDIA generation
+        modelled here, 64 on the AMD GCN/CDNA wavefront parts. Threads per
+        warp, strip width of warp-grained ISP, and the coalescing window all
+        scale with it.
     """
 
     name: str
@@ -76,10 +91,18 @@ class DeviceSpec:
     shared_mem_per_sm: int = 49152
     #: shared-memory allocation granularity (bytes)
     shared_alloc_unit: int = 256
+    #: SIMT width in lanes (32 = NVIDIA warp, 64 = AMD wavefront)
+    warp_size: int = 32
+
+    def __post_init__(self):
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError(
+                f"warp_size must be a positive power of two, got {self.warp_size}"
+            )
 
     @property
     def max_threads_per_sm(self) -> int:
-        return self.max_warps_per_sm * WARP_SIZE
+        return self.max_warps_per_sm * self.warp_size
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name} ({self.arch}, CC {self.compute_capability[0]}.{self.compute_capability[1]})"
@@ -105,6 +128,30 @@ GTX680 = DeviceSpec(
     mem_bandwidth_gbs=192.2,
     shared_mem_per_sm=49152,
     shared_alloc_unit=256,
+    warp_size=32,
+)
+
+#: Nvidia GTX1080 — Pascal GP104, CC 6.1 (one generation past the paper).
+GTX1080 = DeviceSpec(
+    name="GTX1080",
+    arch="Pascal",
+    compute_capability=(6, 1),
+    sm_count=20,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    warp_alloc_granularity=4,
+    clock_mhz=1607.0,
+    issue_width=5.0,
+    latency_hiding_warps=16.0,
+    mem_latency_warps=20.0,
+    mem_bandwidth_gbs=320.3,
+    shared_mem_per_sm=98304,
+    shared_alloc_unit=256,
+    warp_size=32,
 )
 
 #: Nvidia RTX2080 — Turing TU104, CC 7.5 (paper's second evaluation GPU).
@@ -127,10 +174,84 @@ RTX2080 = DeviceSpec(
     mem_bandwidth_gbs=448.0,
     shared_mem_per_sm=65536,
     shared_alloc_unit=256,
+    warp_size=32,
 )
 
-#: Registry used by the benchmark harness.
-DEVICES: dict[str, DeviceSpec] = {d.name: d for d in (GTX680, RTX2080)}
+#: Nvidia RTX3080 — Ampere GA102, CC 8.6.
+RTX3080 = DeviceSpec(
+    name="RTX3080",
+    arch="Ampere",
+    compute_capability=(8, 6),
+    sm_count=68,
+    max_warps_per_sm=48,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    warp_alloc_granularity=4,
+    clock_mhz=1710.0,
+    issue_width=4.0,
+    latency_hiding_warps=8.0,
+    mem_latency_warps=12.0,
+    mem_bandwidth_gbs=760.3,
+    shared_mem_per_sm=102400,
+    shared_alloc_unit=128,
+    warp_size=32,
+)
+
+#: AMD Vega 64 — GCN5, wave64. ``compute_capability`` carries the GFX ISA
+#: level in the NVIDIA-shaped field (gfx9.0). A CU holds 4 SIMD16 units,
+#: each with 10 wavefront slots → 40 resident waves of 64 lanes per CU.
+VEGA64 = DeviceSpec(
+    name="VEGA64",
+    arch="GCN5",
+    compute_capability=(9, 0),
+    sm_count=64,
+    max_warps_per_sm=40,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    warp_alloc_granularity=1,
+    clock_mhz=1546.0,
+    issue_width=4.0,
+    latency_hiding_warps=16.0,
+    mem_latency_warps=24.0,
+    mem_bandwidth_gbs=483.8,
+    shared_mem_per_sm=65536,
+    shared_alloc_unit=512,
+    warp_size=64,
+)
+
+#: AMD Instinct MI100 — CDNA, wave64 (gfx9.08).
+MI100 = DeviceSpec(
+    name="MI100",
+    arch="CDNA",
+    compute_capability=(9, 8),
+    sm_count=120,
+    max_warps_per_sm=40,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_alloc_unit=256,
+    warp_alloc_granularity=1,
+    clock_mhz=1502.0,
+    issue_width=4.0,
+    latency_hiding_warps=12.0,
+    mem_latency_warps=20.0,
+    mem_bandwidth_gbs=1228.8,
+    shared_mem_per_sm=65536,
+    shared_alloc_unit=512,
+    warp_size=64,
+)
+
+#: Registry used by the benchmark harness and the cross-device matrix.
+DEVICES: dict[str, DeviceSpec] = {
+    d.name: d for d in (GTX680, GTX1080, RTX2080, RTX3080, VEGA64, MI100)
+}
 
 
 def get_device(name: str) -> DeviceSpec:
@@ -140,3 +261,15 @@ def get_device(name: str) -> DeviceSpec:
         raise KeyError(
             f"unknown device {name!r}; available: {sorted(DEVICES)}"
         ) from None
+
+
+def __getattr__(name: str):
+    if name == "WARP_SIZE":
+        warnings.warn(
+            "repro.gpu.device.WARP_SIZE is deprecated: warp width is a "
+            "DeviceSpec field now; use device.warp_size",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEFAULT_WARP_SIZE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,9 +2,11 @@
 
 Mirrors the CUDA execution model pieces the paper's analysis relies on: the
 image is divided into threadblocks of a user-defined size (paper Section
-III-C), blocks are identified by ``blockIdx`` and decompose into warps of 32
-threads linearized x-major (so a 32x4 block holds 4 warps of one row each —
-the layout warp-grained ISP exploits).
+III-C), blocks are identified by ``blockIdx`` and decompose into warps of
+``warp_size`` threads linearized x-major (so a 32x4 block holds 4 warps of
+one row each on a warp32 device — the layout warp-grained ISP exploits).
+The warp width comes from the launch config, which takes it from the active
+:class:`~repro.gpu.device.DeviceSpec` (32 NVIDIA, 64 AMD wavefronts).
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from ..ir.function import KernelFunction
 from ..ir.verifier import verify
 from .memory import GlobalMemory
 from .profiler import Profiler
-from .simt import WARP_SIZE, SimtAbort, WarpContext, WarpExecutor
+from .simt import SimtAbort, WarpContext, WarpExecutor
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,12 +32,18 @@ class LaunchConfig:
 
     grid: tuple[int, int]  # blocks in (x, y)
     block: tuple[int, int]  # threads per block in (x, y)
+    #: SIMT width the block decomposes into — the device's warp/wavefront size
+    warp_size: int = 32
 
     def __post_init__(self):
         gx, gy = self.grid
         bx, by = self.block
         if min(gx, gy, bx, by) <= 0:
             raise ValueError("grid/block dimensions must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError(
+                f"warp_size must be a positive power of two, got {self.warp_size}"
+            )
 
     @property
     def threads_per_block(self) -> int:
@@ -43,7 +51,7 @@ class LaunchConfig:
 
     @property
     def warps_per_block(self) -> int:
-        return math.ceil(self.threads_per_block / WARP_SIZE)
+        return math.ceil(self.threads_per_block / self.warp_size)
 
     @property
     def total_blocks(self) -> int:
@@ -51,12 +59,13 @@ class LaunchConfig:
 
     @staticmethod
     def for_image(
-        width: int, height: int, block: tuple[int, int]
+        width: int, height: int, block: tuple[int, int], warp_size: int = 32
     ) -> "LaunchConfig":
         """Grid that covers a width x height iteration space."""
         bx, by = block
         return LaunchConfig(
-            grid=(math.ceil(width / bx), math.ceil(height / by)), block=block
+            grid=(math.ceil(width / bx), math.ceil(height / by)), block=block,
+            warp_size=warp_size,
         )
 
 
@@ -65,10 +74,11 @@ def _warp_contexts(cfg: LaunchConfig, bx_idx: int, by_idx: int) -> Iterable[Warp
     bx, by = cfg.block
     nthreads = bx * by
     gx, gy = cfg.grid
-    linear = np.arange(WARP_SIZE, dtype=np.int64)
-    n_warps = math.ceil(nthreads / WARP_SIZE)
+    width = cfg.warp_size
+    linear = np.arange(width, dtype=np.int64)
+    n_warps = math.ceil(nthreads / width)
     for w in range(n_warps):
-        lin = w * WARP_SIZE + linear
+        lin = w * width + linear
         lane_mask = lin < nthreads
         lin_clipped = np.minimum(lin, nthreads - 1)
         yield WarpContext(
@@ -119,7 +129,7 @@ def execute_block(
     contexts = list(_warp_contexts(cfg, *block_idx))
     executors = [
         WarpExecutor(func, memory, params, profiler, ipdoms, shared=shared,
-                     abort=abort)
+                     abort=abort, warp_size=cfg.warp_size)
         for _ in contexts
     ]
     if shared is None:

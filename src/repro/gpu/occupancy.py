@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import math
 
-from .device import WARP_SIZE, DeviceSpec
+from .device import DeviceSpec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,10 +48,10 @@ def registers_per_block(
     ``register_alloc_unit``; the number of warps charged is rounded up to
     ``warp_alloc_granularity``.
     """
-    warps = math.ceil(block_threads / WARP_SIZE)
+    warps = math.ceil(block_threads / device.warp_size)
     charged_warps = _round_up(warps, device.warp_alloc_granularity)
     per_warp = _round_up(
-        max(regs_per_thread, 1) * WARP_SIZE, device.register_alloc_unit
+        max(regs_per_thread, 1) * device.warp_size, device.register_alloc_unit
     )
     return charged_warps * per_warp
 
@@ -77,7 +77,7 @@ def compute_occupancy(
         )
     regs_per_thread = min(regs_per_thread, device.max_registers_per_thread)
 
-    warps_per_block = math.ceil(block_threads / WARP_SIZE)
+    warps_per_block = math.ceil(block_threads / device.warp_size)
 
     limit_blocks = device.max_blocks_per_sm
     limit_warps = device.max_warps_per_sm // warps_per_block

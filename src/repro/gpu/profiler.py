@@ -7,6 +7,10 @@ instruction and aggregates
 * counts by ISP region tag and by accounting role (check/switch/kernel),
 * per-block totals (block classes feed representative-block scaling),
 * memory transactions (coalescing) and divergence events,
+* architectural event counters in the style of a simulated machine's
+  event-counter file: branch divergences, memory-transaction replays,
+  coalesced vs scattered accesses, and watchdog stalls — kept globally,
+  per block, and per ISP region (see ``docs/devices.md``),
 * cost-weighted issue cycles when a :class:`~repro.gpu.cost.CostTable` is
   attached.
 """
@@ -19,6 +23,16 @@ from typing import Optional
 
 from ..ir.instructions import Instruction, Opcode
 from .cost import CostTable, category_of
+
+#: Architectural event names, in a stable reporting order. Every consumer
+#: (trace spans, Prometheus, the device regression matrix) uses these keys.
+EVENT_NAMES = (
+    "branch_divergence",   # a warp's branch split its active mask
+    "mem_replay",          # extra transactions beyond the first per access
+    "coalesced_access",    # global-memory access serviced by 1 transaction
+    "scattered_access",    # global-memory access needing >1 transaction
+    "watchdog_stall",      # warp paused to poll the host abort watchdog
+)
 
 
 @dataclasses.dataclass
@@ -44,6 +58,8 @@ class BlockProfile:
     #: them into whole-grid region profiles via class block counts, Eq. 8)
     by_region: Counter = dataclasses.field(default_factory=Counter)
     by_role: Counter = dataclasses.field(default_factory=Counter)
+    #: architectural events of this block (keys from :data:`EVENT_NAMES`)
+    events: Counter = dataclasses.field(default_factory=Counter)
 
     def cycles_on(self, table: CostTable) -> float:
         """Issue cycles of this block under a specific device cost table."""
@@ -73,6 +89,9 @@ class Profiler:
         self.by_keyword: Counter = Counter()
         self.by_region: dict[str, Counter] = {}
         self.by_role: dict[str, Counter] = {}
+        #: architectural events, globally and per ISP region tag
+        self.events: Counter = Counter()
+        self.events_by_region: dict[str, Counter] = {}
         self.block_profiles: list[BlockProfile] = []
         self._current: Optional[BlockProfile] = None
 
@@ -113,6 +132,11 @@ class Profiler:
             self.issue_cycles += cycles
         if transactions:
             self.mem_transactions += transactions
+            if transactions == 1:
+                self._event("coalesced_access", region)
+            else:
+                self._event("scattered_access", region)
+                self._event("mem_replay", region, transactions - 1)
 
         blk = self._current
         if blk is not None:
@@ -125,14 +149,27 @@ class Profiler:
             blk.issue_cycles += cycles
             blk.mem_transactions += transactions
 
-    def on_divergence(self) -> None:
+    def _event(self, name: str, region: Optional[str] = None, n: int = 1) -> None:
+        self.events[name] += n
+        if region is not None:
+            self.events_by_region.setdefault(region, Counter())[name] += n
+        if self._current is not None:
+            self._current.events[name] += n
+
+    def on_divergence(self, instr: Optional[Instruction] = None) -> None:
         self.divergent_branches += 1
+        self._event("branch_divergence",
+                    instr.region if instr is not None else None)
         if self._current is not None:
             self._current.divergences += 1
         if self.cost_table is not None:
             self.issue_cycles += self.cost_table.divergence_penalty
             if self._current is not None:
                 self._current.issue_cycles += self.cost_table.divergence_penalty
+
+    def on_watchdog_poll(self) -> None:
+        """The interpreter paused a warp to poll the host abort watchdog."""
+        self._event("watchdog_stall")
 
     # ---------------------------------------------------------------- queries
 
@@ -152,3 +189,7 @@ class Profiler:
 
     def region_totals(self) -> dict[str, int]:
         return {r: sum(c.values()) for r, c in self.by_region.items()}
+
+    def event_totals(self) -> dict[str, int]:
+        """All architectural event counters, zero-filled in stable order."""
+        return {name: int(self.events.get(name, 0)) for name in EVENT_NAMES}

@@ -3,16 +3,17 @@
 Executes virtual-ISA kernels the way an Nvidia SM does at the model level the
 paper reasons about:
 
-* a warp is 32 lanes executing in lock step under an active mask,
+* a warp is ``warp_size`` lanes (32 on NVIDIA parts, 64 on AMD wavefront
+  devices) executing in lock step under an active mask,
 * on a divergent branch, both paths execute serially with complementary
   masks, reconverging at the *immediate post-dominator* of the branch block
   (the classic stack-based reconvergence model),
 * loops (the Repeat border pattern's ``while`` re-indexing) iterate until all
   active lanes exit.
 
-Lane values are NumPy vectors of length 32, so arithmetic is bit-accurate
-(int32 wraparound, float32 rounding) while remaining fast enough to simulate
-full threadblocks in tests.
+Lane values are NumPy vectors of length ``warp_size``, so arithmetic is
+bit-accurate (int32 wraparound, float32 rounding) while remaining fast enough
+to simulate full threadblocks in tests.
 """
 
 from __future__ import annotations
@@ -37,7 +38,10 @@ from ..ir.types import DataType
 from .memory import GlobalMemory, transactions_for
 from .profiler import Profiler
 
-WARP_SIZE = 32
+#: Deprecated: warp width is a per-device property now (see the module
+#: ``__getattr__`` shim at the bottom). Internal code sizes lane vectors
+#: from the launch's :class:`WarpContext` / the executor's ``warp_size``.
+_DEFAULT_WARP_SIZE = 32
 
 #: Safety valve against runaway loops in broken kernels.
 MAX_WARP_INSTRUCTIONS = 20_000_000
@@ -75,6 +79,11 @@ class WarpContext:
     warp_id: int
     lane_mask: np.ndarray  # lanes that correspond to real threads
 
+    @property
+    def warp_size(self) -> int:
+        """Lane width of this warp (the device's warp/wavefront size)."""
+        return int(self.lane_mask.size)
+
     def special_value(self, sreg: SpecialReg) -> np.ndarray:
         if sreg is SpecialReg.TID_X:
             return self.tid_x.astype(np.int32)
@@ -90,9 +99,9 @@ class WarpContext:
             SpecialReg.WARPID: self.warp_id,
         }
         if sreg in scalar:
-            return np.full(WARP_SIZE, scalar[sreg], dtype=np.int32)
+            return np.full(self.warp_size, scalar[sreg], dtype=np.int32)
         if sreg is SpecialReg.LANEID:
-            return np.arange(WARP_SIZE, dtype=np.int32)
+            return np.arange(self.warp_size, dtype=np.int32)
         raise SimtError(f"unsupported special register {sreg}")
 
 
@@ -108,6 +117,7 @@ class WarpExecutor:
         ipdoms: Optional[dict[str, Optional[str]]] = None,
         shared: Optional[GlobalMemory] = None,
         abort: Optional["threading.Event"] = None,
+        warp_size: int = _DEFAULT_WARP_SIZE,
     ):
         self.func = func
         self.memory = memory
@@ -115,19 +125,21 @@ class WarpExecutor:
         self.shared = shared
         self.profiler = profiler
         self.abort = abort
+        self.warp_size = warp_size
         self.ipdoms = ipdoms if ipdoms is not None else immediate_postdominators(func)
         self.regs: dict[str, np.ndarray] = {}
         self._executed = 0
         # Lanes that executed EXIT; divergence continuations must not revive
         # them (a lane can exit inside one arm of a branch while the stack
         # still holds the pre-branch mask for the reconvergence point).
-        self._exited = np.zeros(WARP_SIZE, dtype=bool)
+        self._exited = np.zeros(warp_size, dtype=bool)
 
     # ----------------------------------------------------------------- values
 
     def _read(self, operand, mask: np.ndarray) -> np.ndarray:
         if isinstance(operand, Immediate):
-            return np.full(WARP_SIZE, operand.value, dtype=operand.dtype.numpy_dtype)
+            return np.full(self.warp_size, operand.value,
+                           dtype=operand.dtype.numpy_dtype)
         assert isinstance(operand, Register)
         try:
             return self.regs[operand.name]
@@ -142,7 +154,7 @@ class WarpExecutor:
         values = values.astype(dtype, copy=False)
         current = self.regs.get(reg.name)
         if current is None:
-            current = np.zeros(WARP_SIZE, dtype=dtype)
+            current = np.zeros(self.warp_size, dtype=dtype)
             self.regs[reg.name] = current
         current[mask] = values[mask]
 
@@ -218,13 +230,13 @@ class WarpExecutor:
                     "instructions — runaway loop?"
                 )
             # Checked sparsely: Event.is_set() is cheap but not free, and
-            # this is the interpreter's innermost loop.
-            if (
-                self.abort is not None
-                and self._executed % 2048 == 0
-                and self.abort.is_set()
-            ):
-                raise SimtAbort(f"{self.func.name}: execution aborted")
+            # this is the interpreter's innermost loop. Each poll counts as
+            # a watchdog stall event — the warp pauses for the host check.
+            if self.abort is not None and self._executed % 2048 == 0:
+                if self.profiler is not None:
+                    self.profiler.on_watchdog_poll()
+                if self.abort.is_set():
+                    raise SimtAbort(f"{self.func.name}: execution aborted")
             if instr.op is Opcode.BRA:
                 return self._branch(instr, label, mask, reconv, stack)
             if instr.op is Opcode.EXIT:
@@ -261,7 +273,7 @@ class WarpExecutor:
             return instr.target_else
         # Divergence: serialize both paths, reconverging at the ipdom.
         if self.profiler is not None:
-            self.profiler.on_divergence()
+            self.profiler.on_divergence(instr)
         ip = self.ipdoms.get(label)
         if ip is not None and ip != reconv:
             stack.append((ip, 0, mask, reconv))
@@ -283,7 +295,7 @@ class WarpExecutor:
         if op is Opcode.LDPARAM:
             self._count(instr, mask)
             value = self.params[instr.param]
-            vec = np.full(WARP_SIZE, value, dtype=instr.dtype.numpy_dtype)
+            vec = np.full(self.warp_size, value, dtype=instr.dtype.numpy_dtype)
             self._write(instr.dst, vec, mask)
             return
         if op is Opcode.LD:
@@ -460,3 +472,17 @@ def _apply(instr: Instruction, srcs: list[np.ndarray], mask: np.ndarray) -> np.n
         if op is Opcode.COS:
             return np.cos(srcs[0], dtype=np.float32)
     raise SimtError(f"unimplemented opcode {op}")
+
+
+def __getattr__(name: str):
+    if name == "WARP_SIZE":
+        import warnings
+
+        warnings.warn(
+            "repro.gpu.simt.WARP_SIZE is deprecated: warp width follows the "
+            "device now; use DeviceSpec.warp_size / WarpContext.warp_size",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEFAULT_WARP_SIZE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,7 +12,8 @@ Three services on top of the compiler and the GPU simulator:
   block count (paper Eq. 8 made exact). The resulting per-class cycle costs
   feed :func:`repro.gpu.timing.estimate_time`. Because the per-class counts
   are independent of the image size (for non-degenerate geometry), profiles
-  are cached and reused across image sizes and devices.
+  are cached and reused across image sizes and across devices that share a
+  warp width (the cache key carries ``device.warp_size``).
 * :func:`select_variants` — the paper's ``isp+m``: per kernel, ask the
   analytic model (:mod:`repro.model`) whether ISP pays off and pick the
   predicted-faster variant.
@@ -128,6 +129,7 @@ def run_pipeline_simt(
                     variant=ck.effective_variant.value,
                     warp_instructions=prof.warp_instructions,
                     regions=prof.region_totals(),
+                    events=prof.event_totals(),
                 )
         images[desc.output_name] = mem.read_array(
             out_base, (desc.height, desc.width), DataType.F32
@@ -253,7 +255,7 @@ class KernelProfile:
 
 
 def _profile_cache_key(desc: KernelDescription, variant: Variant,
-                       block: tuple[int, int]) -> tuple:
+                       block: tuple[int, int], warp_size: int) -> tuple:
     boundaries = tuple(
         sorted((a.image.name, a.boundary.value) for a in desc.accessors)
     )
@@ -267,6 +269,10 @@ def _profile_cache_key(desc: KernelDescription, variant: Variant,
         n_nodes,
         variant.value,
         block,
+        # Warp width changes both the generated code (warp-grained dispatch)
+        # and the block's warp decomposition, so a warp32 profile must never
+        # be reused for a wave64 device.
+        warp_size,
         needs_bounds_guard(desc.width, desc.height, block),
     )
 
@@ -312,7 +318,8 @@ def profile_kernel(
         )
     classes = fine_block_classes(geom)
 
-    key = _profile_cache_key(desc, ck.effective_variant, block)
+    key = _profile_cache_key(desc, ck.effective_variant, block,
+                             device.warp_size)
     cached = _PROFILE_CACHE.get(key) if use_cache else None
     if cached is not None and all(c.name in cached for c in classes):
         return KernelProfile(compiled=ck, classes=classes, profiles=cached)

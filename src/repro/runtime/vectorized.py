@@ -87,8 +87,9 @@ class _RegionRect:
         return self.x1 <= self.x0 or self.y1 <= self.y0
 
 
-#: Warp width of the simulated GPUs — the x-granularity of the warp-grained
-#: re-routing in paper Listing 5.
+#: Default warp width (NVIDIA) — the x-granularity of the warp-grained
+#: re-routing in paper Listing 5. Callers with a device in hand pass
+#: ``device.warp_size`` instead (64 on the wave64 AMD-like zoo entries).
 WARP_WIDTH = 32
 
 #: Every vectorized code shape this executor can run.
@@ -433,6 +434,7 @@ def run_kernel_vectorized(
     variant: str = "isp",
     tile_rows: Optional[int] = None,
     pad_cache: Optional[dict] = None,
+    warp_width: int = WARP_WIDTH,
 ) -> np.ndarray:
     """Evaluate one kernel over its full iteration space.
 
@@ -451,6 +453,8 @@ def run_kernel_vectorized(
     buffers across calls on the same source arrays (see
     :func:`repro.runtime.make_border.padded_for`); callers that loop over
     taps/stages/requests on one image pay the gather exactly once.
+    ``warp_width`` sets the ``isp_warp`` x-cut granularity — the active
+    device's warp/wavefront size.
     """
     trace_ctx = None
     if _trace_core._current is not None:
@@ -486,7 +490,7 @@ def run_kernel_vectorized(
         elif variant == "isp":
             rects = _pixel_regions(w, h, hx, hy)
         else:
-            rects = _warp_regions(w, h, hx, hy)
+            rects = _warp_regions(w, h, hx, hy, warp=warp_width)
     elif variant == "prepad":
         from .make_border import padded_for
 
@@ -537,6 +541,7 @@ def run_pipeline_vectorized(
     variant: str = "isp",
     tile_rows: Optional[int] = None,
     pad_cache: Optional[dict] = None,
+    warp_width: int = WARP_WIDTH,
 ) -> dict[str, np.ndarray]:
     """Run all pipeline stages; returns every produced image by name.
 
@@ -557,6 +562,6 @@ def run_pipeline_vectorized(
         desc = trace_kernel(kernel)
         images[desc.output_name] = run_kernel_vectorized(
             desc, images, variant=variant, tile_rows=tile_rows,
-            pad_cache=pad_cache,
+            pad_cache=pad_cache, warp_width=warp_width,
         )
     return images

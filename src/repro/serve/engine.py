@@ -61,6 +61,7 @@ from ..faults import core as _faults
 from ..faults.core import FaultError
 from ..trace import core as _trace_core
 from ..gpu.device import DeviceSpec, GTX680
+from ..gpu.profiler import EVENT_NAMES
 from ..sanitize.static import SanitizeError
 from .autotune import AutoTuner, TunerKey, pipeline_priors, tuner_key
 from .breaker import VariantBreaker
@@ -360,6 +361,14 @@ class ServeEngine:
             "requests served by kernel-level batched execution")
         self._c_cache_hits = m.counter("engine.plan_cache_hits")
         self._c_cache_misses = m.counter("engine.plan_cache_misses")
+        # Architectural event counters of the SIMT simulator, aggregated
+        # across every completed SIMT execution (per-region breakdowns ride
+        # the trace spans; these are the fleet-level Prometheus series).
+        self._c_simt_events = {
+            name: m.counter(f"engine.simt_events_{name}",
+                            f"simulator {name.replace('_', ' ')} events")
+            for name in EVENT_NAMES
+        }
         self._h_queue = m.histogram("engine.queue_seconds", unit="s")
         self._h_build = m.histogram("engine.plan_build_seconds", unit="s")
         self._h_execute = m.histogram("engine.execute_seconds", unit="s")
@@ -612,11 +621,11 @@ class ServeEngine:
                     raise FaultError("serve.engine.execute", act.kind)
         if request.exec_mode == "simt":
             remaining = None if deadline is None else deadline - time.perf_counter()
-            # Sampled requests collect per-kernel profilers; the region
-            # profiles ride back on the Response.
-            collect: Optional[list] = (
-                [] if _trace_core.current_context() is not None else None
-            )
+            # Per-kernel profilers are always collected: their event totals
+            # feed the engine's simulator event counters. Sampled (traced)
+            # requests additionally get region profiles on the Response.
+            sampled = _trace_core.current_context() is not None
+            collect: Optional[list] = []
             try:
                 output = self._execute_simt_with_timeout(
                     plan, request, remaining, collect=collect
@@ -637,6 +646,11 @@ class ServeEngine:
                     response.fallbacks.append("timeout:simt->vectorized")
             if output is not None:
                 if collect:
+                    for _name, _var, prof in collect:
+                        for ev, n in prof.event_totals().items():
+                            if n:
+                                self._c_simt_events[ev].inc(n)
+                if sampled and collect:
                     from ..trace.profile import RegionProfile
 
                     response.region_profiles = [

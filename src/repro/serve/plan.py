@@ -223,6 +223,7 @@ class ExecutionPlan:
                 variant=self.kernel_variants[desc.output_name],
                 tile_rows=tile_rows,
                 pad_cache=pad_cache,
+                warp_width=self.device.warp_size,
             )
         return images[self.output_name]
 
@@ -300,6 +301,7 @@ class ExecutionPlan:
                         variant=self.kernel_variants[desc.output_name],
                         warp_instructions=prof.warp_instructions,
                         regions=prof.region_totals(),
+                        events=prof.event_totals(),
                     )
             if collect is not None:
                 collect.append(

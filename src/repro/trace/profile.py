@@ -37,6 +37,12 @@ class RegionProfile:
     warp_instructions: int
     by_region: dict[str, int]
     by_role: dict[str, int]
+    #: architectural event counters (branch divergence, replays, coalesced
+    #: vs scattered accesses, watchdog stalls) — whole grid and per region
+    events: dict[str, int] = dataclasses.field(default_factory=dict)
+    events_by_region: dict[str, dict[str, int]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def to_dict(self) -> dict:
         """JSON/span-attribute friendly form."""
@@ -46,6 +52,10 @@ class RegionProfile:
             "warp_instructions": self.warp_instructions,
             "by_region": dict(self.by_region),
             "by_role": dict(self.by_role),
+            "events": dict(self.events),
+            "events_by_region": {
+                r: dict(c) for r, c in self.events_by_region.items()
+            },
         }
 
     @classmethod
@@ -60,6 +70,11 @@ class RegionProfile:
                        for r, c in sorted(profiler.by_region.items())},
             by_role={r: sum(c.values())
                      for r, c in sorted(profiler.by_role.items())},
+            events=profiler.event_totals(),
+            events_by_region={
+                r: dict(c)
+                for r, c in sorted(profiler.events_by_region.items())
+            },
         )
 
 
@@ -83,6 +98,7 @@ def profile_regions(
     total = 0
     by_region: dict[str, int] = {}
     by_role: dict[str, int] = {}
+    events: dict[str, int] = {}
     for cls_ in prof.classes:
         bp = prof.profiles[cls_.name]
         total += cls_.count * bp.warp_instructions
@@ -90,12 +106,15 @@ def profile_regions(
             by_region[region] = by_region.get(region, 0) + cls_.count * n
         for role, n in bp.by_role.items():
             by_role[role] = by_role.get(role, 0) + cls_.count * n
+        for name, n in bp.events.items():
+            events[name] = events.get(name, 0) + cls_.count * n
     return RegionProfile(
         kernel=desc.name,
         variant=variant,
         warp_instructions=total,
         by_region=dict(sorted(by_region.items())),
         by_role=dict(sorted(by_role.items())),
+        events=dict(sorted(events.items())),
     )
 
 

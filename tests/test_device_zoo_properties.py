@@ -1,0 +1,124 @@
+"""Property tests over the device zoo (docs/devices.md).
+
+The zoo parameterizes everything the paper's evaluation touches per device:
+warp/wavefront width, occupancy-calculator limits, and the per-architecture
+cost tables. These properties must hold for *every* zoo entry — present and
+future — so they are written against ``DEVICES`` itself plus
+hypothesis-drawn launch shapes, not against any single pinned device:
+
+* occupancy is never zero for a launchable block (the calculator models an
+  unlaunchable kernel as one serialized block, not zero);
+* warp rounding is exact: ``warps_per_block * warp_size`` covers the block,
+  and never over-covers by a full warp;
+* register accounting is allocation-granular and never undercounts the raw
+  register demand;
+* every zoo architecture has a cost table with strictly positive rates;
+* ``DeviceSpec`` rejects non-power-of-two warp widths (the warp-grained
+  dispatch shift ``tid.x >> log2(warp_size)`` requires one).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import DEVICES, DeviceSpec
+from repro.gpu.cost import CostTable, cost_table_for
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.occupancy import compute_occupancy, registers_per_block
+
+ZOO = sorted(DEVICES.values(), key=lambda d: d.name)
+
+devices = st.sampled_from(ZOO)
+#: block shapes the compiler would actually emit: x a power of two (the
+#: vectorized executor and warp dispatch require it), y a small row count.
+block_xs = st.sampled_from([8, 16, 32, 64, 128, 256])
+block_ys = st.integers(min_value=1, max_value=8)
+regs = st.integers(min_value=0, max_value=255)
+shared = st.sampled_from([0, 128, 1024, 4096, 16384, 48 * 1024])
+
+
+class TestZooShape:
+    def test_zoo_covers_both_execution_models(self):
+        # The regression matrix needs >= 4 devices including wave64 parts.
+        assert len(ZOO) >= 4
+        widths = {d.warp_size for d in ZOO}
+        assert 32 in widths and 64 in widths
+        assert sum(1 for d in ZOO if d.warp_size == 64) >= 2
+
+    def test_every_zoo_arch_has_a_cost_table(self):
+        tables = {d.name: cost_table_for(d) for d in ZOO}
+        # Distinct architectures must not silently share the fallback table.
+        archs = {d.arch for d in ZOO}
+        assert len({id(cost_table_for(d)) for d in ZOO}) == len(archs)
+        for name, table in tables.items():
+            for field in dataclasses.fields(CostTable):
+                assert getattr(table, field.name) > 0, (name, field.name)
+
+    def test_warp_size_must_be_power_of_two(self):
+        base = dataclasses.asdict(DEVICES["GTX680"])
+        for bad in (0, -32, 33, 48):
+            base["warp_size"] = bad
+            with pytest.raises(ValueError):
+                DeviceSpec(**base)
+
+    def test_max_threads_follow_warp_width(self):
+        for dev in ZOO:
+            assert dev.max_threads_per_sm == (
+                dev.max_warps_per_sm * dev.warp_size
+            ), dev.name
+
+
+class TestOccupancyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(device=devices, bx=block_xs, by=block_ys, r=regs, s=shared)
+    def test_occupancy_positive_and_bounded(self, device, bx, by, r, s):
+        threads = bx * by
+        if threads > device.max_threads_per_block:
+            return
+        occ = compute_occupancy(device, threads, r, shared_bytes=s)
+        assert occ.active_blocks_per_sm >= 1
+        assert 0.0 < occ.occupancy <= 1.0
+        assert occ.limiter in ("blocks", "warps", "registers", "shared")
+
+    @settings(max_examples=200, deadline=None)
+    @given(device=devices, bx=block_xs, by=block_ys)
+    def test_warp_rounding_exact(self, device, bx, by):
+        threads = bx * by
+        if threads > device.max_threads_per_block:
+            return
+        occ = compute_occupancy(device, threads, 32)
+        covered = occ.warps_per_block * device.warp_size
+        assert covered >= threads
+        # Ceiling division: never a whole spare warp.
+        assert covered - threads < device.warp_size
+
+    @settings(max_examples=200, deadline=None)
+    @given(device=devices, bx=block_xs, by=block_ys, r=regs)
+    def test_register_accounting_never_undercounts(self, device, bx, by, r):
+        threads = bx * by
+        if threads > device.max_threads_per_block:
+            return
+        block_regs = registers_per_block(device, threads, r)
+        assert block_regs >= max(r, 1) * threads
+        assert block_regs % device.register_alloc_unit == 0
+
+
+class TestLaunchWarpDecomposition:
+    @settings(max_examples=100, deadline=None)
+    @given(device=devices, bx=block_xs, by=block_ys)
+    def test_launch_config_warp_count_matches_occupancy(self, device, bx, by):
+        if bx * by > device.max_threads_per_block:
+            return
+        cfg = LaunchConfig.for_image(max(bx, 64) * 4, by * 4, (bx, by),
+                                     warp_size=device.warp_size)
+        occ = compute_occupancy(device, bx * by, 32)
+        assert cfg.warp_size == device.warp_size
+        assert cfg.warps_per_block == occ.warps_per_block
+
+    def test_launch_config_rejects_bad_warp_size(self):
+        with pytest.raises(ValueError):
+            LaunchConfig.for_image(64, 64, (32, 2), warp_size=48)

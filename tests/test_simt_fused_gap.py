@@ -1,0 +1,85 @@
+"""Pinned gap: the SIMT path has no fused kernel — fused plans stage.
+
+``variant="fused"`` is a *host-side* execution strategy (overlapped tiles on
+the vectorized executor). The functional SIMT simulator has no fused code
+shape: when a fused plan is simulated (sanitize, ``execute_simt``), each
+stage compiles as the fully checked single-region NAIVE kernel and runs
+per-kernel — semantically identical, but staged. This module pins that
+fallback explicitly so the gap is a documented decision, not an accident:
+
+* the passing tests freeze today's behaviour (per-stage NAIVE compiles, one
+  profiler per stage, bit-identical output to the staged reference);
+* the ``xfail(strict=True)`` test is the tripwire — the day a compiler-level
+  fused SIMT variant lands, it *fails by passing*, forcing whoever adds it
+  to rewrite these pins in the same commit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import Variant
+from repro.dsl import Boundary
+from repro.filters import PIPELINES
+from repro.gpu import GTX680, VEGA64
+from repro.runtime import run_pipeline_vectorized
+from repro.serve.plan import build_plan
+
+SIZE = 48
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((SIZE, SIZE), dtype=np.float32)
+
+
+def _staged_reference(app: str, image: np.ndarray, pattern: str) -> np.ndarray:
+    pipe = PIPELINES[app](SIZE, SIZE, Boundary(pattern))
+    images = run_pipeline_vectorized(pipe, {pipe.inputs[0].name: image},
+                                     variant="naive")
+    return images[pipe.output.name]
+
+
+class TestFusedPlansStageOnSimt:
+    def test_fused_plan_compiles_simt_stages_as_naive(self):
+        plan = build_plan("night", "mirror", SIZE, SIZE, variant="fused",
+                          block=(16, 4))
+        # Bordered stages carry the fused choice; point operators have no
+        # border handling to fuse away and stay naive.
+        bordered = {d.output_name for d in plan.descs
+                    if d.needs_border_handling}
+        for name, choice in plan.kernel_variants.items():
+            assert choice == ("fused" if name in bordered else "naive")
+        assert bordered
+        compiled = plan._compiled_simt()
+        # One compiled kernel per stage — not one fused megakernel.
+        assert len(compiled) == len(plan.descs) > 1
+        for ck in compiled:
+            assert ck.effective_variant is Variant.NAIVE
+
+    @pytest.mark.parametrize("device", [GTX680, VEGA64],
+                             ids=lambda d: d.name)
+    def test_fused_plan_simt_output_matches_staged(self, image, device):
+        """The fallback must be invisible in the bits, on both warp widths."""
+        plan = build_plan("sobel", "clamp", SIZE, SIZE, variant="fused",
+                          block=(16, 4), device=device)
+        out = plan.execute_simt(image)
+        assert np.array_equal(out, _staged_reference("sobel", image, "clamp"))
+
+    def test_prepad_plan_stages_the_same_way(self):
+        """prepad is the other host-side strategy with no SIMT code shape."""
+        plan = build_plan("gaussian", "repeat", SIZE, SIZE, variant="prepad",
+                          block=(16, 4))
+        for ck in plan._compiled_simt():
+            assert ck.effective_variant is Variant.NAIVE
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason="no compiler-level fused SIMT variant exists; fused plans fall "
+    "back to staged per-kernel NAIVE execution on the simulator — when a "
+    "fused Variant lands, update the pins in this module",
+)
+def test_fused_simt_variant_exists():
+    Variant("fused")  # ValueError today: fused is not a compiler Variant
