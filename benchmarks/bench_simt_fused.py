@@ -1,0 +1,95 @@
+"""Fused SIMT megakernel vs staged NAIVE stages, simulated per zoo device.
+
+The host-executor fusion bench (``bench_pipeline_fusion``) prices wall
+clock; this one prices the *simulated machine*: for each device in the zoo
+the sobel diamond runs once as staged per-stage NAIVE kernels and once as
+the per-block shared-memory megakernel, and the profiler's issue-cycle and
+event totals are compared. The fused shape trades the intermediates' global
+round-trips for shared-memory traffic, so the cells that move are
+``smem_load``/``smem_store`` (zero when staged) and the global-access
+events (shrink when fused); the LDS bank-conflict counter differs between
+warp32 and wave64 parts because the padded stride does.
+
+Headline numbers land in ``BENCH_simt_fused.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu import DEVICES
+from repro.serve.plan import build_plan
+
+APP = "sobel"
+PATTERN = "clamp"
+SIZE = 48
+BLOCK = (16, 4)
+
+
+def _simulate(variant: str, device, img: np.ndarray):
+    plan = build_plan(APP, PATTERN, SIZE, SIZE, variant=variant,
+                      block=BLOCK, device=device)
+    collect: list = []
+    out = plan.execute_simt(img, collect=collect)
+    cycles = sum(prof.issue_cycles for _, _, prof in collect)
+    instrs = sum(prof.warp_instructions for _, _, prof in collect)
+    events: dict = {}
+    for _, _, prof in collect:
+        for name, count in prof.event_totals().items():
+            events[name] = events.get(name, 0) + count
+    return out, len(collect), cycles, instrs, events
+
+
+def test_fused_simt_cycles_per_device(benchmark, report, bench_summary,
+                                      case_rng):
+    img = case_rng.random((SIZE, SIZE), dtype=np.float32)
+
+    def build():
+        rows = []
+        for name, device in DEVICES.items():
+            staged_out, n_staged, staged_cyc, staged_instr, staged_ev = \
+                _simulate("naive", device, img)
+            fused_out, n_fused, fused_cyc, fused_instr, fused_ev = \
+                _simulate("fused", device, img)
+            assert np.array_equal(staged_out, fused_out), name
+            assert n_fused == 1, name   # one megakernel, one profiler
+            assert n_staged > 1, name
+            assert fused_ev["smem_load"] > 0 and fused_ev["smem_store"] > 0
+            assert staged_ev["smem_load"] == staged_ev["smem_store"] == 0
+            rows.append({
+                "device": name,
+                "warp_size": device.warp_size,
+                "staged_kernels": n_staged,
+                "staged_cycles": staged_cyc,
+                "fused_cycles": fused_cyc,
+                "cycle_ratio": staged_cyc / fused_cyc,
+                "staged_instructions": staged_instr,
+                "fused_instructions": fused_instr,
+                "fused_smem_load": fused_ev["smem_load"],
+                "fused_smem_store": fused_ev["smem_store"],
+                "lds_bank_conflicts": fused_ev["lds_bank_conflict"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [f"fused SIMT vs staged NAIVE, {APP}/{PATTERN}/{SIZE}² "
+             f"block {BLOCK[0]}x{BLOCK[1]} (simulated cycles)"]
+    for row in rows:
+        lines.append(
+            f"  {row['device']:8s} wave{row['warp_size']}: "
+            f"staged {row['staged_cycles']:10.0f} cy "
+            f"({row['staged_kernels']} kernels), "
+            f"fused {row['fused_cycles']:10.0f} cy "
+            f"-> {row['cycle_ratio']:.2f}x, "
+            f"smem ld/st {row['fused_smem_load']}/{row['fused_smem_store']}, "
+            f"LDS conflicts {row['lds_bank_conflicts']}"
+        )
+    text = "\n".join(lines)
+    report("simt_fused", text, data={"rows": rows})
+    bench_summary("simt_fused", {"rows": rows})
+
+    # Warp width changes the conflict picture: a 32-element row collides on
+    # 32 banks, not on 64, so warp32 and wave64 parts must disagree.
+    by_warp = {row["warp_size"]: row["lds_bank_conflicts"] for row in rows}
+    assert by_warp[32] != by_warp[64], by_warp

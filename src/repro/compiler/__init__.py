@@ -12,6 +12,14 @@ from .codegen_cuda import emit_cuda
 from .driver import DEFAULT_BLOCK, CompiledKernel, compile_kernel
 from .frontend import FrontendError, KernelDescription, canonical_expr, trace_kernel
 from .fusion import FusedPlan, cumulative_halos, fuse_descs
+from .fusion_simt import (
+    CompiledFusedKernel,
+    FusedSmemLayout,
+    compile_fused_simt,
+    fused_smem_bytes,
+    generate_fused_simt,
+    plan_fused_smem,
+)
 from .isp import CompileError, Variant, generate_isp, generate_naive, generate_texture
 from .passes import (
     eliminate_dead_code,
@@ -28,26 +36,32 @@ __all__ = [
     "REGION_CHECKS",
     "SWITCH_ORDER",
     "CompileError",
+    "CompiledFusedKernel",
     "CompiledKernel",
     "FrontendError",
     "FusedPlan",
+    "FusedSmemLayout",
     "KernelDescription",
     "Region",
     "RegionGeometry",
     "RegisterEstimate",
     "Variant",
     "canonical_expr",
+    "compile_fused_simt",
     "compile_kernel",
     "cumulative_halos",
     "fuse_descs",
+    "fused_smem_bytes",
     "emit_cuda",
     "eliminate_dead_code",
     "estimate_registers",
     "fold_constants",
+    "generate_fused_simt",
     "generate_isp",
     "generate_naive",
     "generate_shared",
     "generate_texture",
+    "plan_fused_smem",
     "shared_tile_bytes",
     "instructions_per_side",
     "max_live_registers",

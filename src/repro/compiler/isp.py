@@ -54,6 +54,10 @@ class Variant(enum.Enum):
     SHARED = "shared"
     #: tile staging whose staging loop is ISP-specialized per region
     SHARED_ISP = "shared_isp"
+    #: fused-pipeline megakernel: per-block shared-memory halo staging,
+    #: stage-by-stage on-chip compute, ISP check splits on the staging phase
+    #: only (see :mod:`repro.compiler.fusion_simt`)
+    FUSED = "fused"
 
 
 class CompileError(Exception):

@@ -40,10 +40,18 @@ from .regions import REGION_CHECKS, Region, RegionGeometry
 
 
 def shared_tile_bytes(desc: KernelDescription, block: tuple[int, int]) -> int:
-    """Per-block shared-memory footprint of the staged tile."""
+    """Per-block shared-memory footprint of the staged tile.
+
+    Derives the element size from :data:`repro.runtime.make_border
+    .ELEMENT_BYTES` — the single source of truth for buffer pricing — so the
+    footprint, the occupancy charge and the static prover's ``smem_base``
+    extent always agree (they all read this value via ``metadata``).
+    """
+    from ..runtime.make_border import ELEMENT_BYTES
+
     hx, hy = desc.extent
     tx, ty = block
-    return (tx + 2 * hx) * (ty + 2 * hy) * 4
+    return (tx + 2 * hx) * (ty + 2 * hy) * ELEMENT_BYTES
 
 
 def _staged_accessor(desc: KernelDescription):

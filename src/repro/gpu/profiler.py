@@ -32,6 +32,9 @@ EVENT_NAMES = (
     "coalesced_access",    # global-memory access serviced by 1 transaction
     "scattered_access",    # global-memory access needing >1 transaction
     "watchdog_stall",      # warp paused to poll the host abort watchdog
+    "smem_load",           # warp-level shared-memory load (lds)
+    "smem_store",          # warp-level shared-memory store (sts)
+    "lds_bank_conflict",   # shared-access replays: distinct words in one bank
 )
 
 
@@ -155,6 +158,22 @@ class Profiler:
             self.events_by_region.setdefault(region, Counter())[name] += n
         if self._current is not None:
             self._current.events[name] += n
+
+    def on_shared_access(
+        self, instr: Instruction, *, store: bool, conflicts: int = 0
+    ) -> None:
+        """Record one warp-level shared-memory access.
+
+        ``conflicts`` is the replay count of the bank model: with
+        ``warp_size`` banks of one 4-byte word, a warp access replays once
+        per *distinct word* beyond the first that lands in the most-loaded
+        bank (lanes hitting the same word broadcast for free). Purely
+        observational — the cost table prices the instruction itself.
+        """
+        region = instr.region or "(shared)"
+        self._event("smem_store" if store else "smem_load", region)
+        if conflicts > 0:
+            self._event("lds_bank_conflict", region, conflicts)
 
     def on_divergence(self, instr: Optional[Instruction] = None) -> None:
         self.divergent_branches += 1

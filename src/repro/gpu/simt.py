@@ -285,6 +285,19 @@ class WarpExecutor:
         if self.profiler is not None:
             self.profiler.on_instruction(instr, int(mask.sum()), transactions)
 
+    def _bank_conflicts(self, addrs: np.ndarray, mask: np.ndarray) -> int:
+        """Replay count of one warp shared access under the stride model:
+        ``warp_size`` banks of one 4-byte word; replays = distinct words
+        beyond the first in the most-loaded bank (same-word lanes
+        broadcast)."""
+        words = np.unique(addrs[mask] >> 2)
+        if words.size <= 1:
+            return 0
+        per_bank = np.bincount(
+            (words % self.warp_size).astype(np.int64), minlength=self.warp_size
+        )
+        return int(per_bank.max()) - 1
+
     def _execute(self, instr: Instruction, mask: np.ndarray, ctx: WarpContext) -> None:
         op = instr.op
 
@@ -324,6 +337,11 @@ class WarpExecutor:
                 )
             addrs = self._read(instr.srcs[0], mask).astype(np.int64)
             self._count(instr, mask)
+            if self.profiler is not None:
+                self.profiler.on_shared_access(
+                    instr, store=op is Opcode.STS,
+                    conflicts=self._bank_conflicts(addrs, mask),
+                )
             if op is Opcode.LDS:
                 vals = self.shared.gather(addrs, mask, instr.dtype)
                 self._write(instr.dst, vals, mask)

@@ -230,6 +230,14 @@ class FusedPrediction:
     amplification: dict[str, float]
     #: DRAM round-trip cost of every staged intermediate (us)
     traffic_us: float
+    #: fused SIMT megakernel scratchpad footprint (0 = no SIMT fused shape,
+    #: e.g. degenerate geometry or over-budget smem)
+    smem_bytes_per_block: int = 0
+    #: occupancy after charging the fused scratchpad per block
+    occupancy_fused: float = 1.0
+    #: on-chip staging traffic of the fused megakernel (us) — what replaces
+    #: the DRAM round-trips of ``traffic_us``
+    smem_traffic_us: float = 0.0
 
     @property
     def staged_us(self) -> float:
@@ -252,6 +260,32 @@ class FusedPrediction:
     def use_fused(self) -> bool:
         return self.gain > 1.0
 
+    @property
+    def simt_fused_us(self) -> float:
+        """Megakernel estimate: halo-amplified compute stretched by the
+        scratchpad's occupancy charge, plus the on-chip staging traffic
+        that replaces the DRAM intermediates."""
+        if self.smem_bytes_per_block <= 0:
+            return self.fused_us
+        return (
+            self.fused_us / max(self.occupancy_fused, 1e-6)
+            + self.smem_traffic_us
+        )
+
+    @property
+    def simt_gain(self) -> float:
+        """Staged-vs-megakernel ratio; 0.0 when no SIMT fused shape exists
+        (the simulator would run the staged fallback)."""
+        if self.smem_bytes_per_block <= 0:
+            return 0.0
+        if self.simt_fused_us <= 0.0 or self.staged_us <= 0.0:
+            return 1.0
+        return self.staged_us / self.simt_fused_us
+
+
+#: On-chip (shared-memory) bandwidth advantage over DRAM used to price the
+#: megakernel's staging traffic — a stable order-of-magnitude across the zoo.
+SMEM_BANDWIDTH_RATIO = 8.0
 
 _FUSED_CACHE: dict[tuple, "FusedPrediction"] = {}
 
@@ -317,12 +351,46 @@ def predict_fused(
     )
     traffic_us = traffic_bytes / (device.mem_bandwidth_gbs * 1e9) * 1e6
 
+    # SIMT megakernel terms: scratchpad footprint -> occupancy charge, and
+    # the on-chip staging traffic that replaces the DRAM round-trips. Zero
+    # when the megakernel shape does not exist for this geometry (the
+    # simulator falls back to staged NAIVE, so there is nothing to price).
+    smem_bytes = 0
+    occ_fused = 1.0
+    smem_traffic_us = 0.0
+    from ..compiler.fusion_simt import compile_fused_simt
+
+    try:
+        cfk = compile_fused_simt(plan, block=block, device=device)
+    except CompileError:
+        cfk = None
+    if cfk is not None:
+        from ..gpu.occupancy import compute_occupancy
+
+        smem_bytes = cfk.layout.total_bytes
+        occ_fused = compute_occupancy(
+            device, block[0] * block[1],
+            cfk.registers.allocated if cfk.registers else 0,
+            shared_bytes=smem_bytes,
+        ).occupancy
+        n_blocks = cfk.launch_config.grid[0] * cfk.launch_config.grid[1]
+        # Each window is stored once and read roughly once per consumer
+        # tap; 2x total bytes is the round-trip floor. Shared memory runs
+        # about an order of magnitude ahead of DRAM on every zoo part.
+        smem_traffic_us = (
+            n_blocks * smem_bytes * 2
+            / (device.mem_bandwidth_gbs * 1e9 * SMEM_BANDWIDTH_RATIO) * 1e6
+        )
+
     pred = FusedPrediction(
         pipeline=name,
         device=device.name,
         compute_us=compute,
         amplification=amp,
         traffic_us=traffic_us,
+        smem_bytes_per_block=smem_bytes,
+        occupancy_fused=occ_fused,
+        smem_traffic_us=smem_traffic_us,
     )
     _FUSED_CACHE[key] = pred
     return pred

@@ -1019,6 +1019,40 @@ def sanitize_compiled(ck: CompiledKernel) -> SanitizeReport:
     return report
 
 
+def sanitize_fused(cfk) -> SanitizeReport:
+    """Sanitize a fused SIMT megakernel (``CompiledFusedKernel``).
+
+    The megakernel's parameters are the *pipeline's* external inputs plus
+    the final output — intermediate stages live entirely inside the
+    ``smem_base`` scratchpad, whose extent is the packed per-block
+    footprint from the kernel metadata (the same number the occupancy
+    charge and ``shared_tile_bytes`` derive from ``ELEMENT_BYTES``).
+    """
+    plan = cfk.plan
+    extents: dict[str, int] = {}
+    scalars: dict[str, int] = {}
+    for name in cfk.layout.externals:
+        extents[f"{name}_ptr"] = plan.width * plan.height * 4
+        scalars[f"{name}_w"] = plan.width
+        scalars[f"{name}_h"] = plan.height
+    extents["out_ptr"] = plan.width * plan.height * 4
+    scalars["out_w"] = plan.width
+    scalars["out_h"] = plan.height
+    extents["smem_base"] = int(cfk.func.metadata["shared_bytes"])
+    report = SanitizeReport(kernel=cfk.func.name, variant="fused")
+    analyzer = _Analyzer(
+        cfk.func,
+        grid=cfk.launch_config.grid,
+        block=cfk.block,
+        extents=extents,
+        scalars=scalars,
+        geometry=cfk.geometry,
+        report=report,
+    )
+    analyzer.run()
+    return report
+
+
 def sanitize_kernel(
     kernel,
     *,

@@ -29,6 +29,7 @@ import numpy as np
 from ..compiler.driver import CompiledKernel, compile_kernel
 from ..compiler.frontend import KernelDescription, trace_kernel
 from ..compiler.fusion import FusedPlan, fuse_descs
+from ..compiler.fusion_simt import CompiledFusedKernel, compile_fused_simt
 from ..compiler.isp import CompileError, Variant
 from ..compiler.regions import RegionGeometry
 from ..dsl.boundary import Boundary
@@ -284,6 +285,35 @@ class ExecutionPlan:
         for name, arr in images.items():
             bases[name] = mem.alloc(arr.size * 4)
             mem.write_array(bases[name], arr)
+
+        if len(compiled) == 1 and isinstance(compiled[0], CompiledFusedKernel):
+            # One megakernel for the whole pipeline: intermediates live in
+            # shared memory, so only the final output touches global.
+            cfk = compiled[0]
+            out_base = mem.alloc(cfk.plan.width * cfk.plan.height * 4)
+            bases[cfk.plan.output_name] = out_base
+            prof = Profiler(cost_table_for(self.device))
+            t0 = time.perf_counter()
+            launch(cfk.func, cfk.launch_config, mem, cfk.param_values(bases),
+                   prof, abort=abort)
+            if _trace_core._current is not None:
+                ctx = _trace_core.current_context()
+                if ctx is not None:
+                    tracer, parent = ctx
+                    tracer.record_span(
+                        f"launch:{cfk.name}", parent,
+                        t0, time.perf_counter(),
+                        variant="fused",
+                        warp_instructions=prof.warp_instructions,
+                        regions=prof.region_totals(),
+                        events=prof.event_totals(),
+                    )
+            if collect is not None:
+                collect.append((cfk.name, "fused", prof))
+            return mem.read_array(
+                out_base, (cfk.plan.height, cfk.plan.width), DataType.F32
+            )
+
         for desc, ck in zip(self.descs, compiled):
             out_base = mem.alloc(desc.width * desc.height * 4)
             bases[desc.output_name] = out_base
@@ -321,21 +351,40 @@ class ExecutionPlan:
         compiled artifacts are memoized, so a later SIMT execution reuses
         exactly the kernels that were sanitized.
         """
-        from ..sanitize.static import sanitize_compiled
+        from ..sanitize.static import sanitize_compiled, sanitize_fused
 
-        return [sanitize_compiled(ck) for ck in self._compiled_simt()]
+        return [
+            sanitize_fused(ck) if isinstance(ck, CompiledFusedKernel)
+            else sanitize_compiled(ck)
+            for ck in self._compiled_simt()
+        ]
 
-    def _compiled_simt(self) -> list[CompiledKernel]:
+    def _compiled_simt(self) -> list:
         with self._simt_lock:
             if self._simt_compiled is None:
+                if self.fused_plan is not None:
+                    # Fused plans compile to one per-block halo-staging
+                    # megakernel; shapes the generator refuses (degenerate
+                    # geometry, non-exact tiling, uncommuting borders,
+                    # scratchpad over the device limit) run staged NAIVE,
+                    # mirroring the host path's degenerate fallback.
+                    try:
+                        self._simt_compiled = [compile_fused_simt(
+                            self.fused_plan,
+                            block=self.key.block,
+                            device=self.device,
+                        )]
+                        return self._simt_compiled
+                    except CompileError:
+                        pass
                 mapping = {
                     "naive": Variant.NAIVE,
                     "isp": Variant.ISP,
                     "isp_warp": Variant.ISP_WARP,
-                    # prepad and fused are host-side execution strategies;
-                    # their compiled SIMT shape (for sanitize / simulation)
-                    # is the fully checked single-region kernel, which is
-                    # semantically identical.
+                    # prepad is a host-side execution strategy; its compiled
+                    # SIMT shape (for sanitize / simulation) is the fully
+                    # checked single-region kernel, which is semantically
+                    # identical.
                     "prepad": Variant.NAIVE,
                     "fused": Variant.NAIVE,
                 }

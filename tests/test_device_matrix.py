@@ -165,12 +165,15 @@ def test_wave64_halves_warp_instructions():
 
 #: full-SIMT event totals for gaussian 64x64 / MIRROR / block (64,2)
 SIMT_EVENT_PINS = {
+    # NAIVE stages no shared memory, so the smem/LDS counters pin to zero.
     "GTX680": {"branch_divergence": 0, "mem_replay": 384,
                "coalesced_access": 896, "scattered_access": 384,
-               "watchdog_stall": 0},
+               "watchdog_stall": 0, "smem_load": 0, "smem_store": 0,
+               "lds_bank_conflict": 0},
     "VEGA64": {"branch_divergence": 0, "mem_replay": 640,
                "coalesced_access": 0, "scattered_access": 640,
-               "watchdog_stall": 0},
+               "watchdog_stall": 0, "smem_load": 0, "smem_store": 0,
+               "lds_bank_conflict": 0},
 }
 SIMT_INSTR_PINS = {"GTX680": 29056, "VEGA64": 14528}
 

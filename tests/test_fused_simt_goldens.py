@@ -1,0 +1,183 @@
+"""Golden-file snapshots of the fused SIMT megakernel IR.
+
+Same mechanics as :mod:`tests.test_codegen_goldens` (gzip storage with a
+content digest in the filename, ``--update-goldens`` to regenerate), but
+for the per-block shared-memory megakernel: one snapshot per registered
+multi-stage app x border pattern under ``tests/goldens/fused_simt/``
+(``goldens/fused/`` belongs to the host-side overlapped-tile suite).
+
+A second golden mirrors the ``isp_warp`` warp32-vs-wave64 diff: the fused
+layout pads shared rows to a bank-conflict-free stride **per warp width**
+(a 32-element row collides on 32 banks but not on 64), so compiling the
+same plan for GTX680 and VEGA64 must differ in exactly the staging address
+arithmetic. The unified diff of the two printed kernels is pinned as
+``tests/goldens/fused-simt-warp32-vs-wave64.diff``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import gzip
+import hashlib
+import pathlib
+
+import pytest
+
+from repro.compiler import compile_fused_simt, fuse_descs
+from repro.gpu import GTX680, VEGA64
+from repro.ir.printer import print_function
+from repro.serve.plan import trace_app
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens" / "fused_simt"
+WARP_DIFF_GOLDEN = (pathlib.Path(__file__).parent / "goldens"
+                    / "fused-simt-warp32-vs-wave64.diff")
+
+#: multi-stage apps only — single-stage plans have nothing to fuse
+APPS = ("sobel", "night")
+PATTERNS = ("clamp", "mirror", "repeat", "constant")
+SIZE = 64
+BLOCK = (32, 4)
+
+COMBOS = [(a, p) for a in APPS for p in PATTERNS]
+
+MAX_DIFF_LINES = 120
+DIGEST_LEN = 12
+
+
+def content_digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:DIGEST_LEN]
+
+
+def find_golden(app: str, pattern: str) -> list[pathlib.Path]:
+    return sorted(GOLDEN_DIR.glob(f"{app}-fused-{pattern}.*.ir.gz"))
+
+
+def write_golden(app: str, pattern: str, text: str) -> pathlib.Path:
+    path = GOLDEN_DIR / f"{app}-fused-{pattern}.{content_digest(text)}.ir.gz"
+    for stale in find_golden(app, pattern):
+        if stale != path:
+            stale.unlink()
+    path.write_bytes(gzip.compress(text.encode(), mtime=0))
+    return path
+
+
+def _compile(app: str, pattern: str, device=GTX680):
+    descs = trace_app(app, pattern, SIZE, SIZE)
+    plan = fuse_descs(descs, name=app)
+    return compile_fused_simt(plan, block=BLOCK, device=device)
+
+
+def render(app: str, pattern: str) -> str:
+    cfk = _compile(app, pattern)
+    header = [
+        "# golden fused-SIMT IR snapshot — regenerate with:",
+        "#   pytest tests/test_fused_simt_goldens.py --update-goldens",
+        f"# app={app} variant=fused pattern={pattern} "
+        f"size={SIZE}x{SIZE} block={BLOCK[0]}x{BLOCK[1]} "
+        f"shared_bytes={cfk.func.metadata['shared_bytes']}",
+    ]
+    return "\n".join(header) + "\n" + print_function(cfk.func) + "\n"
+
+
+@pytest.mark.parametrize("app,pattern", COMBOS,
+                         ids=[f"{a}-{p}" for a, p in COMBOS])
+def test_fused_ir_matches_golden(app, pattern, update_goldens):
+    actual = render(app, pattern)
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        write_golden(app, pattern, actual)
+        return
+
+    stored = find_golden(app, pattern)
+    if not stored:
+        pytest.fail(
+            f"missing golden goldens/fused_simt/{app}-fused-{pattern}.*.ir.gz; "
+            f"generate it with `pytest tests/test_fused_simt_goldens.py "
+            f"--update-goldens` and commit the result"
+        )
+    expected = gzip.decompress(stored[-1].read_bytes()).decode()
+    if actual == expected:
+        return
+    diff = list(difflib.unified_diff(
+        expected.splitlines(keepends=True), actual.splitlines(keepends=True),
+        fromfile=f"goldens/fused_simt/{stored[-1].name}", tofile="generated",
+    ))
+    shown = "".join(diff[:MAX_DIFF_LINES])
+    omitted = len(diff) - MAX_DIFF_LINES
+    tail = f"\n... ({omitted} more diff lines)" if omitted > 0 else ""
+    pytest.fail(
+        f"fused SIMT IR for {app}/{pattern} diverges from its golden "
+        f"({len(diff)} diff lines). If the change is intentional, rerun "
+        f"with --update-goldens and commit.\n{shown}{tail}"
+    )
+
+
+def test_golden_integrity():
+    checked = 0
+    for path in sorted(GOLDEN_DIR.glob("*.ir.gz")):
+        digest = path.name.split(".")[1]
+        text = gzip.decompress(path.read_bytes()).decode()
+        assert content_digest(text) == digest, (
+            f"{path.name}: content does not match its filename digest"
+        )
+        checked += 1
+    assert checked == len(COMBOS)
+
+
+def test_no_orphan_fused_goldens():
+    valid = {f"{a}-fused-{p}" for a, p in COMBOS}
+    for p in GOLDEN_DIR.iterdir():
+        assert p.suffixes[-2:] == [".ir", ".gz"], f"unexpected file: {p.name}"
+        assert p.name.split(".")[0] in valid, f"orphan golden: {p.name}"
+
+
+# ---------------------------------------------------------------------------
+# The bank-padded staging stride provably follows device.warp_size.
+# ---------------------------------------------------------------------------
+
+
+def _warp_ir_diff() -> str:
+    texts = {}
+    for dev in (GTX680, VEGA64):
+        cfk = _compile("sobel", "mirror", device=dev)
+        assert cfk.func.metadata["warp_size"] == dev.warp_size
+        texts[dev.name] = print_function(cfk.func)
+    # The 32-wide tile rows of the dx/dy buffers collide on 32 banks, so
+    # warp32 pads their stride to 33 while wave64 keeps 32.
+    layouts = {
+        dev.name: _compile("sobel", "mirror", device=dev).layout
+        for dev in (GTX680, VEGA64)
+    }
+    assert layouts["GTX680"].buffers["dx"].stride == BLOCK[0] + 1
+    assert layouts["VEGA64"].buffers["dx"].stride == BLOCK[0]
+    return "".join(difflib.unified_diff(
+        texts["GTX680"].splitlines(keepends=True),
+        texts["VEGA64"].splitlines(keepends=True),
+        fromfile="sobel_fused@warp32", tofile="sobel_fused@wave64", n=0,
+    ))
+
+
+def test_fused_stride_follows_device(update_goldens):
+    diff = _warp_ir_diff()
+    if update_goldens:
+        WARP_DIFF_GOLDEN.write_text(diff)
+        pytest.skip("golden diff rewritten; review and commit")
+    # The two compiles must differ (the padding exists on warp32 only) and
+    # only in arithmetic feeding the shared-memory staging addresses.
+    changed = [ln for ln in diff.splitlines()
+               if ln[:1] in "+-" and ln[:3] not in ("+++", "---")]
+    assert changed, "warp32 and wave64 fused IR are identical — no padding?"
+    assert WARP_DIFF_GOLDEN.exists(), (
+        "golden missing — regenerate with `pytest "
+        "tests/test_fused_simt_goldens.py --update-goldens` and commit"
+    )
+    golden = WARP_DIFF_GOLDEN.read_text()
+    if diff != golden:
+        delta = "".join(difflib.unified_diff(
+            golden.splitlines(keepends=True), diff.splitlines(keepends=True),
+            fromfile="golden", tofile="recompiled"))
+        raise AssertionError(
+            f"fused warp32-vs-wave64 IR diff drifted from golden — if "
+            f"intentional rerun with --update-goldens and commit:\n{delta}"
+        )

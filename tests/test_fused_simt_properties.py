@@ -1,0 +1,188 @@
+"""Property and audit tests for the fused SIMT megakernel.
+
+Three nets over :mod:`repro.compiler.fusion_simt`:
+
+* a Hypothesis property: for random border patterns, warp widths and block
+  shapes — including tiles smaller than the pipeline halo, where every
+  staging window is all-border — the megakernel is **bit-identical** to the
+  staged NAIVE reference;
+* a degenerate-geometry audit: wherever the host-side
+  :func:`repro.runtime.degenerate_geometry` predicate says the nine-region
+  scheme is inexpressible (1x1 images, over-wide windows), the fused
+  generator must refuse and the serving plan must fall back to staged
+  execution, bit-exactly;
+* the shared-memory accounting agreement pin (the ``ELEMENT_BYTES`` fix):
+  the staging footprint, the kernel metadata, the occupancy charge and the
+  static prover's ``smem_base`` extent are one number, for both the staged
+  SHARED variant and the fused megakernel layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    CompileError,
+    CompiledFusedKernel,
+    Variant,
+    compile_fused_simt,
+    compile_kernel,
+    cumulative_halos,
+    fuse_descs,
+    fused_smem_bytes,
+    plan_fused_smem,
+    shared_tile_bytes,
+    trace_kernel,
+)
+from repro.dsl import Boundary
+from repro.filters import PIPELINES
+from repro.gpu import GTX680, VEGA64
+from repro.gpu.occupancy import compute_occupancy
+from repro.model.prediction import predict_fused
+from repro.runtime import degenerate_geometry, run_pipeline_vectorized
+from repro.runtime.make_border import ELEMENT_BYTES
+from repro.sanitize.static import sanitize_fused
+from repro.serve.plan import build_plan
+
+PATTERNS = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT,
+            Boundary.CONSTANT]
+DEVICES = [GTX680, VEGA64]
+
+
+def _staged(app: str, image: np.ndarray, pattern: Boundary,
+            size: int) -> np.ndarray:
+    pipe = PIPELINES[app](size, size, pattern)
+    images = run_pipeline_vectorized(pipe, {pipe.inputs[0].name: image},
+                                     variant="naive")
+    return images[pipe.output.name]
+
+
+class TestFusedEquivalenceProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        pattern=st.sampled_from(PATTERNS),
+        device=st.sampled_from(DEVICES),
+        block=st.sampled_from([(8, 4), (4, 4), (4, 2), (2, 2)]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_fused_simt_equals_staged_naive(self, pattern, device, block,
+                                            seed):
+        size = 16
+        image = np.random.default_rng(seed).uniform(
+            -1.0, 1.0, (size, size)
+        ).astype(np.float32)
+        plan = build_plan("sobel", pattern.value, size, size,
+                          variant="fused", block=block, device=device)
+        compiled = plan._compiled_simt()
+        assert len(compiled) == 1
+        assert isinstance(compiled[0], CompiledFusedKernel)
+        out = plan.execute_simt(image)
+        assert np.array_equal(out, _staged("sobel", image, pattern, size))
+
+    @pytest.mark.parametrize(
+        "device,pattern",
+        [(GTX680, Boundary.MIRROR), (VEGA64, Boundary.CONSTANT)],
+        ids=["GTX680-mirror", "VEGA64-constant"],
+    )
+    def test_sub_halo_tiles(self, rng, pattern, device):
+        """night's cumulative halo (15) dwarfs an 8x4 tile: every staging
+        window is all-border, the hardest shape for the check splits."""
+        size = 32
+        image = rng.random((size, size), dtype=np.float32)
+        plan = build_plan("night", pattern.value, size, size,
+                          variant="fused", block=(8, 4), device=device)
+        compiled = plan._compiled_simt()
+        assert len(compiled) == 1
+        assert isinstance(compiled[0], CompiledFusedKernel)
+        out = plan.execute_simt(image)
+        assert np.array_equal(out, _staged("night", image, pattern, size))
+
+
+class TestDegenerateGeometryAudit:
+    """The fused gate must refuse at least wherever the host predicate does
+    (its block-granular condition is strictly more conservative), and the
+    fallback must be invisible in the bits."""
+
+    CASES = [
+        # (app, size, block) — host-degenerate for the pipeline's halo.
+        ("sobel", 1, (1, 1)),      # 1x1 image
+        ("night", 16, (4, 4)),     # over-wide window: halo 15 vs 16px
+        ("night", 28, (4, 4)),     # still < 2 * halo
+    ]
+
+    @pytest.mark.parametrize("app,size,block", CASES)
+    def test_host_degenerate_shapes_are_refused(self, app, size, block):
+        pipe = PIPELINES[app](size, size, Boundary.MIRROR)
+        descs = [trace_kernel(k) for k in pipe]
+        halos = cumulative_halos(descs)
+        hx = max(h[0] for h in halos.values())
+        hy = max(h[1] for h in halos.values())
+        assert degenerate_geometry(size, size, hx, hy)
+        plan = fuse_descs(descs, name=app)
+        with pytest.raises(CompileError):
+            compile_fused_simt(plan, block=block)
+
+    @pytest.mark.parametrize("app,size,block", CASES)
+    def test_degenerate_fallback_is_bit_exact(self, rng, app, size, block):
+        image = rng.random((size, size), dtype=np.float32)
+        plan = build_plan(app, "mirror", size, size, variant="fused",
+                          block=block)
+        compiled = plan._compiled_simt()
+        assert len(compiled) == len(plan.descs)
+        for ck in compiled:
+            assert ck.effective_variant is Variant.NAIVE
+        out = plan.execute_simt(image)
+        assert np.array_equal(out, _staged(app, image, Boundary.MIRROR,
+                                           size))
+
+
+class TestSmemAccountingAgreement:
+    """One element size, one footprint — everywhere (the satellite fix)."""
+
+    def test_element_bytes_is_f32(self):
+        assert ELEMENT_BYTES == 4
+
+    def test_shared_variant_footprint_agreement(self):
+        pipe = PIPELINES["gaussian"](64, 64, Boundary.MIRROR)
+        desc = trace_kernel(next(iter(pipe)))
+        block = (32, 4)
+        footprint = shared_tile_bytes(desc, block)
+        hx, hy = desc.extent
+        assert footprint == (block[0] + 2 * hx) * (block[1] + 2 * hy) * \
+            ELEMENT_BYTES
+        ck = compile_kernel(desc, variant=Variant.SHARED, block=block)
+        # metadata drives both the occupancy charge and the prover extent.
+        assert int(ck.func.metadata["shared_bytes"]) == footprint
+
+    def test_fused_layout_footprint_agreement(self):
+        size, block = 48, (16, 4)
+        pipe = PIPELINES["sobel"](size, size, Boundary.CLAMP)
+        plan = fuse_descs([trace_kernel(k) for k in pipe], name="sobel")
+        layout = plan_fused_smem(plan, block)
+        assert layout.total_bytes == fused_smem_bytes(plan, block)
+        # Every buffer's window is priced at ELEMENT_BYTES, rows padded to
+        # the bank-conflict-free stride.
+        total = 0
+        for buf in layout.buffers.values():
+            w, h = buf.window
+            assert buf.stride >= w
+            total += buf.stride * h * ELEMENT_BYTES
+        assert total == layout.total_bytes
+        cfk = compile_fused_simt(plan, block=block)
+        assert int(cfk.func.metadata["shared_bytes"]) == layout.total_bytes
+        # The static prover walks the megakernel against this exact extent.
+        report = sanitize_fused(cfk)
+        assert not report.findings
+        # The occupancy model charges the same bytes per block.
+        pred = predict_fused([trace_kernel(k) for k in pipe],
+                             block=block, device=GTX680, name="sobel")
+        assert pred.smem_bytes_per_block == layout.total_bytes
+        occ = compute_occupancy(
+            GTX680, block[0] * block[1],
+            cfk.registers.allocated if cfk.registers else 0,
+            shared_bytes=layout.total_bytes,
+        )
+        assert pred.occupancy_fused == pytest.approx(occ.occupancy)

@@ -1,17 +1,23 @@
-"""Pinned gap: the SIMT path has no fused kernel — fused plans stage.
+"""Pins for the fused SIMT megakernel — the closed fused→naive staging gap.
 
-``variant="fused"`` is a *host-side* execution strategy (overlapped tiles on
-the vectorized executor). The functional SIMT simulator has no fused code
-shape: when a fused plan is simulated (sanitize, ``execute_simt``), each
-stage compiles as the fully checked single-region NAIVE kernel and runs
-per-kernel — semantically identical, but staged. This module pins that
-fallback explicitly so the gap is a documented decision, not an accident:
+``variant="fused"`` used to be a *host-only* execution strategy: the SIMT
+simulator staged each stage as a fully checked NAIVE kernel. The compiler
+now lowers fused tile schedules to a single per-block megakernel
+(:mod:`repro.compiler.fusion_simt`) that cooperatively stages each stage's
+tile + halo hull into shared memory, computes stage-by-stage on-chip, and
+only writes the final stage to global memory. These tests pin the new
+contract:
 
-* the passing tests freeze today's behaviour (per-stage NAIVE compiles, one
-  profiler per stage, bit-identical output to the staged reference);
-* the ``xfail(strict=True)`` test is the tripwire — the day a compiler-level
-  fused SIMT variant lands, it *fails by passing*, forcing whoever adds it
-  to rewrite these pins in the same commit.
+* a fused plan compiles to **one** :class:`CompiledFusedKernel` (not one
+  kernel per stage) carrying ``Variant.FUSED`` and a nonzero shared-memory
+  footprint;
+* one request produces **one** profiler whose event totals include the
+  shared-memory traffic (``smem_load`` / ``smem_store``) and the
+  ``lds_bank_conflict`` counter;
+* the megakernel is bit-identical to the staged reference on both warp
+  widths (warp32 and wave64);
+* shapes the generator refuses — non-exact tiling, degenerate geometry —
+  fall back to the old staged per-kernel NAIVE execution, bit-exactly.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.compiler import Variant
+from repro.compiler import CompiledFusedKernel, Variant
 from repro.dsl import Boundary
 from repro.filters import PIPELINES
 from repro.gpu import GTX680, VEGA64
@@ -34,52 +40,87 @@ def image(rng):
     return rng.random((SIZE, SIZE), dtype=np.float32)
 
 
-def _staged_reference(app: str, image: np.ndarray, pattern: str) -> np.ndarray:
-    pipe = PIPELINES[app](SIZE, SIZE, Boundary(pattern))
+def _staged_reference(app: str, image: np.ndarray, pattern: str,
+                      size: int = SIZE) -> np.ndarray:
+    pipe = PIPELINES[app](size, size, Boundary(pattern))
     images = run_pipeline_vectorized(pipe, {pipe.inputs[0].name: image},
                                      variant="naive")
     return images[pipe.output.name]
 
 
-class TestFusedPlansStageOnSimt:
-    def test_fused_plan_compiles_simt_stages_as_naive(self):
+def test_fused_simt_variant_exists():
+    """The tripwire flipped: fused is now a compiler-level variant."""
+    assert Variant("fused") is Variant.FUSED
+
+
+class TestFusedMegakernel:
+    def test_fused_plan_compiles_one_megakernel(self):
         plan = build_plan("night", "mirror", SIZE, SIZE, variant="fused",
                           block=(16, 4))
-        # Bordered stages carry the fused choice; point operators have no
-        # border handling to fuse away and stay naive.
-        bordered = {d.output_name for d in plan.descs
-                    if d.needs_border_handling}
-        for name, choice in plan.kernel_variants.items():
-            assert choice == ("fused" if name in bordered else "naive")
-        assert bordered
         compiled = plan._compiled_simt()
-        # One compiled kernel per stage — not one fused megakernel.
-        assert len(compiled) == len(plan.descs) > 1
-        for ck in compiled:
-            assert ck.effective_variant is Variant.NAIVE
+        assert len(compiled) == 1
+        cfk = compiled[0]
+        assert isinstance(cfk, CompiledFusedKernel)
+        assert cfk.effective_variant is Variant.FUSED
+        assert cfk.func.metadata["shared_bytes"] > 0
+        # The megakernel spans every live stage of the plan.
+        assert tuple(cfk.func.metadata["fused_stages"]) == tuple(
+            d.name for d in plan.descs if d.output_name in plan.fused_plan.live
+        )
 
     @pytest.mark.parametrize("device", [GTX680, VEGA64],
                              ids=lambda d: d.name)
-    def test_fused_plan_simt_output_matches_staged(self, image, device):
-        """The fallback must be invisible in the bits, on both warp widths."""
-        plan = build_plan("sobel", "clamp", SIZE, SIZE, variant="fused",
+    @pytest.mark.parametrize("app", ["sobel", "night"])
+    def test_fused_simt_output_matches_staged(self, image, app, device):
+        """On-chip staging must be invisible in the bits, both warp widths."""
+        plan = build_plan(app, "clamp", SIZE, SIZE, variant="fused",
                           block=(16, 4), device=device)
+        compiled = plan._compiled_simt()
+        assert len(compiled) == 1 and isinstance(compiled[0],
+                                                 CompiledFusedKernel)
         out = plan.execute_simt(image)
-        assert np.array_equal(out, _staged_reference("sobel", image, "clamp"))
+        assert np.array_equal(out, _staged_reference(app, image, "clamp"))
+
+    def test_one_profiler_per_request_with_smem_events(self, image):
+        plan = build_plan("sobel", "constant", SIZE, SIZE, variant="fused",
+                          block=(16, 4))
+        collect: list = []
+        plan.execute_simt(image, collect=collect)
+        assert len(collect) == 1
+        name, variant, prof = collect[0]
+        assert variant == "fused"
+        events = prof.event_totals()
+        assert events["smem_load"] > 0
+        assert events["smem_store"] > 0
+        assert "lds_bank_conflict" in events
+
+    def test_non_tiling_block_falls_back_to_staged_naive(self, image):
+        """48 is not a multiple of 5: the generator refuses, stages run."""
+        plan = build_plan("sobel", "repeat", SIZE, SIZE, variant="fused",
+                          block=(5, 3))
+        compiled = plan._compiled_simt()
+        assert len(compiled) == len(plan.descs) > 1
+        for ck in compiled:
+            assert ck.effective_variant is Variant.NAIVE
+        out = plan.execute_simt(image)
+        assert np.array_equal(out, _staged_reference("sobel", image, "repeat"))
+
+    def test_degenerate_1x1_falls_back_to_staged_naive(self, rng):
+        image = rng.random((1, 1), dtype=np.float32)
+        plan = build_plan("sobel", "mirror", 1, 1, variant="fused",
+                          block=(16, 4))
+        compiled = plan._compiled_simt()
+        assert len(compiled) == len(plan.descs)
+        for ck in compiled:
+            assert ck.effective_variant is Variant.NAIVE
+        out = plan.execute_simt(image)
+        assert np.array_equal(
+            out, _staged_reference("sobel", image, "mirror", size=1)
+        )
 
     def test_prepad_plan_stages_the_same_way(self):
-        """prepad is the other host-side strategy with no SIMT code shape."""
+        """prepad remains a host-side strategy with no SIMT code shape."""
         plan = build_plan("gaussian", "repeat", SIZE, SIZE, variant="prepad",
                           block=(16, 4))
         for ck in plan._compiled_simt():
             assert ck.effective_variant is Variant.NAIVE
-
-
-@pytest.mark.xfail(
-    strict=True,
-    reason="no compiler-level fused SIMT variant exists; fused plans fall "
-    "back to staged per-kernel NAIVE execution on the simulator — when a "
-    "fused Variant lands, update the pins in this module",
-)
-def test_fused_simt_variant_exists():
-    Variant("fused")  # ValueError today: fused is not a compiler Variant
